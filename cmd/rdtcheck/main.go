@@ -1,0 +1,188 @@
+// Command rdtcheck analyzes a recorded checkpoint and communication
+// pattern (JSON, as written by rdtsim or the runtime): it verifies the
+// RDT property, cross-checks recorded dependency vectors, and can compute
+// minimum/maximum consistent global checkpoints and recovery lines.
+//
+// Usage:
+//
+//	rdtcheck trace.json
+//	rdtcheck -min 2,5 -max 2,5 trace.json
+//	rdtcheck -line 3,4,2,5 trace.json
+//	rdtcheck -dot trace.json > pattern.dot
+//	rdtcheck -figure1         # analyze the paper's Figure 1 fixture
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	rdt "github.com/rdt-go/rdt"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rdtcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rdtcheck", flag.ContinueOnError)
+	var (
+		minAt   = fs.String("min", "", "compute the minimum consistent global checkpoint containing proc,index")
+		maxAt   = fs.String("max", "", "compute the maximum consistent global checkpoint containing proc,index")
+		lineAt  = fs.String("line", "", "compute the recovery line below the comma-separated per-process bounds")
+		dot     = fs.Bool("dot", false, "emit the pattern as Graphviz DOT instead of analyzing it")
+		rdot    = fs.Bool("rdot", false, "emit the rollback-dependency graph as Graphviz DOT instead of analyzing it")
+		ascii   = fs.Bool("ascii", false, "also print the pattern as an ASCII space-time diagram")
+		useless = fs.Bool("useless", false, "also list useless checkpoints (requires the O(M²) chain closure)")
+		fig1    = fs.Bool("figure1", false, "analyze the built-in Figure 1 fixture instead of a file")
+		maxViol = fs.Int("violations", 10, "maximum RDT violations to list")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		p   *rdt.Pattern
+		err error
+	)
+	switch {
+	case *fig1:
+		p, err = rdt.Figure1()
+	case fs.NArg() == 1:
+		p, err = rdt.LoadTraceFile(fs.Arg(0))
+	default:
+		return fmt.Errorf("expected exactly one trace file (or -figure1), got %d args", fs.NArg())
+	}
+	if err != nil {
+		return err
+	}
+
+	if *dot {
+		fmt.Fprint(out, p.DOT())
+		return nil
+	}
+	if *rdot {
+		g, err := rdt.BuildRGraph(p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, g.DOT())
+		return nil
+	}
+	if *ascii {
+		fmt.Fprint(out, p.ASCII())
+	}
+
+	s := p.Stats()
+	fmt.Fprintf(out, "pattern: %d processes, %d messages, checkpoints: %d initial + %d basic + %d forced + %d final\n",
+		s.Processes, s.Messages, s.Initial, s.Basic, s.Forced, s.Final)
+
+	report, err := rdt.CheckRDT(p, *maxViol)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "RDT property: %v (%d/%d rollback dependencies trackable)\n",
+		report.RDT, report.TrackablePairs, report.RPathPairs)
+	for _, v := range report.Violations {
+		fmt.Fprintf(out, "  violation: %v\n", v)
+	}
+
+	if err := rdt.VerifyRecordedTDVs(p); err != nil {
+		fmt.Fprintf(out, "recorded dependency vectors: MISMATCH: %v\n", err)
+	} else {
+		fmt.Fprintln(out, "recorded dependency vectors: consistent with offline recomputation")
+	}
+
+	if *useless {
+		chains, err := rdt.NewChains(p)
+		if err != nil {
+			return err
+		}
+		count := 0
+		for i := 0; i < p.N; i++ {
+			for x := 0; x <= p.LastIndex(rdt.ProcID(i)); x++ {
+				id := rdt.CkptID{Proc: rdt.ProcID(i), Index: x}
+				if chains.Useless(id) {
+					fmt.Fprintf(out, "useless checkpoint: %v (on a zigzag cycle)\n", id)
+					count++
+				}
+			}
+		}
+		fmt.Fprintf(out, "useless checkpoints: %d\n", count)
+	}
+
+	if *minAt != "" {
+		id, err := parseCkpt(*minAt)
+		if err != nil {
+			return err
+		}
+		g, err := rdt.MinConsistentGlobal(p, id)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "minimum consistent global checkpoint containing %v: %v\n", id, g)
+	}
+	if *maxAt != "" {
+		id, err := parseCkpt(*maxAt)
+		if err != nil {
+			return err
+		}
+		g, err := rdt.MaxConsistentGlobal(p, id)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "maximum consistent global checkpoint containing %v: %v\n", id, g)
+	}
+	if *lineAt != "" {
+		bounds, err := parseGlobal(*lineAt, p.N)
+		if err != nil {
+			return err
+		}
+		line, err := rdt.TraceRecoveryLine(p, bounds)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "recovery line below %v: %v\n", bounds, line)
+	}
+	return nil
+}
+
+// parseCkpt parses "proc,index".
+func parseCkpt(s string) (rdt.CkptID, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return rdt.CkptID{}, fmt.Errorf("checkpoint %q: want proc,index", s)
+	}
+	proc, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return rdt.CkptID{}, fmt.Errorf("checkpoint %q: %w", s, err)
+	}
+	index, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return rdt.CkptID{}, fmt.Errorf("checkpoint %q: %w", s, err)
+	}
+	return rdt.CkptID{Proc: rdt.ProcID(proc), Index: index}, nil
+}
+
+// parseGlobal parses "x0,x1,...,xn-1".
+func parseGlobal(s string, n int) (rdt.GlobalCheckpoint, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != n {
+		return nil, fmt.Errorf("bounds %q: want %d comma-separated indexes", s, n)
+	}
+	g := make(rdt.GlobalCheckpoint, n)
+	for i, part := range parts {
+		x, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bounds %q: %w", s, err)
+		}
+		g[i] = x
+	}
+	return g, nil
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunQuickWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-quick", "-csv", dir}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"R = forced/basic in the random environment",
+		"R = forced/basic in the client-server environment",
+		"Forced-checkpoint reduction vs FDAS",
+		"Piggybacked control information",
+		"Total rollback depth",
+		"ablation",
+		"Corollary 4.5",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	for _, file := range []string{
+		"figure7_random.csv", "figure8_groups.csv", "figure9_client-server.csv",
+		"table_reduction_vs_fdas.csv", "table_piggyback.csv",
+		"table_domino.csv", "table_ablation.csv", "table_corollary45.csv", "figure_delay_sensitivity.csv", "table_condition_attribution.csv", "table_guarantees.csv",
+	} {
+		data, err := os.ReadFile(filepath.Join(dir, file))
+		if err != nil {
+			t.Errorf("artifact %s missing: %v", file, err)
+			continue
+		}
+		if len(data) == 0 || !strings.Contains(string(data), ",") {
+			t.Errorf("artifact %s malformed", file)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	// A CSV directory that cannot be created.
+	occupied := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(occupied, []byte("x"), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := run([]string{"-quick", "-csv", filepath.Join(occupied, "sub")}, &out); err == nil {
+		t.Error("uncreatable csv dir accepted")
+	}
+}

@@ -1,0 +1,164 @@
+// Command rdtsim runs one simulation of a communication-induced
+// checkpointing protocol in a chosen communication environment and
+// reports the checkpointing overhead. It can also write the recorded
+// checkpoint and communication pattern as JSON for offline analysis with
+// rdtcheck.
+//
+// Usage:
+//
+//	rdtsim -protocol bhmr -workload client-server -n 8 -duration 1000 \
+//	       -basic 10 -seed 1 -trace out.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	rdt "github.com/rdt-go/rdt"
+	"github.com/rdt-go/rdt/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rdtsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rdtsim", flag.ContinueOnError)
+	var (
+		protocol  = fs.String("protocol", "bhmr", "checkpointing protocol ('all' for a comparison): "+strings.Join(protocolNames(), ", "))
+		env       = fs.String("workload", "random", "communication environment: "+strings.Join(rdt.WorkloadNames(), ", "))
+		n         = fs.Int("n", 8, "number of processes")
+		duration  = fs.Float64("duration", 1000, "simulated time horizon")
+		basic     = fs.Float64("basic", 10, "mean interval between basic checkpoints")
+		seed      = fs.Int64("seed", 1, "random seed")
+		seeds     = fs.Int("seeds", 1, "number of replications (seed, seed+1, ...); with more than one, report mean and 95% CI of R")
+		tracePath = fs.String("trace", "", "write the recorded pattern to this JSON file")
+		check     = fs.Bool("check", true, "verify the RDT property of the recorded pattern")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *protocol == "all" {
+		return compareAll(out, *env, *n, *duration, *basic, *seed)
+	}
+	kind, err := rdt.ParseProtocol(*protocol)
+	if err != nil {
+		return err
+	}
+	w, err := rdt.WorkloadByName(*env)
+	if err != nil {
+		return err
+	}
+	cfg := rdt.DefaultSimConfig(kind, *seed)
+	cfg.N = *n
+	cfg.Duration = *duration
+	cfg.BasicMean = *basic
+
+	if *seeds > 1 {
+		return replicate(out, cfg, *env, *seeds)
+	}
+
+	res, err := rdt.Simulate(cfg, w)
+	if err != nil {
+		return err
+	}
+	s := res.Stats
+	fmt.Fprintf(out, "protocol=%v workload=%s n=%d duration=%g seed=%d\n", kind, *env, *n, *duration, *seed)
+	fmt.Fprintf(out, "messages           %8d\n", s.Messages)
+	fmt.Fprintf(out, "basic checkpoints  %8d\n", s.Basic)
+	fmt.Fprintf(out, "forced checkpoints %8d\n", s.Forced)
+	fmt.Fprintf(out, "R = forced/basic   %8.4f\n", s.ForcedPerBasic())
+	fmt.Fprintf(out, "forced/message     %8.4f\n", s.ForcedPerMessage())
+	fmt.Fprintf(out, "piggyback          %8d bytes/message\n", res.WireBytesPerMessage)
+
+	if *check {
+		report, err := rdt.CheckRDT(res.Pattern, 5)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "RDT property       %8v (%d/%d dependencies trackable)\n",
+			report.RDT, report.TrackablePairs, report.RPathPairs)
+		for _, v := range report.Violations {
+			fmt.Fprintf(out, "  violation: %v\n", v)
+		}
+	}
+
+	if *tracePath != "" {
+		if err := rdt.SaveTraceFile(*tracePath, res.Pattern); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "trace written to %s\n", *tracePath)
+	}
+	return nil
+}
+
+func protocolNames() []string {
+	var out []string
+	for _, p := range rdt.Protocols() {
+		out = append(out, p.String())
+	}
+	return out
+}
+
+// replicate runs the configuration over consecutive seeds and reports the
+// sampling distribution of the overhead ratio.
+func replicate(out io.Writer, cfg rdt.SimConfig, env string, seeds int) error {
+	var rs, fpm stats.Sample
+	for k := 0; k < seeds; k++ {
+		w, err := rdt.WorkloadByName(env)
+		if err != nil {
+			return err
+		}
+		run := cfg
+		run.Seed = cfg.Seed + int64(k)
+		res, err := rdt.Simulate(run, w)
+		if err != nil {
+			return err
+		}
+		rs = append(rs, res.Stats.ForcedPerBasic())
+		fpm = append(fpm, res.Stats.ForcedPerMessage())
+	}
+	fmt.Fprintf(out, "protocol=%v workload=%s n=%d duration=%g seeds=%d..%d\n",
+		cfg.Protocol, env, cfg.N, cfg.Duration, cfg.Seed, cfg.Seed+int64(seeds)-1)
+	fmt.Fprintf(out, "R = forced/basic   %8.4f ± %.4f (95%% CI), min %.4f max %.4f\n",
+		rs.Mean(), rs.CI95(), rs.Min(), rs.Max())
+	fmt.Fprintf(out, "forced/message     %8.4f ± %.4f (95%% CI)\n", fpm.Mean(), fpm.CI95())
+	return nil
+}
+
+// compareAll runs every protocol on the same workload and seed and prints
+// a comparison table.
+func compareAll(out io.Writer, env string, n int, duration, basic float64, seed int64) error {
+	fmt.Fprintf(out, "workload=%s n=%d duration=%g basic=%g seed=%d\n", env, n, duration, basic, seed)
+	fmt.Fprintf(out, "%-8s %9s %9s %9s %9s %10s %6s\n",
+		"protocol", "messages", "basic", "forced", "R=f/b", "piggyback", "RDT")
+	for _, kind := range rdt.Protocols() {
+		w, err := rdt.WorkloadByName(env)
+		if err != nil {
+			return err
+		}
+		cfg := rdt.DefaultSimConfig(kind, seed)
+		cfg.N = n
+		cfg.Duration = duration
+		cfg.BasicMean = basic
+		res, err := rdt.Simulate(cfg, w)
+		if err != nil {
+			return err
+		}
+		report, err := rdt.CheckRDT(res.Pattern, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%-8v %9d %9d %9d %9.3f %10d %6v\n",
+			kind, res.Stats.Messages, res.Stats.Basic, res.Stats.Forced,
+			res.Stats.ForcedPerBasic(), res.WireBytesPerMessage, report.RDT)
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	rdt "github.com/rdt-go/rdt"
+)
+
+func TestRunSimAndWriteTrace(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "out.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-protocol", "bhmr", "-workload", "ring", "-n", "4",
+		"-duration", "60", "-trace", tracePath,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	text := out.String()
+	for _, want := range []string{"protocol=bhmr", "messages", "RDT property", "true", "trace written"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+	p, err := rdt.LoadTraceFile(tracePath)
+	if err != nil {
+		t.Fatalf("trace unreadable: %v", err)
+	}
+	if p.N != 4 {
+		t.Errorf("trace N = %d", p.N)
+	}
+}
+
+func TestRunSimNoCheck(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-check=false", "-duration", "30", "-n", "3"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if strings.Contains(out.String(), "RDT property") {
+		t.Error("check ran although disabled")
+	}
+}
+
+func TestRunSimErrors(t *testing.T) {
+	tests := [][]string{
+		{"-protocol", "bogus"},
+		{"-workload", "bogus"},
+		{"-n", "1"},
+		{"-duration", "0"},
+		{"-nonexistent-flag"},
+	}
+	for _, args := range tests {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunSimTraceWriteFailure(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-duration", "30", "-n", "3", "-trace", filepath.Join(t.TempDir(), "no", "dir", "x.json")}, &out)
+	if err == nil {
+		t.Error("unwritable trace path accepted")
+	}
+	if _, statErr := os.Stat("x.json"); statErr == nil {
+		t.Error("stray trace file created")
+	}
+}
+
+func TestRunSimReplicated(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-seeds", "3", "-duration", "40", "-n", "3", "-workload", "ring"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "seeds=1..3") || !strings.Contains(text, "95% CI") {
+		t.Errorf("replicated output malformed:\n%s", text)
+	}
+}
+
+func TestRunSimCompareAll(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-protocol", "all", "-duration", "40", "-n", "4"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	text := out.String()
+	for _, proto := range []string{"none", "bcs", "bhmr", "fdas", "cas"} {
+		if !strings.Contains(text, proto) {
+			t.Errorf("comparison missing %q:\n%s", proto, text)
+		}
+	}
+}

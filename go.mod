@@ -1,0 +1,3 @@
+module github.com/rdt-go/rdt
+
+go 1.22

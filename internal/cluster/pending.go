@@ -1,0 +1,37 @@
+package cluster
+
+import "sync"
+
+// pending counts outstanding work items (queued operations and in-flight
+// frames) so Quiesce can wait for the cluster to become idle.
+type pending struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	count int
+}
+
+func newPending() *pending {
+	p := &pending{}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+func (p *pending) add(delta int) {
+	p.mu.Lock()
+	p.count += delta
+	if p.count <= 0 {
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+}
+
+func (p *pending) done() { p.add(-1) }
+
+// wait blocks until the count reaches zero.
+func (p *pending) wait() {
+	p.mu.Lock()
+	for p.count > 0 {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"github.com/rdt-go/rdt/internal/model"
+	"github.com/rdt-go/rdt/internal/vclock"
+)
+
+// base carries the state every protocol maintains: the transitive
+// dependency vector, the sent_to array, and interval accounting.
+type base struct {
+	kind Kind
+	proc int
+	n    int
+	sink Sink
+
+	tdv    vclock.Vec
+	sentTo vclock.Bools
+
+	// events counts the send and delivery events of the current interval.
+	events int
+	forced int
+	basic  int
+
+	// sn is the checkpoint sequence number of the BCS protocol: bumped on
+	// basic checkpoints, adopted from the piggyback on forced ones.
+	sn int
+}
+
+func newBase(kind Kind, proc, n int, sink Sink) base {
+	return base{
+		kind:   kind,
+		proc:   proc,
+		n:      n,
+		sink:   sink,
+		tdv:    vclock.NewVec(n),
+		sentTo: vclock.NewBools(n),
+	}
+}
+
+func (b *base) Kind() Kind           { return b.kind }
+func (b *base) Proc() int            { return b.proc }
+func (b *base) TDV() vclock.Vec      { return b.tdv.Clone() }
+func (b *base) CurrentInterval() int { return b.tdv[b.proc] }
+func (b *base) Forced() int          { return b.forced }
+func (b *base) Basic() int           { return b.basic }
+
+// afterFirstSend reports whether a send occurred in the current interval
+// (Wang's after_first_send flag, derivable from sent_to).
+func (b *base) afterFirstSend() bool { return b.sentTo.Any() }
+
+// record performs the protocol-independent part of take_checkpoint: it
+// resets sent_to, announces the checkpoint (whose index is the current
+// interval index) with a copy of the dependency vector, and advances
+// TDV[proc] to the new interval.
+func (b *base) record(kind model.CheckpointKind) {
+	b.sentTo.Reset()
+	b.events = 0
+	switch kind {
+	case model.KindForced:
+		b.forced++
+	case model.KindBasic:
+		b.basic++
+	}
+	if b.sink != nil {
+		b.sink(CheckpointRecord{
+			Proc:  b.proc,
+			Index: b.tdv[b.proc],
+			Kind:  kind,
+			TDV:   b.tdv.Clone(),
+		})
+	}
+	b.tdv[b.proc]++
+}
+
+// newDependency reports whether the piggybacked vector carries a dependency
+// the local vector does not know yet (∃k: m.TDV[k] > TDV[k]).
+func (b *base) newDependency(pb Piggyback) bool {
+	for k := range b.tdv {
+		if pb.TDV[k] > b.tdv[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// vector is the instance type for all protocols whose per-process state is
+// just the base: the uncoordinated baseline and the index/flag protocols
+// None, FDAS, FDI, NRAS, CBR, CAS. Their only difference is the visible
+// condition evaluated on arrival (and, for CAS, the checkpoint-after-send
+// rule).
+type vector struct {
+	base
+}
+
+var _ Instance = (*vector)(nil)
+
+func newVector(kind Kind, proc, n int, sink Sink) *vector {
+	v := &vector{base: newBase(kind, proc, n, sink)}
+	v.record(model.KindInitial)
+	return v
+}
+
+func (v *vector) TakeBasicCheckpoint() {
+	v.sn++
+	v.record(model.KindBasic)
+}
+
+func (v *vector) OnSend(to int) (Piggyback, bool) {
+	v.sentTo[to] = true
+	v.events++
+	pb := Piggyback{TDV: v.tdv.Clone()}
+	if v.kind == KindBCS {
+		pb.SN = v.sn
+	}
+	return pb, v.kind == KindCAS
+}
+
+func (v *vector) CheckpointAfterSend() { v.record(model.KindForced) }
+
+func (v *vector) OnArrival(_ int, pb Piggyback) bool {
+	forced := v.condition(pb)
+	if forced {
+		if v.kind == KindBCS {
+			// Adopt the sender's sequence number: the forced checkpoint
+			// joins the consistent cut of that number.
+			v.sn = pb.SN
+		}
+		v.record(model.KindForced)
+	}
+	v.tdv.MaxInto(pb.TDV)
+	v.events++
+	return forced
+}
+
+// condition evaluates the protocol's visible condition for a message about
+// to be delivered.
+func (v *vector) condition(pb Piggyback) bool {
+	switch v.kind {
+	case KindBCS:
+		return pb.SN > v.sn
+	case KindFDAS:
+		return v.afterFirstSend() && v.newDependency(pb)
+	case KindFDI:
+		return v.events > 0 && v.newDependency(pb)
+	case KindNRAS:
+		return v.afterFirstSend()
+	case KindCBR:
+		return v.events > 0
+	default: // KindNone, KindCAS
+		return false
+	}
+}
+
+func (v *vector) WireSize() int {
+	switch v.kind {
+	case KindBCS:
+		return 4 // the checkpoint sequence number
+	case KindFDAS, KindFDI:
+		return 4 * v.n // the dependency vector
+	default: // None, NRAS, CBR, CAS need no piggybacked control information
+		return 0
+	}
+}

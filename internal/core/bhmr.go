@@ -1,0 +1,192 @@
+package core
+
+import (
+	"github.com/rdt-go/rdt/internal/model"
+	"github.com/rdt-go/rdt/internal/vclock"
+)
+
+// bhmr implements the paper's protocol (Figure 6) and its two variants
+// (Section 5.1). The per-process state extends the base with:
+//
+//   - simple[j]  — true when, to this process's knowledge, every causal
+//     message chain from C_{j,TDV[j]} to the current state is simple, i.e.
+//     crosses no intermediate checkpoint (full protocol only);
+//   - causal[k][l] — true when, to this process's knowledge, there is an
+//     on-line trackable R-path from C_{k,TDV[k]} to C_{l,TDV[l]}.
+//
+// The visible condition forcing a checkpoint before delivering m is
+// C1 ∨ C2 (full), C1 ∨ C2' (variant A, no simple array), or C1 alone with
+// a permanently-false causal diagonal (variant B).
+type bhmr struct {
+	base
+
+	simple vclock.Bools   // nil for variants A and B
+	causal *vclock.Matrix // diagonal permanently false for variant B
+}
+
+var _ Instance = (*bhmr)(nil)
+
+func newBHMR(kind Kind, proc, n int, sink Sink) *bhmr {
+	b := &bhmr{base: newBase(kind, proc, n, sink)}
+	if kind == KindBHMRCausalOnly {
+		b.causal = vclock.NewMatrix(n) // all false, including the diagonal
+	} else {
+		b.causal = vclock.IdentityMatrix(n)
+	}
+	if kind == KindBHMR {
+		b.simple = vclock.NewBools(n)
+		b.simple[proc] = true // permanently true
+	}
+	b.takeCheckpoint(model.KindInitial)
+	return b
+}
+
+// takeCheckpoint is the procedure of Figure 6: reset sent_to, reset the
+// simple entries of the other processes and this process's causal row,
+// record the checkpoint with the current TDV, and open the next interval.
+func (b *bhmr) takeCheckpoint(kind model.CheckpointKind) {
+	if b.simple != nil {
+		for j := range b.simple {
+			if j != b.proc {
+				b.simple[j] = false
+			}
+		}
+	}
+	keep := b.proc
+	if b.kind == KindBHMRCausalOnly {
+		keep = -1 // variant B also keeps the diagonal entry false
+	}
+	b.causal.ClearRowExcept(b.proc, keep)
+	b.record(kind)
+}
+
+func (b *bhmr) TakeBasicCheckpoint() { b.takeCheckpoint(model.KindBasic) }
+
+func (b *bhmr) OnSend(to int) (Piggyback, bool) {
+	b.sentTo[to] = true
+	b.events++
+	pb := Piggyback{TDV: b.tdv.Clone(), Causal: b.causal.Clone()}
+	if b.simple != nil {
+		pb.Simple = b.simple.Clone()
+	}
+	return pb, false
+}
+
+func (b *bhmr) CheckpointAfterSend() { b.takeCheckpoint(model.KindForced) }
+
+func (b *bhmr) OnArrival(from int, pb Piggyback) bool {
+	forced := b.condition(pb)
+	if forced {
+		b.takeCheckpoint(model.KindForced)
+	}
+	b.merge(from, pb)
+	b.events++
+	return forced
+}
+
+// condition evaluates the variant's visible condition on the pre-delivery
+// state.
+func (b *bhmr) condition(pb Piggyback) bool {
+	switch b.kind {
+	case KindBHMR:
+		return b.c1(pb) || b.c2(pb)
+	case KindBHMRNoSimple:
+		return b.c1(pb) || b.c2prime(pb)
+	default: // KindBHMRCausalOnly
+		return b.c1(pb)
+	}
+}
+
+// c1 is predicate C1: to this process's knowledge there is a breakable
+// non-causal message chain, formed by m followed by a message already sent
+// in the current interval, that has no causal sibling:
+//
+//	∃j: sent_to[j] ∧ ∃k: (m.TDV[k] > TDV[k] ∧ ¬m.causal[k][j])
+func (b *bhmr) c1(pb Piggyback) bool {
+	for j := range b.sentTo {
+		if !b.sentTo[j] {
+			continue
+		}
+		for k := range b.tdv {
+			if pb.TDV[k] > b.tdv[k] && !pb.Causal.At(k, j) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// c2 is predicate C2: m closes a causal message chain issued from the
+// current interval (m.TDV[i] = TDV[i]) that crossed a checkpoint
+// (¬m.simple[i]) — breaking it here is the only way to prevent a
+// non-causal chain from some C_{k,z} back to C_{k,z-1}.
+func (b *bhmr) c2(pb Piggyback) bool {
+	return pb.TDV[b.proc] == b.tdv[b.proc] && !pb.Simple[b.proc]
+}
+
+// c2prime is variant A's replacement for C2: m closes a causal chain
+// issued from the current interval and brings any new dependency.
+func (b *bhmr) c2prime(pb Piggyback) bool {
+	return pb.TDV[b.proc] == b.tdv[b.proc] && b.newDependency(pb)
+}
+
+// merge applies the control-variable update of Figure 6 after the
+// (possibly forced) checkpoint and before the delivery.
+func (b *bhmr) merge(from int, pb Piggyback) {
+	for k := range b.tdv {
+		switch {
+		case pb.TDV[k] > b.tdv[k]:
+			b.tdv[k] = pb.TDV[k]
+			if b.simple != nil {
+				b.simple[k] = pb.Simple[k]
+			}
+			b.causal.CopyRow(k, pb.Causal)
+		case pb.TDV[k] == b.tdv[k]:
+			if b.simple != nil {
+				b.simple[k] = b.simple[k] && pb.Simple[k]
+			}
+			b.causal.OrRow(k, pb.Causal)
+		}
+	}
+	b.causal.Set(from, b.proc, true)
+	b.causal.OrColInto(b.proc, from)
+	if b.kind == KindBHMRCausalOnly {
+		b.causal.ClearDiagonal()
+	}
+}
+
+func (b *bhmr) WireSize() int {
+	bits := func(n int) int { return (n + 7) / 8 }
+	size := 4*b.n + bits(b.n*b.n) // TDV + causal matrix
+	if b.kind == KindBHMR {
+		size += bits(b.n) // simple array
+	}
+	return size
+}
+
+// Predicates exposes every visible condition of the protocol hierarchy,
+// evaluated on this instance's current state for a message carrying pb.
+// It exists so tests can verify the published implications pointwise
+// (C1 ∨ C2 ⇒ C_FDAS ⇒ C_FDI and C_FDAS ⇒ C_NRAS ⇒ C_CBR).
+type Predicates struct {
+	C1, C2, C2Prime        bool
+	FDAS, FDI, NRAS, CBR   bool
+	NewDependency, Closing bool
+}
+
+// Evaluate computes all predicates on the instance's pre-delivery state.
+// It requires pb to carry the full BHMR piggyback and must be called
+// before OnArrival for the same message.
+func (b *bhmr) Evaluate(pb Piggyback) Predicates {
+	return Predicates{
+		C1:            b.c1(pb),
+		C2:            b.simple != nil && b.c2(pb),
+		C2Prime:       b.c2prime(pb),
+		FDAS:          b.afterFirstSend() && b.newDependency(pb),
+		FDI:           b.events > 0 && b.newDependency(pb),
+		NRAS:          b.afterFirstSend(),
+		CBR:           b.events > 0,
+		NewDependency: b.newDependency(pb),
+		Closing:       pb.TDV[b.proc] == b.tdv[b.proc],
+	}
+}

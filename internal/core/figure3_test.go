@@ -1,0 +1,206 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/rdt-go/rdt/internal/model"
+	"github.com/rdt-go/rdt/internal/rgraph"
+)
+
+// harness couples protocol instances with a pattern builder, replicating
+// what the simulator and the runtime do, so unit tests can drive exact
+// interleavings and then hand the recorded pattern to the offline oracle.
+type harness struct {
+	t       *testing.T
+	n       int
+	builder *model.Builder
+	insts   []Instance
+}
+
+type sentMsg struct {
+	handle int
+	from   int
+	pb     Piggyback
+}
+
+func newHarness(t *testing.T, kind Kind, n int) *harness {
+	t.Helper()
+	h := &harness{t: t, n: n, builder: model.NewBuilder(n)}
+	for i := 0; i < n; i++ {
+		i := i
+		inst, err := New(kind, i, n, func(rec CheckpointRecord) {
+			if rec.Kind == model.KindInitial {
+				return
+			}
+			h.builder.Checkpoint(model.ProcID(rec.Proc), rec.Kind, rec.TDV)
+		})
+		if err != nil {
+			t.Fatalf("new instance %d: %v", i, err)
+		}
+		h.insts = append(h.insts, inst)
+	}
+	return h
+}
+
+// send performs the send event of from -> to and returns the in-flight
+// message.
+func (h *harness) send(from, to int) sentMsg {
+	h.t.Helper()
+	pb, forceAfter := h.insts[from].OnSend(to)
+	handle := h.builder.Send(model.ProcID(from), model.ProcID(to))
+	if forceAfter {
+		h.insts[from].CheckpointAfterSend()
+	}
+	return sentMsg{handle: handle, from: from, pb: pb}
+}
+
+// deliver performs the arrival and delivery of m at process to, reporting
+// whether the protocol forced a checkpoint.
+func (h *harness) deliver(m sentMsg, to int) bool {
+	h.t.Helper()
+	forced := h.insts[to].OnArrival(m.from, m.pb.Clone())
+	if err := h.builder.Deliver(m.handle); err != nil {
+		h.t.Fatalf("deliver: %v", err)
+	}
+	return forced
+}
+
+func (h *harness) checkpoint(proc int) { h.insts[proc].TakeBasicCheckpoint() }
+
+func (h *harness) pattern() *model.Pattern {
+	h.t.Helper()
+	p, err := h.builder.Finalize()
+	if err != nil {
+		h.t.Fatalf("finalize: %v", err)
+	}
+	return p
+}
+
+// figure3Drive replays the situation of Figure 3 of the paper on a live
+// protocol. Processes: P_k=0, P_l=1, P_i=2, P_j=3.
+//
+// P_i sends m' (here m3) to P_j and later receives m from P_l, so every
+// dependency m carries could start a non-causal chain [m m'] towards P_j.
+// The drive arranges for *all* of those dependencies — on P_k, on P_l
+// itself, and on P_j — to have causal siblings reaching P_j, and for the
+// sibling knowledge to have travelled to P_l (through P_j's message m2,
+// the σ” of the figure) before P_l sends m. The paper's protocol sees
+// m.causal[·][j] true for every new dependency and must NOT force; FDAS
+// sees only "new dependency after a send" and must.
+func figure3Drive(h *harness) (forcedAtL, forcedAtI bool) {
+	const (
+		pk = 0
+		pl = 1
+		pi = 2
+		pj = 3
+	)
+	// m' of the figure: P_i -> P_j, making sent_to_i[j] true. Delivered
+	// right away (the chain [m m'] exists regardless of the real-time
+	// order of its hops — that is what makes it a zigzag).
+	m3 := h.send(pi, pj)
+	h.deliver(m3, pj)
+	// P_l -> P_j: gives P_l's current interval a causal path to P_j
+	// (recorded by P_j as causal[l][j] = true).
+	mx := h.send(pl, pj)
+	h.deliver(mx, pj)
+	// σ' of the figure: P_k -> P_j; P_j records causal[k][j] = true.
+	m1 := h.send(pk, pj)
+	h.deliver(m1, pj)
+	// σ'' of the figure: P_j -> P_l. Under the paper's protocol P_l is not
+	// forced: its only send (mx) targets P_j and every new dependency in
+	// m2 is covered by m2.causal[·][j]. The merge hands P_l the full
+	// sibling knowledge. (FDAS is forced already here.)
+	m2 := h.send(pj, pl)
+	forcedAtL = h.deliver(m2, pl)
+	// m of the figure: P_l -> P_i.
+	m := h.send(pl, pi)
+	forcedAtI = h.deliver(m, pi)
+	return forcedAtL, forcedAtI
+}
+
+func TestFigure3SiblingKnowledgeSuppressesForcedCheckpoint(t *testing.T) {
+	h := newHarness(t, KindBHMR, 4)
+	forcedAtL, forcedAtI := figure3Drive(h)
+	if forcedAtL {
+		t.Fatal("P_l forced on σ'' although every chain towards P_j is visibly doubled")
+	}
+	if forcedAtI {
+		t.Fatal("BHMR forced although the non-causal chain is causally doubled and the doubling is visible")
+	}
+	// Let the oracle confirm no hidden dependency was created: the pattern
+	// must satisfy RDT without any forced checkpoint.
+	p := h.pattern()
+	rep, err := rgraph.CheckRDT(p, 4)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if !rep.RDT {
+		t.Fatalf("skipping the checkpoint broke RDT: %v", rep.Violations)
+	}
+	if err := rgraph.VerifyRecordedTDVs(p); err != nil {
+		t.Fatalf("TDVs: %v", err)
+	}
+	if got := p.Stats().Forced; got != 0 {
+		t.Errorf("forced checkpoints = %d, want 0", got)
+	}
+}
+
+func TestFigure3FDASForcesWhereBHMRNeedNot(t *testing.T) {
+	h := newHarness(t, KindFDAS, 4)
+	forcedAtL, forcedAtI := figure3Drive(h)
+	if !forcedAtI {
+		t.Fatal("FDAS did not force at P_i — the suppression comparison is vacuous")
+	}
+	if !forcedAtL {
+		t.Fatal("FDAS did not force at P_l either; expected both")
+	}
+	p := h.pattern()
+	rep, err := rgraph.CheckRDT(p, 4)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if !rep.RDT {
+		t.Fatalf("FDAS run not RDT: %v", rep.Violations)
+	}
+	if got := p.Stats().Forced; got != 2 {
+		t.Errorf("forced checkpoints = %d, want 2", got)
+	}
+}
+
+// TestHarnessMatchesOracleOnScriptedRuns drives a few scripted
+// interleavings through every protocol and cross-checks the recorded
+// vectors — a deterministic complement to the randomized soundness suite.
+func TestHarnessMatchesOracleOnScriptedRuns(t *testing.T) {
+	for _, kind := range Kinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			h := newHarness(t, kind, 3)
+			ma := h.send(0, 1)
+			mb := h.send(1, 2)
+			h.deliver(mb, 2)
+			h.checkpoint(2)
+			mc := h.send(2, 0)
+			h.deliver(ma, 1)
+			h.deliver(mc, 0)
+			h.checkpoint(0)
+			md := h.send(0, 2)
+			h.deliver(md, 2)
+			p := h.pattern()
+			if err := rgraph.VerifyRecordedTDVs(p); err != nil {
+				t.Fatalf("TDVs: %v", err)
+			}
+			// Only the RDT protocols promise trackability; this very
+			// interleaving is one where BCS (Z-cycle freedom only) leaves
+			// untrackable R-paths behind.
+			if kind == KindNone || kind == KindBCS {
+				return
+			}
+			rep, err := rgraph.CheckRDT(p, 4)
+			if err != nil {
+				t.Fatalf("check: %v", err)
+			}
+			if !rep.RDT {
+				t.Fatalf("scripted run violated RDT: %v", rep.Violations)
+			}
+		})
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/rdt-go/rdt/internal/vclock"
+)
+
+// mkPB builds a full BHMR piggyback for crafting merge scenarios.
+func mkPB(tdv []int, simple []bool, set ...[2]int) Piggyback {
+	n := len(tdv)
+	m := vclock.IdentityMatrix(n)
+	for _, rc := range set {
+		m.Set(rc[0], rc[1], true)
+	}
+	return Piggyback{TDV: vclock.Vec(tdv), Simple: vclock.Bools(simple), Causal: m}
+}
+
+// TestMergeOverwritesOnGreaterIndex: a piggyback carrying a strictly newer
+// interval of P_k must replace row k of the causal matrix and the simple
+// entry, not accumulate into them (the knowledge concerns a *different*
+// checkpoint interval).
+func TestMergeOverwritesOnGreaterIndex(t *testing.T) {
+	inst, _ := newInst(t, KindBHMR, 0, 3)
+	bh := inst.(*bhmr)
+
+	// Seed stale knowledge about P_1's interval 0... first install interval 1
+	// knowledge with causal[1][2] set.
+	pb1 := mkPB([]int{0, 1, 0}, []bool{false, true, false}, [2]int{1, 2})
+	bh.OnArrival(1, pb1)
+	if !bh.causal.At(1, 2) || bh.tdv[1] != 1 {
+		t.Fatalf("setup failed: tdv=%v causal=\n%v", bh.tdv, bh.causal)
+	}
+
+	// Now interval 2 of P_1 arrives without that path: row must be replaced.
+	pb2 := mkPB([]int{0, 2, 0}, []bool{false, false, false})
+	bh.OnArrival(1, pb2)
+	if bh.tdv[1] != 2 {
+		t.Errorf("tdv[1] = %d, want 2", bh.tdv[1])
+	}
+	if bh.causal.At(1, 2) {
+		t.Error("stale causal[1][2] survived a newer interval")
+	}
+	if bh.simple[1] {
+		t.Error("stale simple[1] survived a newer interval")
+	}
+}
+
+// TestMergeAccumulatesOnEqualIndex: knowledge about the *same* interval is
+// additive for the causal matrix (OR) and conjunctive for simple (AND).
+func TestMergeAccumulatesOnEqualIndex(t *testing.T) {
+	inst, _ := newInst(t, KindBHMR, 0, 4)
+	bh := inst.(*bhmr)
+
+	// Two messages reporting on the same interval 1 of P_1, with different
+	// causal paths known.
+	pbA := mkPB([]int{0, 1, 0, 0}, []bool{false, true, false, false}, [2]int{1, 2})
+	pbB := mkPB([]int{0, 1, 0, 0}, []bool{false, false, false, false}, [2]int{1, 3})
+	bh.OnArrival(1, pbA)
+	bh.OnArrival(1, pbB)
+	if !bh.causal.At(1, 2) || !bh.causal.At(1, 3) {
+		t.Errorf("equal-interval knowledge not accumulated:\n%v", bh.causal)
+	}
+	if bh.simple[1] {
+		t.Error("simple[1] should be false: one report said non-simple")
+	}
+}
+
+// TestMergeSetsSenderColumnTransitively: after a delivery from P_s, every
+// process l with a known path to P_s gains a path to the receiver
+// (causal[l][i] |= causal[l][s]).
+func TestMergeSetsSenderColumnTransitively(t *testing.T) {
+	inst, _ := newInst(t, KindBHMR, 2, 4)
+	bh := inst.(*bhmr)
+
+	// The piggyback says: C_{0,1} has a trackable path to C_{1,1} (row 0,
+	// column 1 true) and the sender is P_1.
+	pb := mkPB([]int{1, 1, 0, 0}, []bool{true, true, false, false}, [2]int{0, 1})
+	bh.OnArrival(1, pb)
+	if !bh.causal.At(1, 2) {
+		t.Error("causal[sender][receiver] not set")
+	}
+	if !bh.causal.At(0, 2) {
+		t.Error("transitive closure through the sender column missing: P_0 -> P_1 -> P_2")
+	}
+}
+
+// TestMergeIgnoresOlderIndexes: a piggyback about an older interval leaves
+// local knowledge untouched.
+func TestMergeIgnoresOlderIndexes(t *testing.T) {
+	inst, _ := newInst(t, KindBHMR, 0, 3)
+	bh := inst.(*bhmr)
+	bh.OnArrival(1, mkPB([]int{0, 2, 0}, []bool{false, true, false}, [2]int{1, 2}))
+	if !bh.causal.At(1, 2) {
+		t.Fatal("setup failed")
+	}
+	// Old news about interval 1 cannot clear interval-2 knowledge.
+	bh.OnArrival(1, mkPB([]int{0, 1, 0}, []bool{false, false, false}))
+	if bh.tdv[1] != 2 || !bh.causal.At(1, 2) {
+		t.Errorf("older piggyback corrupted state: tdv=%v", bh.tdv)
+	}
+}
+
+// TestTakeCheckpointResetsOwnRowOnly: a local checkpoint resets the
+// process's own causal row (except the diagonal) and the simple entries,
+// but keeps knowledge about other processes' intervals.
+func TestTakeCheckpointResetsOwnRowOnly(t *testing.T) {
+	inst, _ := newInst(t, KindBHMR, 0, 3)
+	bh := inst.(*bhmr)
+	bh.OnArrival(1, mkPB([]int{0, 1, 0}, []bool{false, true, false}, [2]int{1, 2}, [2]int{0, 1}))
+	// The merge copied row 1 and set causal[1][0]=true, closure col 0.
+	inst.TakeBasicCheckpoint()
+	if !bh.causal.At(0, 0) {
+		t.Error("diagonal cleared by checkpoint")
+	}
+	for c := 1; c < 3; c++ {
+		if bh.causal.At(0, c) {
+			t.Errorf("own row entry (0,%d) survived checkpoint", c)
+		}
+	}
+	if !bh.causal.At(1, 2) {
+		t.Error("knowledge about P_1 wrongly cleared by local checkpoint")
+	}
+	if bh.simple[1] {
+		t.Error("simple[1] survived checkpoint")
+	}
+	if !bh.simple[0] {
+		t.Error("simple[self] must stay true")
+	}
+}

@@ -1,0 +1,478 @@
+// Package experiments regenerates the evaluation of the paper: the
+// forced-checkpoint overhead figures for the three communication
+// environments (random, overlapping groups, client/server), the headline
+// reduction-vs-FDAS table, the piggyback-size comparison of Section 5.2,
+// and the extension experiments (domino effect, protocol ablation,
+// minimum-consistent-global-checkpoint agreement). Both the
+// cmd/rdtexperiments CLI and the repository's benchmarks drive this
+// package, so figures in EXPERIMENTS.md and benchmark output come from
+// the same code.
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/rdt-go/rdt/internal/core"
+	"github.com/rdt-go/rdt/internal/model"
+	"github.com/rdt-go/rdt/internal/recovery"
+	"github.com/rdt-go/rdt/internal/rgraph"
+	"github.com/rdt-go/rdt/internal/sim"
+	"github.com/rdt-go/rdt/internal/stats"
+	"github.com/rdt-go/rdt/internal/storage"
+	"github.com/rdt-go/rdt/internal/workload"
+)
+
+// Config scales an experiment run.
+type Config struct {
+	// N is the number of processes.
+	N int
+	// Duration is the simulated horizon per run.
+	Duration float64
+	// Seeds is the number of replications averaged per data point.
+	Seeds int
+	// BasicMeans is the swept x-axis: mean interval between basic
+	// checkpoints, in units of the mean message gap.
+	BasicMeans []float64
+	// Protocols are the lines of the figures.
+	Protocols []core.Kind
+}
+
+// Default returns the paper-scale configuration used by the CLI.
+func Default() Config {
+	return Config{
+		N:          8,
+		Duration:   1500,
+		Seeds:      5,
+		BasicMeans: []float64{2, 4, 8, 16, 32},
+		Protocols: []core.Kind{
+			core.KindBHMR, core.KindBHMRNoSimple, core.KindBHMRCausalOnly,
+			core.KindFDAS, core.KindFDI, core.KindNRAS, core.KindCBR, core.KindCAS,
+		},
+	}
+}
+
+// Quick returns a reduced configuration for tests and benchmarks.
+func Quick() Config {
+	return Config{
+		N:          6,
+		Duration:   250,
+		Seeds:      3,
+		BasicMeans: []float64{4, 12},
+		Protocols: []core.Kind{
+			core.KindBHMR, core.KindBHMRNoSimple, core.KindBHMRCausalOnly,
+			core.KindFDAS, core.KindNRAS, core.KindCAS,
+		},
+	}
+}
+
+// Environments lists the evaluation's communication environments, in the
+// paper's order.
+func Environments() []string { return []string{"random", "groups", "client-server"} }
+
+// runOne executes one simulation of the experiment grid.
+func runOne(cfg Config, kind core.Kind, env string, basicMean float64, seed int64) (*sim.Result, error) {
+	w, err := workload.ByName(env)
+	if err != nil {
+		return nil, err
+	}
+	sc := sim.DefaultConfig(kind, seed)
+	sc.N = cfg.N
+	sc.Duration = cfg.Duration
+	sc.BasicMean = basicMean
+	return sim.Run(sc, w)
+}
+
+// ratioR averages the paper's overhead measure R = forced/basic over the
+// configured seeds.
+func ratioR(cfg Config, kind core.Kind, env string, basicMean float64) (float64, error) {
+	var sample stats.Sample
+	for seed := 0; seed < cfg.Seeds; seed++ {
+		res, err := runOne(cfg, kind, env, basicMean, int64(1000*seed+7))
+		if err != nil {
+			return 0, err
+		}
+		sample = append(sample, res.Stats.ForcedPerBasic())
+	}
+	return sample.Mean(), nil
+}
+
+// FigureR reproduces one "R in <environment>" figure (Figures 7–9 of the
+// companion text): forced checkpoints per basic checkpoint as a function
+// of the basic-checkpoint interval, one line per protocol.
+func FigureR(cfg Config, env string) (*stats.Series, error) {
+	s := stats.NewSeries(
+		fmt.Sprintf("R = forced/basic in the %s environment (n=%d, %d seeds)", env, cfg.N, cfg.Seeds),
+		"basic-interval", "R")
+	s.X = append(s.X, cfg.BasicMeans...)
+	for _, mean := range cfg.BasicMeans {
+		for _, kind := range cfg.Protocols {
+			r, err := ratioR(cfg, kind, env, mean)
+			if err != nil {
+				return nil, fmt.Errorf("figure %s: %w", env, err)
+			}
+			s.Add(kind.String(), r)
+		}
+	}
+	return s, nil
+}
+
+// ReductionVsFDAS reproduces the headline claim: the percentage of forced
+// checkpoints the paper's protocol (and its variants) save with respect to
+// FDAS, per environment. The paper reports the reduction is never below
+// 10%.
+func ReductionVsFDAS(cfg Config) (*stats.Table, error) {
+	variants := []core.Kind{core.KindBHMR, core.KindBHMRNoSimple, core.KindBHMRCausalOnly}
+	t := &stats.Table{
+		Title:  fmt.Sprintf("Forced-checkpoint reduction vs FDAS (%%), n=%d, %d seeds", cfg.N, cfg.Seeds),
+		Header: append([]string{"environment", "fdas R"}, kindNames(variants)...),
+	}
+	mid := cfg.BasicMeans[len(cfg.BasicMeans)/2]
+	for _, env := range Environments() {
+		fdas, err := ratioR(cfg, core.KindFDAS, env, mid)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{env, stats.Format(fdas)}
+		for _, kind := range variants {
+			r, err := ratioR(cfg, kind, env, mid)
+			if err != nil {
+				return nil, err
+			}
+			reduction := 0.0
+			if fdas > 0 {
+				reduction = 100 * (fdas - r) / fdas
+			}
+			row = append(row, stats.Format(reduction))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// PiggybackSizes reproduces the control-information cost discussion of
+// Section 5.2: bytes piggybacked per message by each protocol, as the
+// system grows.
+func PiggybackSizes(ns []int) (*stats.Table, error) {
+	kinds := []core.Kind{
+		core.KindCBR, core.KindFDAS, core.KindBHMRCausalOnly, core.KindBHMR,
+	}
+	t := &stats.Table{
+		Title:  "Piggybacked control information (bytes/message)",
+		Header: append([]string{"n"}, kindNames(kinds)...),
+	}
+	for _, n := range ns {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, kind := range kinds {
+			inst, err := core.New(kind, 0, n, nil)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%d", inst.WireSize()))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Domino quantifies the motivation experiment: total checkpoint intervals
+// lost when process 0 crashes at the end of the run, with and without
+// communication-induced checkpointing.
+func Domino(cfg Config) (*stats.Table, error) {
+	kinds := []core.Kind{core.KindNone, core.KindBHMR, core.KindFDAS}
+	t := &stats.Table{
+		Title:  fmt.Sprintf("Total rollback depth after a crash of P0 (n=%d, %d seeds)", cfg.N, cfg.Seeds),
+		Header: append([]string{"environment"}, kindNames(kinds)...),
+	}
+	mid := cfg.BasicMeans[len(cfg.BasicMeans)/2]
+	for _, env := range Environments() {
+		row := []string{env}
+		for _, kind := range kinds {
+			var sample stats.Sample
+			for seed := 0; seed < cfg.Seeds; seed++ {
+				res, err := runOne(cfg, kind, env, mid, int64(500*seed+3))
+				if err != nil {
+					return nil, err
+				}
+				plan, err := crashPlan(res.Pattern)
+				if err != nil {
+					return nil, err
+				}
+				sample = append(sample, float64(plan.TotalRollback()))
+			}
+			row = append(row, stats.Format(sample.Mean()))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Ablation compares the three members of the BHMR family, isolating the
+// value of the simple vector (full vs variant A) and of the causal
+// diagonal (variant A vs variant B), reported as forced checkpoints per
+// message.
+func Ablation(cfg Config) (*stats.Table, error) {
+	kinds := []core.Kind{core.KindBHMR, core.KindBHMRNoSimple, core.KindBHMRCausalOnly}
+	t := &stats.Table{
+		Title:  fmt.Sprintf("BHMR family ablation: forced checkpoints per message (n=%d, %d seeds)", cfg.N, cfg.Seeds),
+		Header: append([]string{"environment"}, kindNames(kinds)...),
+	}
+	mid := cfg.BasicMeans[len(cfg.BasicMeans)/2]
+	for _, env := range Environments() {
+		row := []string{env}
+		for _, kind := range kinds {
+			var sample stats.Sample
+			for seed := 0; seed < cfg.Seeds; seed++ {
+				res, err := runOne(cfg, kind, env, mid, int64(300*seed+11))
+				if err != nil {
+					return nil, err
+				}
+				sample = append(sample, res.Stats.ForcedPerMessage())
+			}
+			row = append(row, stats.Format(sample.Mean()))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// MinGlobalAgreement verifies Corollary 4.5 on fresh runs and reports the
+// number of checkpoints whose on-the-fly annotation matches the
+// brute-force minimum consistent global checkpoint (it must be all of
+// them).
+func MinGlobalAgreement(cfg Config) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:  "Corollary 4.5: on-the-fly TDV vs brute-force minimum consistent global checkpoint",
+		Header: []string{"environment", "checkpoints", "agreeing"},
+	}
+	mid := cfg.BasicMeans[len(cfg.BasicMeans)/2]
+	for _, env := range Environments() {
+		res, err := runOne(cfg, core.KindBHMR, env, mid, 77)
+		if err != nil {
+			return nil, err
+		}
+		total, agree, err := MinGlobalCheck(res.Pattern)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(env, fmt.Sprintf("%d", total), fmt.Sprintf("%d", agree))
+	}
+	return t, nil
+}
+
+// MinGlobalCheck counts the annotated checkpoints of a pattern and how
+// many have a dependency vector equal to the brute-force minimum
+// consistent global checkpoint containing them.
+func MinGlobalCheck(p *model.Pattern) (total, agree int, err error) {
+	for i := 0; i < p.N; i++ {
+		for x := range p.Checkpoints[i] {
+			ck := &p.Checkpoints[i][x]
+			if ck.TDV == nil {
+				continue
+			}
+			total++
+			min, err := rgraph.MinConsistentContaining(p, ck.ID())
+			if err != nil {
+				return total, agree, err
+			}
+			if min.Equal(model.GlobalCheckpoint(ck.TDV)) {
+				agree++
+			}
+		}
+	}
+	return total, agree, nil
+}
+
+// crashPlan builds a recovery manager over the pattern's checkpoints and
+// computes the recovery plan for a crash of process 0.
+func crashPlan(p *model.Pattern) (*recovery.Plan, error) {
+	store := storage.NewMemory()
+	for i := 0; i < p.N; i++ {
+		for x := range p.Checkpoints[i] {
+			ck := &p.Checkpoints[i][x]
+			tdv := ck.TDV
+			if tdv == nil {
+				if ck.Kind == model.KindFinal {
+					continue
+				}
+				tdv = make([]int, p.N)
+			}
+			if err := store.Put(storage.Checkpoint{Proc: i, Index: x, Kind: ck.Kind, TDV: tdv}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	mgr, err := recovery.NewManager(store, p.N)
+	if err != nil {
+		return nil, err
+	}
+	return mgr.AfterCrash(0)
+}
+
+func kindNames(kinds []core.Kind) []string {
+	out := make([]string, len(kinds))
+	for i, k := range kinds {
+		out[i] = k.String()
+	}
+	return out
+}
+
+// DelaySensitivity is an extension experiment: channel asynchrony
+// ablation. It measures how sensitive the forced-checkpoint ratio is to
+// the transmission-delay spread (wider spreads reorder messages more),
+// reporting R for the paper's protocol and FDAS in the random environment
+// as the maximum delay grows (the mean send gap is 1).
+func DelaySensitivity(cfg Config) (*stats.Series, error) {
+	delays := []float64{0.2, 1, 3, 8}
+	kinds := []core.Kind{core.KindBHMR, core.KindFDAS}
+	s := stats.NewSeries(
+		fmt.Sprintf("Asynchrony ablation: R vs max channel delay (random, n=%d, %d seeds)", cfg.N, cfg.Seeds),
+		"max-delay", "R")
+	s.X = append(s.X, delays...)
+	mid := cfg.BasicMeans[len(cfg.BasicMeans)/2]
+	for _, d := range delays {
+		for _, kind := range kinds {
+			var sample stats.Sample
+			for seed := 0; seed < cfg.Seeds; seed++ {
+				w, err := workload.ByName("random")
+				if err != nil {
+					return nil, err
+				}
+				sc := sim.DefaultConfig(kind, int64(900*seed+13))
+				sc.N = cfg.N
+				sc.Duration = cfg.Duration
+				sc.BasicMean = mid
+				sc.DelayMin = 0.05
+				sc.DelayMax = d
+				res, err := sim.Run(sc, w)
+				if err != nil {
+					return nil, err
+				}
+				sample = append(sample, res.Stats.ForcedPerBasic())
+			}
+			s.Add(kind.String(), sample.Mean())
+		}
+	}
+	return s, nil
+}
+
+// conditionEvaluator is implemented by the full BHMR instance.
+type conditionEvaluator interface {
+	Evaluate(core.Piggyback) core.Predicates
+}
+
+// ConditionAttribution is an extension experiment quantifying the paper's
+// centerpiece: of the arrivals where the protocol forces a checkpoint, how
+// many are due to C1 (a breakable non-causal chain without a visible
+// sibling), how many to C2 (a non-simple causal chain closing on its own
+// interval) — and how many arrivals FDAS would have broken although
+// C1 ∨ C2 proves no checkpoint is needed (the "saved" column).
+func ConditionAttribution(cfg Config) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:  fmt.Sprintf("BHMR condition attribution per arrival (n=%d, %d seeds)", cfg.N, cfg.Seeds),
+		Header: []string{"environment", "arrivals", "c1", "c2", "c2-only", "saved-vs-fdas"},
+	}
+	mid := cfg.BasicMeans[len(cfg.BasicMeans)/2]
+	for _, env := range Environments() {
+		var arrivals, c1, c2, c2Only, saved int
+		for seed := 0; seed < cfg.Seeds; seed++ {
+			w, err := workload.ByName(env)
+			if err != nil {
+				return nil, err
+			}
+			sc := sim.DefaultConfig(core.KindBHMR, int64(700*seed+29))
+			sc.N = cfg.N
+			sc.Duration = cfg.Duration
+			sc.BasicMean = mid
+			sc.Monitor = func(inst core.Instance, _ int, pb core.Piggyback) {
+				ev, ok := inst.(conditionEvaluator)
+				if !ok {
+					return
+				}
+				pred := ev.Evaluate(pb)
+				arrivals++
+				if pred.C1 {
+					c1++
+				}
+				if pred.C2 {
+					c2++
+				}
+				if pred.C2 && !pred.C1 {
+					c2Only++
+				}
+				if pred.FDAS && !pred.C1 && !pred.C2 {
+					saved++
+				}
+			}
+			if _, err := sim.Run(sc, w); err != nil {
+				return nil, err
+			}
+		}
+		t.AddRow(env,
+			fmt.Sprintf("%d", arrivals), fmt.Sprintf("%d", c1), fmt.Sprintf("%d", c2),
+			fmt.Sprintf("%d", c2Only), fmt.Sprintf("%d", saved))
+	}
+	return t, nil
+}
+
+// Guarantees is an extension experiment summarizing the guarantee
+// spectrum on identical workloads: forced checkpoints per message, whether
+// the run satisfies RDT, and how many checkpoints are useless (belong to
+// no consistent global checkpoint), for the uncoordinated baseline, the
+// index-based BCS protocol (Z-cycle freedom only), the paper's protocol
+// and FDAS. It runs on a reduced horizon because the useless-checkpoint
+// oracle needs the O(M²) chain closure.
+func Guarantees(cfg Config) (*stats.Table, error) {
+	kinds := []core.Kind{core.KindNone, core.KindBCS, core.KindBHMR, core.KindFDAS}
+	t := &stats.Table{
+		Title:  fmt.Sprintf("Guarantee spectrum in the random environment (n=%d)", cfg.N),
+		Header: []string{"protocol", "forced/msg", "rdt", "trackable-%", "useless-ckpts", "guarantee"},
+	}
+	guarantee := map[core.Kind]string{
+		core.KindNone: "none",
+		core.KindBCS:  "no useless checkpoints",
+		core.KindBHMR: "RDT",
+		core.KindFDAS: "RDT",
+	}
+	mid := cfg.BasicMeans[len(cfg.BasicMeans)/2]
+	small := cfg
+	small.Duration = cfg.Duration / 5
+	for _, kind := range kinds {
+		var (
+			forced    stats.Sample
+			rdtOK     = true
+			useless   int
+			trackable stats.Sample
+		)
+		for seed := 0; seed < cfg.Seeds; seed++ {
+			res, err := runOne(small, kind, "random", mid, int64(800*seed+17))
+			if err != nil {
+				return nil, err
+			}
+			forced = append(forced, res.Stats.ForcedPerMessage())
+			rep, err := rgraph.CheckRDT(res.Pattern, 1)
+			if err != nil {
+				return nil, err
+			}
+			rdtOK = rdtOK && rep.RDT
+			if rep.RPathPairs > 0 {
+				trackable = append(trackable, 100*float64(rep.TrackablePairs)/float64(rep.RPathPairs))
+			}
+			chains, err := rgraph.NewChains(res.Pattern)
+			if err != nil {
+				return nil, err
+			}
+			p := res.Pattern
+			for i := 0; i < p.N; i++ {
+				for x := range p.Checkpoints[i] {
+					if chains.Useless(model.CkptID{Proc: model.ProcID(i), Index: x}) {
+						useless++
+					}
+				}
+			}
+		}
+		t.AddRow(kind.String(), stats.Format(forced.Mean()),
+			fmt.Sprintf("%v", rdtOK), stats.Format(trackable.Mean()),
+			fmt.Sprintf("%d", useless), guarantee[kind])
+	}
+	return t, nil
+}

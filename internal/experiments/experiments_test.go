@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/rdt-go/rdt/internal/core"
+)
+
+func tiny() Config {
+	return Config{
+		N:          4,
+		Duration:   60,
+		Seeds:      2,
+		BasicMeans: []float64{4, 10},
+		Protocols:  []core.Kind{core.KindBHMR, core.KindFDAS},
+	}
+}
+
+func TestFigureRProducesAllLines(t *testing.T) {
+	cfg := tiny()
+	for _, env := range Environments() {
+		t.Run(env, func(t *testing.T) {
+			s, err := FigureR(cfg, env)
+			if err != nil {
+				t.Fatalf("figure: %v", err)
+			}
+			if len(s.X) != len(cfg.BasicMeans) {
+				t.Errorf("x axis = %v", s.X)
+			}
+			for _, kind := range cfg.Protocols {
+				ys, ok := s.Lines[kind.String()]
+				if !ok || len(ys) != len(cfg.BasicMeans) {
+					t.Errorf("line %v incomplete: %v", kind, ys)
+				}
+				for _, y := range ys {
+					if y < 0 {
+						t.Errorf("negative R for %v: %v", kind, y)
+					}
+				}
+			}
+			if !strings.Contains(s.Table().Render(), env) {
+				t.Error("table misses the environment name")
+			}
+		})
+	}
+}
+
+func TestFigureRRejectsUnknownEnvironment(t *testing.T) {
+	if _, err := FigureR(tiny(), "mars"); err == nil {
+		t.Error("unknown environment accepted")
+	}
+}
+
+func TestReductionVsFDAS(t *testing.T) {
+	tab, err := ReductionVsFDAS(tiny())
+	if err != nil {
+		t.Fatalf("reduction: %v", err)
+	}
+	if len(tab.Rows) != len(Environments()) {
+		t.Errorf("rows = %d", len(tab.Rows))
+	}
+	out := tab.Render()
+	if !strings.Contains(out, "bhmr") || !strings.Contains(out, "random") {
+		t.Errorf("table malformed:\n%s", out)
+	}
+}
+
+func TestPiggybackSizesGrowWithN(t *testing.T) {
+	tab, err := PiggybackSizes([]int{4, 16})
+	if err != nil {
+		t.Fatalf("piggyback: %v", err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// The BHMR column (last) must grow superlinearly (matrix) while the
+	// CBR column (second) stays zero.
+	if tab.Rows[0][1] != "0" || tab.Rows[1][1] != "0" {
+		t.Errorf("CBR column should be zero: %v", tab.Rows)
+	}
+	if tab.Rows[0][4] >= tab.Rows[1][4] && len(tab.Rows[0][4]) >= len(tab.Rows[1][4]) {
+		t.Errorf("BHMR bytes did not grow: %v", tab.Rows)
+	}
+}
+
+func TestDominoShowsCoordinationValue(t *testing.T) {
+	cfg := tiny()
+	cfg.Seeds = 3
+	cfg.Duration = 100
+	tab, err := Domino(cfg)
+	if err != nil {
+		t.Fatalf("domino: %v", err)
+	}
+	if len(tab.Rows) != len(Environments()) {
+		t.Errorf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestAblation(t *testing.T) {
+	tab, err := Ablation(tiny())
+	if err != nil {
+		t.Fatalf("ablation: %v", err)
+	}
+	if len(tab.Rows) != len(Environments()) || len(tab.Header) != 4 {
+		t.Errorf("table shape wrong: %+v", tab)
+	}
+}
+
+func TestMinGlobalAgreementIsTotal(t *testing.T) {
+	tab, err := MinGlobalAgreement(tiny())
+	if err != nil {
+		t.Fatalf("agreement: %v", err)
+	}
+	for _, row := range tab.Rows {
+		if row[1] != row[2] {
+			t.Errorf("environment %s: %s checkpoints but only %s agree", row[0], row[1], row[2])
+		}
+		if row[1] == "0" {
+			t.Errorf("environment %s checked no checkpoints", row[0])
+		}
+	}
+}
+
+func TestDefaultAndQuickConfigs(t *testing.T) {
+	d, q := Default(), Quick()
+	if d.N < q.N || d.Duration <= q.Duration || d.Seeds < q.Seeds {
+		t.Error("default config should dominate quick config")
+	}
+	if len(d.Protocols) < len(q.Protocols) {
+		t.Error("default config drops protocols")
+	}
+}
+
+func TestDelaySensitivity(t *testing.T) {
+	s, err := DelaySensitivity(tiny())
+	if err != nil {
+		t.Fatalf("delay sensitivity: %v", err)
+	}
+	for _, kind := range []core.Kind{core.KindBHMR, core.KindFDAS} {
+		ys := s.Lines[kind.String()]
+		if len(ys) != len(s.X) {
+			t.Fatalf("line %v incomplete: %v", kind, ys)
+		}
+	}
+	// BHMR never exceeds FDAS at any delay.
+	for i := range s.X {
+		if s.Lines["bhmr"][i] > s.Lines["fdas"][i]+1e-9 {
+			t.Errorf("delay %v: bhmr %v > fdas %v", s.X[i], s.Lines["bhmr"][i], s.Lines["fdas"][i])
+		}
+	}
+}
+
+func TestConditionAttribution(t *testing.T) {
+	tab, err := ConditionAttribution(tiny())
+	if err != nil {
+		t.Fatalf("attribution: %v", err)
+	}
+	if len(tab.Rows) != len(Environments()) {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[1] == "0" {
+			t.Errorf("environment %s saw no arrivals", row[0])
+		}
+	}
+}
+
+func TestGuarantees(t *testing.T) {
+	tab, err := Guarantees(tiny())
+	if err != nil {
+		t.Fatalf("guarantees: %v", err)
+	}
+	byProto := make(map[string][]string, len(tab.Rows))
+	for _, row := range tab.Rows {
+		byProto[row[0]] = row
+	}
+	if byProto["bhmr"][2] != "true" || byProto["fdas"][2] != "true" {
+		t.Errorf("RDT protocols misreported: %v", tab.Rows)
+	}
+	if byProto["bhmr"][3] != "100" || byProto["fdas"][3] != "100" {
+		t.Errorf("RDT protocols should be 100%% trackable: %v", tab.Rows)
+	}
+	if byProto["bcs"][4] != "0" || byProto["bhmr"][4] != "0" {
+		t.Errorf("useless checkpoints under ZCF/RDT protocols: %v", tab.Rows)
+	}
+}

@@ -1,0 +1,108 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ASCII renders the pattern as a space-time diagram: one lane per process,
+// one column per event, in a causally consistent global order. Checkpoints
+// appear as [x] (their index), sends as sNN and deliveries as dNN (NN the
+// message id), idle positions as dashes:
+//
+//	P0 [0]─s0──────[1]─
+//	P1 [0]─────d0──────
+//
+// The rendering is meant for debugging small traces (tests, examples, the
+// rdtcheck CLI); width grows linearly with the number of events.
+func (p *Pattern) ASCII() string {
+	type ev struct {
+		proc ProcID
+		seq  int
+		text string
+		msg  int // message id for sends; -1 otherwise
+	}
+	var evs []ev
+	for i := range p.Checkpoints {
+		for x := range p.Checkpoints[i] {
+			ck := &p.Checkpoints[i][x]
+			evs = append(evs, ev{proc: ck.Proc, seq: ck.Seq, text: fmt.Sprintf("[%d]", x), msg: -1})
+		}
+	}
+	for i := range p.Messages {
+		m := &p.Messages[i]
+		evs = append(evs, ev{proc: m.From, seq: m.SendSeq, text: fmt.Sprintf("s%d", m.ID), msg: m.ID})
+		evs = append(evs, ev{proc: m.To, seq: m.DeliverSeq, text: fmt.Sprintf("d%d", m.ID), msg: -1})
+	}
+
+	// Assign columns in a causally consistent order: per-process order by
+	// seq, deliveries only after their send. Repeatedly emit the runnable
+	// prefix of each process.
+	perProc := make([][]ev, p.N)
+	for _, e := range evs {
+		perProc[e.proc] = append(perProc[e.proc], e)
+	}
+	for i := range perProc {
+		lane := perProc[i]
+		sort.Slice(lane, func(a, b int) bool { return lane[a].seq < lane[b].seq })
+	}
+	var (
+		pos      = make([]int, p.N)
+		sent     = make(map[int]bool, len(p.Messages))
+		sendOf   = make(map[int]int, len(p.Messages)) // message id -> sender
+		column   = make(map[[2]int]int)               // (proc, seq) -> column
+		colWidth []int
+		col      int
+	)
+	for i := range p.Messages {
+		sendOf[p.Messages[i].ID] = int(p.Messages[i].From)
+	}
+	remaining := len(evs)
+	for remaining > 0 {
+		progressed := false
+		for i := 0; i < p.N; i++ {
+			for pos[i] < len(perProc[i]) {
+				e := perProc[i][pos[i]]
+				if strings.HasPrefix(e.text, "d") {
+					var id int
+					fmt.Sscanf(e.text, "d%d", &id)
+					if !sent[id] {
+						break
+					}
+				}
+				if e.msg >= 0 {
+					sent[e.msg] = true
+				}
+				column[[2]int{i, e.seq}] = col
+				colWidth = append(colWidth, len(e.text))
+				col++
+				pos[i]++
+				remaining--
+				progressed = true
+			}
+		}
+		if !progressed {
+			return "(pattern admits no causally consistent order)"
+		}
+	}
+
+	var b strings.Builder
+	for i := 0; i < p.N; i++ {
+		fmt.Fprintf(&b, "P%-2d ", i)
+		next := 0
+		for c := 0; c < col; c++ {
+			cell := strings.Repeat("-", colWidth[c]+1)
+			if next < len(perProc[i]) {
+				e := perProc[i][next]
+				if column[[2]int{i, e.seq}] == c {
+					cell = e.text + "-"
+					next++
+				}
+			}
+			b.WriteString(cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

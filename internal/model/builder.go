@@ -1,0 +1,161 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder incrementally constructs a Pattern from a stream of per-process
+// events (checkpoints, sends, deliveries). Builders are used directly in
+// tests, by the discrete-event simulator and — behind a mutex — by the
+// concurrent runtime.
+//
+// The builder enforces the sequential-process model: events of one process
+// are totally ordered by the order of the builder calls naming that process.
+// Events of different processes may be interleaved arbitrarily.
+type Builder struct {
+	n      int
+	seq    []int // next local event-sequence number per process
+	ckpts  [][]Checkpoint
+	msgs   []Message
+	sent   map[int]*pendingSend
+	nextID int
+}
+
+type pendingSend struct {
+	from         ProcID
+	to           ProcID
+	sendInterval int
+	sendSeq      int
+}
+
+// NewBuilder returns a builder for n processes. Each process starts with an
+// initial checkpoint C_{i,0} (Kind KindInitial), matching the model
+// assumption of the paper.
+func NewBuilder(n int) *Builder {
+	b := &Builder{
+		n:     n,
+		seq:   make([]int, n),
+		ckpts: make([][]Checkpoint, n),
+		sent:  make(map[int]*pendingSend),
+	}
+	for i := 0; i < n; i++ {
+		b.ckpts[i] = []Checkpoint{{
+			Proc: ProcID(i),
+			Kind: KindInitial,
+			Seq:  b.nextSeq(ProcID(i)),
+		}}
+	}
+	return b
+}
+
+// N returns the number of processes.
+func (b *Builder) N() int { return b.n }
+
+// NextIndex returns the index the next checkpoint of process i will get;
+// equivalently the index of the current checkpoint interval I_{i,x}.
+func (b *Builder) NextIndex(i ProcID) int { return len(b.ckpts[i]) }
+
+// EventsSinceCheckpoint reports how many events (sends and deliveries)
+// process i executed in its current checkpoint interval.
+func (b *Builder) EventsSinceCheckpoint(i ProcID) int {
+	last := b.ckpts[i][len(b.ckpts[i])-1]
+	return b.seq[i] - last.Seq - 1
+}
+
+// Checkpoint records a local checkpoint of process i with the given kind and
+// optional transitive dependency vector (tdv may be nil; it is copied).
+// It returns the identifier of the new checkpoint.
+func (b *Builder) Checkpoint(i ProcID, kind CheckpointKind, tdv []int) CkptID {
+	var tdvCopy []int
+	if tdv != nil {
+		tdvCopy = make([]int, len(tdv))
+		copy(tdvCopy, tdv)
+	}
+	ck := Checkpoint{
+		Proc:  i,
+		Index: len(b.ckpts[i]),
+		Seq:   b.nextSeq(i),
+		Kind:  kind,
+		TDV:   tdvCopy,
+	}
+	b.ckpts[i] = append(b.ckpts[i], ck)
+	return ck.ID()
+}
+
+// Send records that process from sent a message to process to, in from's
+// current checkpoint interval. It returns an opaque message handle that must
+// later be passed to Deliver exactly once.
+func (b *Builder) Send(from, to ProcID) int {
+	id := b.nextID
+	b.nextID++
+	b.sent[id] = &pendingSend{
+		from:         from,
+		to:           to,
+		sendInterval: b.NextIndex(from),
+		sendSeq:      b.nextSeq(from),
+	}
+	return id
+}
+
+// Deliver records the delivery, in the destination's current checkpoint
+// interval, of the message previously created by Send.
+func (b *Builder) Deliver(msg int) error {
+	ps, ok := b.sent[msg]
+	if !ok {
+		return fmt.Errorf("deliver: unknown or already delivered message handle %d", msg)
+	}
+	delete(b.sent, msg)
+	b.msgs = append(b.msgs, Message{
+		ID:              msg,
+		From:            ps.from,
+		To:              ps.to,
+		SendInterval:    ps.sendInterval,
+		SendSeq:         ps.sendSeq,
+		DeliverInterval: b.NextIndex(ps.to),
+		DeliverSeq:      b.nextSeq(ps.to),
+	})
+	return nil
+}
+
+// InFlight returns the number of sent but not yet delivered messages.
+func (b *Builder) InFlight() int { return len(b.sent) }
+
+// Finalize closes the pattern: every process whose current interval contains
+// at least one event receives a final checkpoint (Kind KindFinal), so that
+// every event belongs to a closed interval, as the model assumes. Messages
+// still in flight make Finalize fail — channels are reliable, so a finite
+// run must deliver everything it sent.
+func (b *Builder) Finalize() (*Pattern, error) {
+	if len(b.sent) > 0 {
+		return nil, fmt.Errorf("finalize: %d messages still in flight", len(b.sent))
+	}
+	for i := 0; i < b.n; i++ {
+		if b.EventsSinceCheckpoint(ProcID(i)) > 0 {
+			b.Checkpoint(ProcID(i), KindFinal, nil)
+		}
+	}
+	msgs := make([]Message, len(b.msgs))
+	copy(msgs, b.msgs)
+	sort.Slice(msgs, func(a, c int) bool { return msgs[a].ID < msgs[c].ID })
+	ckpts := make([][]Checkpoint, b.n)
+	for i := range b.ckpts {
+		ckpts[i] = make([]Checkpoint, len(b.ckpts[i]))
+		copy(ckpts[i], b.ckpts[i])
+	}
+	p := &Pattern{N: b.n, Checkpoints: ckpts, Messages: msgs}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("finalize: %w", err)
+	}
+	return p, nil
+}
+
+func (b *Builder) nextSeq(i ProcID) int {
+	s := b.seq[i]
+	b.seq[i]++
+	return s
+}
+
+// NextMessageID returns the number of Send calls so far (message IDs are
+// assigned sequentially from zero).
+func (b *Builder) NextMessageID() int { return b.nextID }

@@ -1,0 +1,46 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the pattern as a Graphviz digraph: one horizontal rank per
+// process, checkpoints as boxes, messages as arrows between the intervals
+// that contain their endpoints. Useful for debugging traces and for the
+// documentation examples.
+func (p *Pattern) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph pattern {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n")
+	for i, cs := range p.Checkpoints {
+		fmt.Fprintf(&b, "  subgraph cluster_p%d {\n    label=\"P%d\";\n", i, i)
+		for x := range cs {
+			fmt.Fprintf(&b, "    c%d_%d [label=\"C(%d,%d)\\n%s\"];\n", i, x, i, x, cs[x].Kind)
+		}
+		for x := 1; x < len(cs); x++ {
+			fmt.Fprintf(&b, "    c%d_%d -> c%d_%d [style=dotted];\n", i, x-1, i, x)
+		}
+		b.WriteString("  }\n")
+	}
+	msgs := make([]Message, len(p.Messages))
+	copy(msgs, p.Messages)
+	sort.Slice(msgs, func(a, c int) bool { return msgs[a].ID < msgs[c].ID })
+	for i := range msgs {
+		m := &msgs[i]
+		// Draw from the checkpoint that ends the send interval to the
+		// checkpoint that ends the delivery interval — the R-graph edge.
+		fmt.Fprintf(&b, "  c%d_%d -> c%d_%d [label=\"m%d\", color=blue];\n",
+			m.From, p.clampIndex(m.From, m.SendInterval), m.To, p.clampIndex(m.To, m.DeliverInterval), m.ID)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func (p *Pattern) clampIndex(i ProcID, x int) int {
+	last := p.LastIndex(i)
+	if x > last {
+		return last
+	}
+	return x
+}

@@ -1,0 +1,51 @@
+package model
+
+import "fmt"
+
+// Prefix returns the sub-pattern "as of" the global checkpoint g: the
+// checkpoints up to and including g[i] for every process, and the messages
+// both sent and delivered before the cut. Messages in transit at the cut
+// (sent before, delivered after) are dropped — rolling back empties the
+// channels; orphan messages make the prefix ill-defined, so g must be
+// consistent. The result is what a recovered system's history looks like
+// after rolling back to g.
+func (p *Pattern) Prefix(g GlobalCheckpoint) (*Pattern, error) {
+	orphanFree := true
+	if len(g) != p.N {
+		return nil, fmt.Errorf("prefix: cut has %d entries, want %d", len(g), p.N)
+	}
+	for i, x := range g {
+		if x < 0 || x > p.LastIndex(ProcID(i)) {
+			return nil, fmt.Errorf("prefix: entry %d = %d out of range [0,%d]", i, x, p.LastIndex(ProcID(i)))
+		}
+	}
+	out := &Pattern{N: p.N, Checkpoints: make([][]Checkpoint, p.N)}
+	for i := 0; i < p.N; i++ {
+		cs := make([]Checkpoint, g[i]+1)
+		copy(cs, p.Checkpoints[i][:g[i]+1])
+		for x := range cs {
+			if cs[x].TDV != nil {
+				cs[x].TDV = append([]int(nil), cs[x].TDV...)
+			}
+		}
+		out.Checkpoints[i] = cs
+	}
+	for i := range p.Messages {
+		m := p.Messages[i]
+		sentBefore := m.SendInterval <= g[m.From]
+		deliveredBefore := m.DeliverInterval <= g[m.To]
+		switch {
+		case sentBefore && deliveredBefore:
+			out.Messages = append(out.Messages, m)
+		case !sentBefore && deliveredBefore:
+			orphanFree = false
+		}
+	}
+	if !orphanFree {
+		return nil, fmt.Errorf("prefix: cut %v is not consistent (orphan message)", g)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("prefix: %w", err)
+	}
+	return out, nil
+}

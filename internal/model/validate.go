@@ -1,0 +1,121 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrInvalidPattern is wrapped by every validation failure so callers can
+// match the whole class with errors.Is.
+var ErrInvalidPattern = errors.New("invalid pattern")
+
+// Validate checks the structural well-formedness of the pattern:
+//
+//   - at least one process, every process has an initial checkpoint at
+//     index 0 and contiguous indexes;
+//   - local event sequence numbers are strictly increasing along each
+//     process timeline (checkpoints and message endpoints interleaved);
+//   - every message endpoint names an existing process, a send interval of
+//     at least 1, and interval annotations consistent with the event
+//     sequence numbers: an event with sequence s in interval x must satisfy
+//     Seq(C_{i,x-1}) < s and, if C_{i,x} exists, s < Seq(C_{i,x});
+//   - message IDs are unique.
+func (p *Pattern) Validate() error {
+	if p.N <= 0 {
+		return fmt.Errorf("%w: no processes", ErrInvalidPattern)
+	}
+	if len(p.Checkpoints) != p.N {
+		return fmt.Errorf("%w: %d checkpoint rows for %d processes", ErrInvalidPattern, len(p.Checkpoints), p.N)
+	}
+	for i, cs := range p.Checkpoints {
+		if len(cs) == 0 {
+			return fmt.Errorf("%w: process %d has no checkpoints", ErrInvalidPattern, i)
+		}
+		for x := range cs {
+			ck := &cs[x]
+			if int(ck.Proc) != i {
+				return fmt.Errorf("%w: checkpoint %v stored under process %d", ErrInvalidPattern, ck.ID(), i)
+			}
+			if ck.Index != x {
+				return fmt.Errorf("%w: process %d checkpoint %d has index %d", ErrInvalidPattern, i, x, ck.Index)
+			}
+			if x > 0 && ck.Seq <= cs[x-1].Seq {
+				return fmt.Errorf("%w: process %d checkpoints %d,%d have non-increasing seq", ErrInvalidPattern, i, x-1, x)
+			}
+			if ck.TDV != nil && len(ck.TDV) != p.N {
+				return fmt.Errorf("%w: checkpoint %v TDV has length %d, want %d", ErrInvalidPattern, ck.ID(), len(ck.TDV), p.N)
+			}
+		}
+		if cs[0].Kind != KindInitial {
+			return fmt.Errorf("%w: process %d first checkpoint has kind %v", ErrInvalidPattern, i, cs[0].Kind)
+		}
+	}
+
+	seen := make(map[int]bool, len(p.Messages))
+	type endpoint struct {
+		proc     ProcID
+		seq      int
+		interval int
+		what     string
+		id       int
+	}
+	var eps []endpoint
+	for i := range p.Messages {
+		m := &p.Messages[i]
+		if seen[m.ID] {
+			return fmt.Errorf("%w: duplicate message id %d", ErrInvalidPattern, m.ID)
+		}
+		seen[m.ID] = true
+		if err := p.checkProc(m.From); err != nil {
+			return fmt.Errorf("message %d from: %w", m.ID, err)
+		}
+		if err := p.checkProc(m.To); err != nil {
+			return fmt.Errorf("message %d to: %w", m.ID, err)
+		}
+		eps = append(eps,
+			endpoint{proc: m.From, seq: m.SendSeq, interval: m.SendInterval, what: "send", id: m.ID},
+			endpoint{proc: m.To, seq: m.DeliverSeq, interval: m.DeliverInterval, what: "delivery", id: m.ID},
+		)
+	}
+
+	for _, ep := range eps {
+		cs := p.Checkpoints[ep.proc]
+		if ep.interval < 1 {
+			return fmt.Errorf("%w: %s of message %d has interval %d < 1", ErrInvalidPattern, ep.what, ep.id, ep.interval)
+		}
+		if ep.interval > len(cs) {
+			return fmt.Errorf("%w: %s of message %d in interval %d but process %d has only %d checkpoints",
+				ErrInvalidPattern, ep.what, ep.id, ep.interval, ep.proc, len(cs))
+		}
+		if ep.seq <= cs[ep.interval-1].Seq {
+			return fmt.Errorf("%w: %s of message %d (seq %d) not after C{%d,%d} (seq %d)",
+				ErrInvalidPattern, ep.what, ep.id, ep.seq, ep.proc, ep.interval-1, cs[ep.interval-1].Seq)
+		}
+		if ep.interval < len(cs) && ep.seq >= cs[ep.interval].Seq {
+			return fmt.Errorf("%w: %s of message %d (seq %d) not before C{%d,%d} (seq %d)",
+				ErrInvalidPattern, ep.what, ep.id, ep.seq, ep.proc, ep.interval, cs[ep.interval].Seq)
+		}
+	}
+
+	// Sequence numbers must be unique per process across all event types.
+	sort.Slice(eps, func(a, b int) bool {
+		if eps[a].proc != eps[b].proc {
+			return eps[a].proc < eps[b].proc
+		}
+		return eps[a].seq < eps[b].seq
+	})
+	for i := 1; i < len(eps); i++ {
+		if eps[i].proc == eps[i-1].proc && eps[i].seq == eps[i-1].seq {
+			return fmt.Errorf("%w: process %d has two events with seq %d", ErrInvalidPattern, eps[i].proc, eps[i].seq)
+		}
+	}
+	return nil
+}
+
+func (p *Pattern) checkProc(i ProcID) error {
+	if i < 0 || int(i) >= p.N {
+		return fmt.Errorf("%w: process %d out of range [0,%d)", ErrInvalidPattern, i, p.N)
+	}
+	return nil
+}

@@ -1,0 +1,284 @@
+package recovery
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/rdt-go/rdt/internal/core"
+	"github.com/rdt-go/rdt/internal/model"
+	"github.com/rdt-go/rdt/internal/rgraph"
+	"github.com/rdt-go/rdt/internal/sim"
+	"github.com/rdt-go/rdt/internal/storage"
+	"github.com/rdt-go/rdt/internal/workload"
+)
+
+// storeFromPattern loads every checkpoint of a recorded pattern into a
+// store, substituting the all-zero vector for unannotated (initial/final)
+// checkpoints, as the runtime does.
+func storeFromPattern(t *testing.T, p *model.Pattern) storage.Store {
+	t.Helper()
+	s := storage.NewMemory()
+	for i := 0; i < p.N; i++ {
+		for x := range p.Checkpoints[i] {
+			ck := &p.Checkpoints[i][x]
+			tdv := ck.TDV
+			if tdv == nil {
+				if ck.Kind == model.KindFinal {
+					// Final checkpoints close intervals for analysis only;
+					// recovery works with the protocol-recorded ones.
+					continue
+				}
+				tdv = make([]int, p.N)
+			}
+			if err := s.Put(storage.Checkpoint{Proc: i, Index: x, Kind: ck.Kind, TDV: tdv}); err != nil {
+				t.Fatalf("put: %v", err)
+			}
+		}
+	}
+	return s
+}
+
+func simulate(t *testing.T, kind core.Kind, seed int64) *model.Pattern {
+	t.Helper()
+	cfg := sim.DefaultConfig(kind, seed)
+	cfg.N = 5
+	cfg.Duration = 100
+	res, err := sim.Run(cfg, &workload.Random{MeanGap: 1})
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	return res.Pattern
+}
+
+func manager(t *testing.T, p *model.Pattern) *Manager {
+	t.Helper()
+	m, err := NewManager(storeFromPattern(t, p), p.N)
+	if err != nil {
+		t.Fatalf("manager: %v", err)
+	}
+	return m
+}
+
+func TestNewManagerValidation(t *testing.T) {
+	if _, err := NewManager(nil, 3); err == nil {
+		t.Error("nil store accepted")
+	}
+	if _, err := NewManager(storage.NewMemory(), 0); err == nil {
+		t.Error("zero processes accepted")
+	}
+}
+
+// TestLineMatchesTraceOracle is the cross-validation at the heart of the
+// recovery design: the TDV-only recovery line must equal the line computed
+// from the full message trace, for RDT and non-RDT runs alike (orphan
+// detection needs only causal chains, which dependency vectors capture).
+func TestLineMatchesTraceOracle(t *testing.T) {
+	for _, kind := range []core.Kind{core.KindBHMR, core.KindFDAS, core.KindNone} {
+		t.Run(kind.String(), func(t *testing.T) {
+			p := simulate(t, kind, 13)
+			m := manager(t, p)
+			bounds, err := m.Latest()
+			if err != nil {
+				t.Fatalf("latest: %v", err)
+			}
+			plan, err := m.LineFrom(bounds)
+			if err != nil {
+				t.Fatalf("line: %v", err)
+			}
+			oracle, err := rgraph.RecoveryLine(p, bounds)
+			if err != nil {
+				t.Fatalf("oracle: %v", err)
+			}
+			if !plan.Line.Equal(oracle) {
+				t.Errorf("TDV line %v != trace line %v", plan.Line, oracle)
+			}
+			ok, err := rgraph.IsConsistent(p, plan.Line)
+			if err != nil || !ok {
+				t.Errorf("line %v not consistent: %v %v", plan.Line, ok, err)
+			}
+		})
+	}
+}
+
+func TestRDTRunsRollBackToLatestCheckpoints(t *testing.T) {
+	// Under an RDT protocol no checkpoint is useless, and the latest
+	// stored checkpoints always dominate a consistent cut not far below;
+	// crucially, the crashed process itself never rolls below its own
+	// last checkpoint.
+	p := simulate(t, core.KindBHMR, 7)
+	m := manager(t, p)
+	plan, err := m.AfterCrash(2)
+	if err != nil {
+		t.Fatalf("after crash: %v", err)
+	}
+	for i, d := range plan.Depth {
+		if d < 0 {
+			t.Errorf("process %d has negative rollback depth", i)
+		}
+	}
+	ok, err := rgraph.IsConsistent(p, plan.Line)
+	if err != nil || !ok {
+		t.Errorf("line not consistent: %v %v", ok, err)
+	}
+}
+
+func TestDominoEffectIsWorseWithoutCoordination(t *testing.T) {
+	// Average total rollback over seeds: uncoordinated checkpointing must
+	// lose strictly more intervals than the paper's protocol.
+	total := func(kind core.Kind) int {
+		sum := 0
+		for seed := int64(1); seed <= 5; seed++ {
+			p := simulate(t, kind, seed)
+			m := manager(t, p)
+			plan, err := m.AfterCrash(0)
+			if err != nil {
+				t.Fatalf("%v seed %d: %v", kind, seed, err)
+			}
+			sum += plan.TotalRollback()
+		}
+		return sum
+	}
+	bhmr := total(core.KindBHMR)
+	none := total(core.KindNone)
+	if none <= bhmr {
+		t.Errorf("uncoordinated rollback %d not worse than BHMR %d", none, bhmr)
+	}
+}
+
+func TestRestoreAndGC(t *testing.T) {
+	p := simulate(t, core.KindBHMR, 19)
+	m := manager(t, p)
+	plan, err := m.AfterCrash(1)
+	if err != nil {
+		t.Fatalf("after crash: %v", err)
+	}
+	cps, err := m.Restore(plan.Line)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if len(cps) != p.N {
+		t.Fatalf("restored %d checkpoints, want %d", len(cps), p.N)
+	}
+	for i, cp := range cps {
+		if cp.Proc != i || cp.Index != plan.Line[i] {
+			t.Errorf("restored %+v for line entry %d", cp, plan.Line[i])
+		}
+	}
+	removed, err := m.GC(plan.Line)
+	if err != nil {
+		t.Fatalf("gc: %v", err)
+	}
+	want := 0
+	for i := range plan.Line {
+		want += plan.Line[i] // indexes 0..line-1 are collected
+	}
+	if removed != want {
+		t.Errorf("gc removed %d, want %d", removed, want)
+	}
+	// The line itself must survive GC.
+	if _, err := m.Restore(plan.Line); err != nil {
+		t.Errorf("line lost after GC: %v", err)
+	}
+}
+
+func TestLineFromValidation(t *testing.T) {
+	p := simulate(t, core.KindBHMR, 3)
+	m := manager(t, p)
+	if _, err := m.LineFrom(model.GlobalCheckpoint{0}); err == nil {
+		t.Error("short bounds accepted")
+	}
+	if _, err := m.AfterCrash(99); err == nil {
+		t.Error("out-of-range crash accepted")
+	}
+	if _, err := m.Restore(model.GlobalCheckpoint{0}); err == nil {
+		t.Error("short line accepted by Restore")
+	}
+}
+
+func TestLatestFailsOnEmptyStore(t *testing.T) {
+	m, err := NewManager(storage.NewMemory(), 2)
+	if err != nil {
+		t.Fatalf("manager: %v", err)
+	}
+	if _, err := m.Latest(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Errorf("err = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestLineFromMissingIntermediateCheckpoint(t *testing.T) {
+	s := storage.NewMemory()
+	// P0 depends on P1's interval 2, but P1 only stored index 0 and 2; the
+	// walk down from 2 needs index 1 and must fail cleanly.
+	put := func(proc, index int, tdv []int) {
+		t.Helper()
+		if err := s.Put(storage.Checkpoint{Proc: proc, Index: index, TDV: tdv}); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+	put(0, 0, []int{0, 0})
+	put(0, 1, []int{1, 2}) // depends on P1 interval 2
+	put(1, 0, []int{0, 0})
+	put(1, 2, []int{3, 2}) // depends on P0 interval 3 > bound 1
+	m, err := NewManager(s, 2)
+	if err != nil {
+		t.Fatalf("manager: %v", err)
+	}
+	if _, err := m.LineFrom(model.GlobalCheckpoint{1, 2}); err == nil {
+		t.Error("missing intermediate checkpoint went unnoticed")
+	}
+}
+
+func TestPlanTotalRollback(t *testing.T) {
+	plan := &Plan{Depth: []int{1, 0, 3}}
+	if got := plan.TotalRollback(); got != 4 {
+		t.Errorf("total = %d, want 4", got)
+	}
+}
+
+func TestReplaySet(t *testing.T) {
+	// Build a small pattern with a known in-transit message at cut {1,1}.
+	b := model.NewBuilder(2)
+	m1 := b.Send(0, 1)
+	b.Checkpoint(0, model.KindBasic, []int{1, 0})
+	if err := b.Deliver(m1); err != nil {
+		t.Fatalf("deliver: %v", err)
+	}
+	b.Checkpoint(1, model.KindBasic, []int{1, 1})
+	m2 := b.Send(1, 0) // sent in I_{1,2}... before C_{1,2}? No: after C_{1,1}.
+	if err := b.Deliver(m2); err != nil {
+		t.Fatalf("deliver: %v", err)
+	}
+	b.Checkpoint(1, model.KindBasic, []int{1, 2})
+	p, err := b.Finalize()
+	if err != nil {
+		t.Fatalf("finalize: %v", err)
+	}
+	// At cut {1,2}: m2 was sent in I_{1,2} <= 2 and delivered in I_{0,2} > 1
+	// at P0 -> in transit.
+	payloads := map[int][]byte{m2: []byte("pay")}
+	lookup := func(id int) ([]byte, bool) {
+		d, ok := payloads[id]
+		return d, ok
+	}
+	set, err := ReplaySet(p, model.GlobalCheckpoint{1, 2}, lookup)
+	if err != nil {
+		t.Fatalf("replay set: %v", err)
+	}
+	if len(set) != 1 || set[0].ID != m2 || string(set[0].Payload) != "pay" {
+		t.Errorf("replay set = %+v", set)
+	}
+	// Missing payloads are an error.
+	delete(payloads, m2)
+	if _, err := ReplaySet(p, model.GlobalCheckpoint{1, 2}, lookup); err == nil {
+		t.Error("missing payload went unnoticed")
+	}
+	// Nil payload function is allowed.
+	set, err = ReplaySet(p, model.GlobalCheckpoint{1, 2}, nil)
+	if err != nil || len(set) != 1 {
+		t.Errorf("nil payload fn: %v %v", set, err)
+	}
+	// Bad cut rejected.
+	if _, err := ReplaySet(p, model.GlobalCheckpoint{9, 9}, nil); err == nil {
+		t.Error("bad cut accepted")
+	}
+}

@@ -1,0 +1,36 @@
+package recovery
+
+import (
+	"fmt"
+
+	"github.com/rdt-go/rdt/internal/cluster"
+)
+
+// Resume starts the next incarnation of a computation after a rollback:
+// a fresh cluster (the caller's application must already have reinstalled
+// the state snapshots selected by the recovery line, via Restore) into
+// which the in-transit messages of the previous incarnation are re-sent
+// from the message log.
+//
+// Incarnation semantics follow standard rollback-recovery practice: the
+// new incarnation starts a new checkpoint and communication pattern (its
+// indexes restart at the initial checkpoints) and a fresh protocol state.
+// That is safe — protocol knowledge only ever *reduces* forced
+// checkpoints, never enables a violation — and correct, because the
+// recovery line is consistent: the only channel state crossing the line
+// is the in-transit messages, which are replayed here as the first sends
+// of the new incarnation. The caller should give the new cluster its own
+// checkpoint store (or GC the old one to the line first).
+func Resume(cfg cluster.Config, replay []ReplayMessage) (*cluster.Cluster, error) {
+	c, err := cluster.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("recovery: resume: %w", err)
+	}
+	for _, m := range replay {
+		if err := c.Node(m.From).Send(m.To, m.Payload); err != nil {
+			_, _ = c.Stop()
+			return nil, fmt.Errorf("recovery: replay message %d: %w", m.ID, err)
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,188 @@
+package rgraph
+
+import (
+	"fmt"
+
+	"github.com/rdt-go/rdt/internal/model"
+)
+
+// Chains analyzes message chains (Definition 3.1) of a pattern: sequences
+// of messages [m1 ... mq] where each m_{u+1} is sent by the receiver of m_u
+// in the same or a later checkpoint interval. A chain is causal when every
+// delivery precedes the send of the next message; otherwise it is a zigzag
+// (non-causal) chain — Netzer and Xu's zigzag paths.
+type Chains struct {
+	p *model.Pattern
+	// chainReach/causalReach are reflexive-transitive closures over the
+	// chain-continuation relation between messages.
+	chainReach  []bitset
+	causalReach []bitset
+	msgIndex    map[int]int // message ID -> position in p.Messages
+	// bySender[i] / byReceiver[i] index the messages sent by / delivered
+	// to process i, so endpoint queries touch only relevant messages.
+	bySender   [][]int
+	byReceiver [][]int
+}
+
+// NewChains builds the chain-closure structures. Cost is O(M^2/64) space
+// and O(M * E) time over the message graph, so it is meant for analysis of
+// test- and experiment-sized traces rather than for the hot path.
+func NewChains(p *model.Pattern) (*Chains, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("chains: %w", err)
+	}
+	mcount := len(p.Messages)
+	c := &Chains{
+		p:          p,
+		msgIndex:   make(map[int]int, mcount),
+		bySender:   make([][]int, p.N),
+		byReceiver: make([][]int, p.N),
+	}
+	for i := range p.Messages {
+		m := &p.Messages[i]
+		c.msgIndex[m.ID] = i
+		c.bySender[m.From] = append(c.bySender[m.From], i)
+		c.byReceiver[m.To] = append(c.byReceiver[m.To], i)
+	}
+
+	chainAdj := make([][]int, mcount)
+	causalAdj := make([][]int, mcount)
+	for a := range p.Messages {
+		ma := &p.Messages[a]
+		for b := range p.Messages {
+			mb := &p.Messages[b]
+			if ma.To != mb.From {
+				continue
+			}
+			// Chain condition: deliver(ma) in I_{k,s}, send(mb) in I_{k,t},
+			// s <= t.
+			if ma.DeliverInterval <= mb.SendInterval {
+				chainAdj[a] = append(chainAdj[a], b)
+				// Causal continuation: the delivery event precedes the send
+				// event on the shared process timeline.
+				if ma.DeliverSeq < mb.SendSeq {
+					causalAdj[a] = append(causalAdj[a], b)
+				}
+			}
+		}
+	}
+	c.chainReach = closure(chainAdj, mcount)
+	c.causalReach = closure(causalAdj, mcount)
+	return c, nil
+}
+
+// closure computes reflexive-transitive closure rows of the message graph.
+func closure(adj [][]int, n int) []bitset {
+	rows := make([]bitset, n)
+	// Repeated DFS with memoization via Kahn-like iteration: the message
+	// graph can contain cycles only through... it cannot: a chain edge a->b
+	// implies deliver(a) happens in an interval <= send(b)'s interval, and
+	// following sends strictly advances the (process, position) order of
+	// events; cycles would need a message chain returning to an earlier
+	// send of the same message, which the happened-before relation on a
+	// single run forbids for the *causal* graph but not in general for the
+	// zigzag graph. Use an iterative fixpoint that is correct regardless.
+	for i := range rows {
+		rows[i] = newBitset(n)
+		rows[i].set(i)
+	}
+	for changed := true; changed; {
+		changed = false
+		for a := 0; a < n; a++ {
+			before := rows[a].count()
+			for _, b := range adj[a] {
+				rows[a].or(rows[b])
+			}
+			if rows[a].count() != before {
+				changed = true
+			}
+		}
+	}
+	return rows
+}
+
+// HasChain reports whether a message chain (causal or not) connects a to b:
+// a chain [m1 ... mq] with send(m1) in I_{a.Proc,a.Index} and deliver(mq)
+// in I_{b.Proc,b.Index}.
+func (c *Chains) HasChain(a, b model.CkptID) bool { return c.hasChain(a, b, c.chainReach) }
+
+// HasCausalChain reports whether a causal message chain connects a to b.
+func (c *Chains) HasCausalChain(a, b model.CkptID) bool { return c.hasChain(a, b, c.causalReach) }
+
+func (c *Chains) hasChain(a, b model.CkptID, reach []bitset) bool {
+	for _, i := range c.bySender[a.Proc] {
+		if c.p.Messages[i].SendInterval != a.Index {
+			continue
+		}
+		row := reach[i]
+		for _, j := range c.byReceiver[b.Proc] {
+			if c.p.Messages[j].DeliverInterval == b.Index && row.get(j) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ZigzagNX reports whether there is a Netzer–Xu zigzag path from checkpoint
+// a to checkpoint b: a message chain whose first message is sent *after* a
+// (interval > a.Index) and whose last message is delivered *before* b
+// (interval <= b.Index). A set of checkpoints extends to a consistent
+// global checkpoint iff no member has a zigzag path to another member
+// (including itself).
+func (c *Chains) ZigzagNX(a, b model.CkptID) bool {
+	for _, i := range c.bySender[a.Proc] {
+		if c.p.Messages[i].SendInterval <= a.Index {
+			continue
+		}
+		row := c.chainReach[i]
+		for _, j := range c.byReceiver[b.Proc] {
+			if c.p.Messages[j].DeliverInterval <= b.Index && row.get(j) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Useless reports whether the checkpoint lies on a zigzag cycle, in which
+// case it can belong to no consistent global checkpoint.
+func (c *Chains) Useless(a model.CkptID) bool { return c.ZigzagNX(a, a) }
+
+// CanExtend reports whether the given set of checkpoints can be extended to
+// a consistent global checkpoint (Netzer–Xu): no zigzag path may connect
+// any member to any member.
+func (c *Chains) CanExtend(set []model.CkptID) bool {
+	for _, a := range set {
+		for _, b := range set {
+			if c.ZigzagNX(a, b) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CountChains returns how many ordered checkpoint pairs are linked by some
+// chain and by some causal chain — a coarse measure of how much of the
+// dependency structure is causally visible.
+func (c *Chains) CountChains() (chains, causal int) {
+	p := c.p
+	for i := 0; i < p.N; i++ {
+		for x := range p.Checkpoints[i] {
+			a := model.CkptID{Proc: model.ProcID(i), Index: x}
+			for j := 0; j < p.N; j++ {
+				for y := range p.Checkpoints[j] {
+					b := model.CkptID{Proc: model.ProcID(j), Index: y}
+					if c.HasChain(a, b) {
+						chains++
+						if c.HasCausalChain(a, b) {
+							causal++
+						}
+					}
+				}
+			}
+		}
+	}
+	return chains, causal
+}

@@ -1,0 +1,82 @@
+package rgraph
+
+import "github.com/rdt-go/rdt/internal/model"
+
+// This file provides the chain-level characterizations of RDT — the
+// "visible" formulations the paper builds its protocol conditions from —
+// implemented independently of the TDV-based checker so the two can be
+// cross-validated:
+//
+//   - a message chain from C_{i,x} to C_{j,y} is *causally doubled* when a
+//     causal message chain links the same rollback dependency, i.e. starts
+//     in an interval x' >= x of P_i and ends in an interval y' <= y of
+//     P_j (its "causal sibling");
+//   - a pattern satisfies RDT iff every message chain is causally doubled
+//     (Wang's characterization; same-process backward chains can never be
+//     doubled, which is exactly the case the protocol's condition C2
+//     guards).
+
+// CausallyDoubled reports whether the rollback dependency carried by any
+// chain from a to b is witnessed causally: there is a causal message chain
+// from C_{a.Proc,x'} to C_{b.Proc,y'} with x' >= a.Index and y' <= b.Index.
+func (c *Chains) CausallyDoubled(a, b model.CkptID) bool {
+	for _, i := range c.bySender[a.Proc] {
+		if c.p.Messages[i].SendInterval < a.Index {
+			continue
+		}
+		row := c.causalReach[i]
+		for _, j := range c.byReceiver[b.Proc] {
+			if c.p.Messages[j].DeliverInterval <= b.Index && row.get(j) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// CheckRDTByChains decides the RDT property purely at the message-chain
+// level: every chain whose endpoints are not trivially ordered (same
+// process, forward) must be causally doubled. It returns the same verdict
+// as CheckRDT (the equivalence is property-tested), with up to
+// maxViolations undoubled chains reported as Violations (<= 0 means 16).
+//
+// Same-process forward chains (from C_{i,x} to C_{i,y}, x <= y) are
+// exempt: the dependency they carry is subsumed by the process's own
+// order, so Definition 3.3 declares the corresponding R-paths trackable
+// outright. Same-process *backward* chains (x > y) can never be doubled —
+// a causal chain cannot return to an earlier interval of its origin — so
+// any such chain is a violation; breaking them is what condition C2 is
+// for.
+func (c *Chains) CheckRDTByChains(maxViolations int) *Report {
+	if maxViolations <= 0 {
+		maxViolations = 16
+	}
+	p := c.p
+	rep := &Report{RDT: true}
+	for i := 0; i < p.N; i++ {
+		for x := range p.Checkpoints[i] {
+			a := model.CkptID{Proc: model.ProcID(i), Index: x}
+			for j := 0; j < p.N; j++ {
+				for y := range p.Checkpoints[j] {
+					b := model.CkptID{Proc: model.ProcID(j), Index: y}
+					if a.Proc == b.Proc && a.Index <= b.Index {
+						continue
+					}
+					if !c.HasChain(a, b) {
+						continue
+					}
+					rep.RPathPairs++
+					if c.CausallyDoubled(a, b) {
+						rep.TrackablePairs++
+						continue
+					}
+					rep.RDT = false
+					if len(rep.Violations) < maxViolations {
+						rep.Violations = append(rep.Violations, Violation{From: a, To: b})
+					}
+				}
+			}
+		}
+	}
+	return rep
+}

@@ -1,0 +1,318 @@
+// Package rgraph implements the rollback-dependency theory of the paper on
+// top of recorded checkpoint and communication patterns: the R-graph
+// (Section 3.1), message chains — causal and zigzag (Definitions 3.1–3.2) —
+// on-line trackability and the offline RDT checker (Definitions 3.3–3.4),
+// consistency of global checkpoints (Definition 2.2), the Netzer–Xu
+// extensibility criterion, and minimum / maximum consistent global
+// checkpoint computations (Corollary 4.5 and its dual).
+//
+// Everything here is computed from the trace alone, independently of any
+// protocol state, so the package acts as the ground-truth oracle against
+// which the on-line protocols of internal/core are verified.
+package rgraph
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/rdt-go/rdt/internal/model"
+)
+
+// Graph is the rollback-dependency graph (R-graph) of a pattern. Nodes are
+// the local checkpoints; there is an edge C_{i,x} -> C_{i,x+1} for every
+// consecutive pair of checkpoints of a process, and an edge
+// C_{i,x} -> C_{j,y} for every message sent in I_{i,x} and delivered in
+// I_{j,y}. An R-path C -> C' means: rolling process i back past C forces
+// rolling process j back past C'.
+type Graph struct {
+	p      *model.Pattern
+	offset []int   // node id of C_{i,0}
+	nodes  int     // total node count
+	adj    [][]int // adjacency lists (deduplicated)
+	reach  []bitset
+}
+
+// Build constructs the R-graph of the pattern and precomputes its
+// reachability relation. The pattern must be finalized: every message
+// endpoint must lie in a closed checkpoint interval.
+func Build(p *model.Pattern) (*Graph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("rgraph: %w", err)
+	}
+	g := &Graph{p: p, offset: make([]int, p.N)}
+	for i := 0; i < p.N; i++ {
+		g.offset[i] = g.nodes
+		g.nodes += len(p.Checkpoints[i])
+	}
+	edges := make(map[[2]int]bool)
+	for i := 0; i < p.N; i++ {
+		for x := 1; x < len(p.Checkpoints[i]); x++ {
+			edges[[2]int{g.id(model.ProcID(i), x-1), g.id(model.ProcID(i), x)}] = true
+		}
+	}
+	for i := range p.Messages {
+		m := &p.Messages[i]
+		if m.SendInterval > p.LastIndex(m.From) {
+			return nil, fmt.Errorf("rgraph: message %d sent in open interval %d of process %d", m.ID, m.SendInterval, m.From)
+		}
+		if m.DeliverInterval > p.LastIndex(m.To) {
+			return nil, fmt.Errorf("rgraph: message %d delivered in open interval %d of process %d", m.ID, m.DeliverInterval, m.To)
+		}
+		edges[[2]int{g.id(m.From, m.SendInterval), g.id(m.To, m.DeliverInterval)}] = true
+	}
+	g.adj = make([][]int, g.nodes)
+	for e := range edges {
+		g.adj[e[0]] = append(g.adj[e[0]], e[1])
+	}
+	g.computeReach()
+	return g, nil
+}
+
+// Pattern returns the pattern the graph was built from.
+func (g *Graph) Pattern() *model.Pattern { return g.p }
+
+// NumNodes returns the number of local checkpoints.
+func (g *Graph) NumNodes() int { return g.nodes }
+
+// NumEdges returns the number of distinct R-graph edges.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	return total
+}
+
+// HasRPath reports whether there is an R-path (a directed path of length at
+// least one) from checkpoint a to checkpoint b. Note that HasRPath(c, c) is
+// true exactly when c lies on a cycle of the R-graph.
+func (g *Graph) HasRPath(a, b model.CkptID) bool {
+	return g.reach[g.id(a.Proc, a.Index)].get(g.id(b.Proc, b.Index))
+}
+
+// Successors returns the direct successors of a checkpoint in the R-graph.
+func (g *Graph) Successors(a model.CkptID) []model.CkptID {
+	var out []model.CkptID
+	for _, t := range g.adj[g.id(a.Proc, a.Index)] {
+		out = append(out, g.ckpt(t))
+	}
+	return out
+}
+
+// ReachableCount returns the number of checkpoints reachable from a by an
+// R-path of length at least one.
+func (g *Graph) ReachableCount(a model.CkptID) int {
+	return g.reach[g.id(a.Proc, a.Index)].count()
+}
+
+// OnCycle reports whether the checkpoint lies on an R-graph cycle. A
+// checkpoint on a cycle can never belong to any consistent global
+// checkpoint (it is "useless").
+func (g *Graph) OnCycle(a model.CkptID) bool { return g.HasRPath(a, a) }
+
+func (g *Graph) id(i model.ProcID, x int) int { return g.offset[i] + x }
+
+func (g *Graph) ckpt(id int) model.CkptID {
+	// Binary search over offsets would be overkill: N is small.
+	for i := g.p.N - 1; i >= 0; i-- {
+		if id >= g.offset[i] {
+			return model.CkptID{Proc: model.ProcID(i), Index: id - g.offset[i]}
+		}
+	}
+	return model.CkptID{}
+}
+
+// computeReach computes, for every node, the set of nodes reachable by a
+// path of length >= 1, via Tarjan SCC condensation followed by a reverse
+// topological sweep with bitset rows. Within a non-trivial SCC every member
+// reaches every member (including itself).
+func (g *Graph) computeReach() {
+	sccOf, order := g.tarjan() // order: SCC ids in reverse topological order
+	numSCC := len(order)
+
+	members := make([][]int, numSCC)
+	for v := 0; v < g.nodes; v++ {
+		members[sccOf[v]] = append(members[sccOf[v]], v)
+	}
+	cyclic := make([]bool, numSCC)
+	for v := 0; v < g.nodes; v++ {
+		for _, w := range g.adj[v] {
+			if sccOf[v] == sccOf[w] {
+				cyclic[sccOf[v]] = true
+			}
+		}
+	}
+	for s := 0; s < numSCC; s++ {
+		if len(members[s]) > 1 {
+			cyclic[s] = true
+		}
+	}
+
+	sccReach := make([]bitset, numSCC)
+	// Tarjan assigns SCC ids such that every edge goes from a higher id to a
+	// lower-or-equal id; processing ids in increasing order therefore visits
+	// successors before predecessors.
+	for s := 0; s < numSCC; s++ {
+		row := newBitset(g.nodes)
+		for _, v := range members[s] {
+			for _, w := range g.adj[v] {
+				t := sccOf[w]
+				if t == s {
+					continue
+				}
+				for _, u := range members[t] {
+					row.set(u)
+				}
+				row.or(sccReach[t])
+			}
+		}
+		if cyclic[s] {
+			for _, v := range members[s] {
+				row.set(v)
+			}
+		}
+		sccReach[s] = row
+	}
+
+	g.reach = make([]bitset, g.nodes)
+	for v := 0; v < g.nodes; v++ {
+		g.reach[v] = sccReach[sccOf[v]]
+	}
+}
+
+// tarjan computes strongly connected components iteratively. It returns the
+// SCC id of every node and the list of SCC ids; ids are assigned in reverse
+// topological order (an edge u->w with sccOf[u] != sccOf[w] always has
+// sccOf[u] > sccOf[w]).
+func (g *Graph) tarjan() (sccOf []int, order []int) {
+	const unvisited = -1
+	var (
+		index   = make([]int, g.nodes)
+		lowlink = make([]int, g.nodes)
+		onStack = make([]bool, g.nodes)
+		stack   []int
+		next    int
+		numSCC  int
+	)
+	sccOf = make([]int, g.nodes)
+	for v := range index {
+		index[v] = unvisited
+		sccOf[v] = unvisited
+	}
+
+	type frame struct {
+		v  int
+		ei int // next adjacency index to explore
+	}
+	for root := 0; root < g.nodes; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		frames := []frame{{v: root}}
+		index[root] = next
+		lowlink[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.ei < len(g.adj[f.v]) {
+				w := g.adj[f.v][f.ei]
+				f.ei++
+				if index[w] == unvisited {
+					index[w] = next
+					lowlink[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+				} else if onStack[w] && index[w] < lowlink[f.v] {
+					lowlink[f.v] = index[w]
+				}
+				continue
+			}
+			// All successors explored: maybe emit an SCC, then pop.
+			if lowlink[f.v] == index[f.v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					sccOf[w] = numSCC
+					if w == f.v {
+						break
+					}
+				}
+				numSCC++
+			}
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := &frames[len(frames)-1]
+				if lowlink[v] < lowlink[parent.v] {
+					lowlink[parent.v] = lowlink[v]
+				}
+			}
+		}
+	}
+	order = make([]int, numSCC)
+	for s := range order {
+		order[s] = s
+	}
+	return sccOf, order
+}
+
+// RollbackClosure returns every checkpoint that must also be discarded
+// when the computation is rolled back past each of the given checkpoints:
+// the union of the targets with everything reachable from them in the
+// R-graph (that is the operational meaning of an R-path, Section 3.1).
+// The result is sorted by process, then index.
+func (g *Graph) RollbackClosure(targets ...model.CkptID) []model.CkptID {
+	doomed := newBitset(g.nodes)
+	for _, c := range targets {
+		id := g.id(c.Proc, c.Index)
+		doomed.set(id)
+		doomed.or(g.reach[id])
+	}
+	var out []model.CkptID
+	for v := 0; v < g.nodes; v++ {
+		if doomed.get(v) {
+			out = append(out, g.ckpt(v))
+		}
+	}
+	return out
+}
+
+// DOT renders the R-graph as a Graphviz digraph, with one cluster per
+// process and the checkpoints that lie on cycles (useless checkpoints)
+// highlighted.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph rgraph {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n")
+	p := g.p
+	for i := 0; i < p.N; i++ {
+		fmt.Fprintf(&b, "  subgraph cluster_p%d {\n    label=\"P%d\";\n", i, i)
+		for x := range p.Checkpoints[i] {
+			id := model.CkptID{Proc: model.ProcID(i), Index: x}
+			attrs := ""
+			if g.OnCycle(id) {
+				attrs = ", style=filled, fillcolor=salmon"
+			}
+			fmt.Fprintf(&b, "    r%d_%d [label=\"C(%d,%d)\"%s];\n", i, x, i, x, attrs)
+		}
+		b.WriteString("  }\n")
+	}
+	for v := 0; v < g.nodes; v++ {
+		from := g.ckpt(v)
+		for _, w := range g.adj[v] {
+			to := g.ckpt(w)
+			style := ""
+			if from.Proc == to.Proc {
+				style = " [style=dotted]"
+			}
+			fmt.Fprintf(&b, "  r%d_%d -> r%d_%d%s;\n", from.Proc, from.Index, to.Proc, to.Index, style)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

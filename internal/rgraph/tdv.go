@@ -1,0 +1,144 @@
+package rgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/rdt-go/rdt/internal/model"
+	"github.com/rdt-go/rdt/internal/vclock"
+)
+
+// TDVTable holds, for every local checkpoint of a pattern, the transitive
+// dependency vector an ideal on-line tracker would have recorded with it:
+// entry k of the vector of C_{i,x} is the highest interval index z of
+// process k such that a causal message chain links C_{k,z} to the state
+// recorded by C_{i,x} (entry i is x itself).
+type TDVTable struct {
+	n    int
+	vecs [][]vclock.Vec // [proc][index]
+}
+
+// At returns the offline dependency vector of the checkpoint. The returned
+// vector is shared; callers must not modify it.
+func (t *TDVTable) At(c model.CkptID) vclock.Vec { return t.vecs[c.Proc][c.Index] }
+
+// Trackable reports whether the R-path a -> b is on-line trackable: by the
+// paper's characterization, C_{i,x} -> C_{j,y} is on-line trackable iff
+// TDV_{j,y}[i] >= x (for i == j this degenerates to x <= y).
+func (t *TDVTable) Trackable(a, b model.CkptID) bool {
+	return t.At(b)[a.Proc] >= a.Index
+}
+
+// ComputeTDVs replays the pattern in a causally consistent interleaving and
+// computes the offline dependency vector of every checkpoint. It fails if
+// the pattern admits no such interleaving (which Validate-clean patterns
+// recorded from real runs always do).
+func ComputeTDVs(p *model.Pattern) (*TDVTable, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("compute tdvs: %w", err)
+	}
+	replay, err := newReplayer(p)
+	if err != nil {
+		return nil, err
+	}
+
+	table := &TDVTable{n: p.N, vecs: make([][]vclock.Vec, p.N)}
+	cur := make([]vclock.Vec, p.N)
+	for i := 0; i < p.N; i++ {
+		table.vecs[i] = make([]vclock.Vec, len(p.Checkpoints[i]))
+		cur[i] = vclock.NewVec(p.N)
+	}
+	stamps := make(map[int]vclock.Vec, len(p.Messages))
+
+	err = replay.run(func(e event) {
+		i := int(e.proc)
+		switch e.kind {
+		case evCheckpoint:
+			table.vecs[i][e.index] = cur[i].Clone()
+			cur[i][i] = e.index + 1 // TDV_i[i] is always the current interval index
+		case evSend:
+			stamps[e.msg.ID] = cur[i].Clone()
+		case evDeliver:
+			cur[i].MaxInto(stamps[e.msg.ID])
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return table, nil
+}
+
+type eventKind int
+
+const (
+	evCheckpoint eventKind = iota + 1
+	evSend
+	evDeliver
+)
+
+type event struct {
+	kind  eventKind
+	proc  model.ProcID
+	seq   int
+	index int            // checkpoint index, for evCheckpoint
+	msg   *model.Message // for evSend / evDeliver
+}
+
+// replayer executes the per-process event sequences of a pattern in an
+// order consistent with the happened-before relation: a delivery runs only
+// after its send.
+type replayer struct {
+	perProc [][]event
+	pos     []int
+}
+
+func newReplayer(p *model.Pattern) (*replayer, error) {
+	r := &replayer{perProc: make([][]event, p.N), pos: make([]int, p.N)}
+	for i := 0; i < p.N; i++ {
+		for x := range p.Checkpoints[i] {
+			ck := &p.Checkpoints[i][x]
+			r.perProc[i] = append(r.perProc[i], event{kind: evCheckpoint, proc: ck.Proc, seq: ck.Seq, index: ck.Index})
+		}
+	}
+	for i := range p.Messages {
+		m := &p.Messages[i]
+		r.perProc[m.From] = append(r.perProc[m.From], event{kind: evSend, proc: m.From, seq: m.SendSeq, msg: m})
+		r.perProc[m.To] = append(r.perProc[m.To], event{kind: evDeliver, proc: m.To, seq: m.DeliverSeq, msg: m})
+	}
+	for i := range r.perProc {
+		evs := r.perProc[i]
+		sort.Slice(evs, func(a, b int) bool { return evs[a].seq < evs[b].seq })
+	}
+	return r, nil
+}
+
+// run invokes fn once per event, in a valid causal interleaving.
+func (r *replayer) run(fn func(event)) error {
+	sent := make(map[int]bool)
+	remaining := 0
+	for _, evs := range r.perProc {
+		remaining += len(evs)
+	}
+	for remaining > 0 {
+		progressed := false
+		for i := range r.perProc {
+			for r.pos[i] < len(r.perProc[i]) {
+				e := r.perProc[i][r.pos[i]]
+				if e.kind == evDeliver && !sent[e.msg.ID] {
+					break
+				}
+				if e.kind == evSend {
+					sent[e.msg.ID] = true
+				}
+				fn(e)
+				r.pos[i]++
+				remaining--
+				progressed = true
+			}
+		}
+		if !progressed {
+			return fmt.Errorf("replay: no causally consistent interleaving (stuck with %d events left)", remaining)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,266 @@
+package sim
+
+import (
+	"bytes"
+	"container/heap"
+	"math/rand"
+	"testing"
+
+	"github.com/rdt-go/rdt/internal/core"
+	"github.com/rdt-go/rdt/internal/model"
+	"github.com/rdt-go/rdt/internal/rgraph"
+	"github.com/rdt-go/rdt/internal/trace"
+)
+
+// pingpong is a minimal in-package workload for engine unit tests.
+type pingpong struct{ gap float64 }
+
+func (w *pingpong) Name() string { return "pingpong" }
+func (w *pingpong) Start(e *Engine) {
+	e.At(w.gap, func() { e.Send(0, 1, "ping") })
+}
+func (w *pingpong) OnDeliver(e *Engine, d Delivery) {
+	if !e.Active() {
+		return
+	}
+	e.At(w.gap, func() { e.Send(d.To, d.From, "pong") })
+}
+
+func shortConfig(k core.Kind, seed int64) Config {
+	cfg := DefaultConfig(k, seed)
+	cfg.N = 4
+	cfg.Duration = 120
+	return cfg
+}
+
+func TestConfigValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		corrupt func(*Config)
+	}{
+		{"too few processes", func(c *Config) { c.N = 1 }},
+		{"zero duration", func(c *Config) { c.Duration = 0 }},
+		{"zero basic mean", func(c *Config) { c.BasicMean = 0 }},
+		{"bad spread", func(c *Config) { c.BasicSpread = 1 }},
+		{"negative delay", func(c *Config) { c.DelayMin = -1 }},
+		{"inverted delays", func(c *Config) { c.DelayMin = 2; c.DelayMax = 1 }},
+		{"unknown protocol", func(c *Config) { c.Protocol = core.Kind(99) }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultConfig(core.KindBHMR, 1)
+			tt.corrupt(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Error("corrupted config accepted")
+			}
+		})
+	}
+	cfg := DefaultConfig(core.KindBHMR, 1)
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestRunProducesValidAnnotatedPattern(t *testing.T) {
+	res, err := Run(shortConfig(core.KindBHMR, 7), &pingpong{gap: 0.5})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	p := res.Pattern
+	if err := p.Validate(); err != nil {
+		t.Fatalf("pattern invalid: %v", err)
+	}
+	if len(p.Messages) == 0 {
+		t.Fatal("no messages exchanged")
+	}
+	if res.Stats.Basic == 0 {
+		t.Fatal("no basic checkpoints taken")
+	}
+	// All non-initial checkpoints carry dependency vectors.
+	for i := 0; i < p.N; i++ {
+		for x := 1; x < len(p.Checkpoints[i]); x++ {
+			ck := &p.Checkpoints[i][x]
+			if ck.Kind != model.KindFinal && ck.TDV == nil {
+				t.Fatalf("checkpoint %v lacks a TDV", ck.ID())
+			}
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	render := func() []byte {
+		res, err := Run(shortConfig(core.KindBHMR, 42), &pingpong{gap: 0.3})
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := trace.Save(&buf, res.Pattern); err != nil {
+			t.Fatalf("save: %v", err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Error("two runs with the same seed produced different patterns")
+	}
+}
+
+func TestRunSeedsDiffer(t *testing.T) {
+	a, err := Run(shortConfig(core.KindBHMR, 1), &pingpong{gap: 0.3})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	b, err := Run(shortConfig(core.KindBHMR, 2), &pingpong{gap: 0.3})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if a.Stats == b.Stats && len(a.Pattern.Messages) == len(b.Pattern.Messages) {
+		// Equality of full stats across different seeds would be
+		// suspicious for a randomized run of this length.
+		t.Error("different seeds produced identical statistics")
+	}
+}
+
+func TestKeepEmptyBasicCheckpoints(t *testing.T) {
+	quiet := &pingpong{gap: 1e9} // effectively no traffic
+
+	cfg := shortConfig(core.KindBHMR, 5)
+	cfg.KeepEmptyBasic = true
+	res, err := Run(cfg, quiet)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Stats.Basic == 0 {
+		t.Error("KeepEmptyBasic run took no basic checkpoints")
+	}
+
+	cfg.KeepEmptyBasic = false
+	res, err = Run(cfg, quiet)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Stats.Basic != 0 {
+		t.Errorf("quiet run still took %d basic checkpoints", res.Stats.Basic)
+	}
+}
+
+func TestMonitorHookSeesEveryArrival(t *testing.T) {
+	cfg := shortConfig(core.KindBHMR, 9)
+	arrivals := 0
+	cfg.Monitor = func(inst core.Instance, from int, pb core.Piggyback) {
+		arrivals++
+		if pb.TDV == nil {
+			t.Error("monitor saw a piggyback without TDV")
+		}
+		if inst == nil || from < 0 || from >= cfg.N {
+			t.Error("monitor arguments malformed")
+		}
+	}
+	res, err := Run(cfg, &pingpong{gap: 0.5})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if arrivals != len(res.Pattern.Messages) {
+		t.Errorf("monitor saw %d arrivals, pattern has %d messages", arrivals, len(res.Pattern.Messages))
+	}
+}
+
+func TestWireBytesReported(t *testing.T) {
+	res, err := Run(shortConfig(core.KindFDAS, 3), &pingpong{gap: 0.5})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.WireBytesPerMessage != 4*res.Pattern.N {
+		t.Errorf("wire bytes = %d, want %d", res.WireBytesPerMessage, 4*res.Pattern.N)
+	}
+}
+
+func TestEngineDistributions(t *testing.T) {
+	cfg := shortConfig(core.KindNone, 11)
+	e := &Engine{cfg: cfg}
+	e.rng = newTestRand(11)
+	for i := 0; i < 1000; i++ {
+		u := e.Uniform(2, 5)
+		if u < 2 || u >= 5 {
+			t.Fatalf("uniform sample %v out of range", u)
+		}
+		x := e.Exp(3)
+		if x < 0 {
+			t.Fatalf("exponential sample %v negative", x)
+		}
+	}
+}
+
+// newTestRand builds the engine's random source for distribution tests.
+func newTestRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// TestEngineEventOrdering: events scheduled for the same instant run in
+// insertion order; earlier times run first regardless of insertion order.
+func TestEngineEventOrdering(t *testing.T) {
+	cfg := shortConfig(core.KindNone, 1)
+	e := &Engine{cfg: cfg, rng: newTestRand(1), builder: model.NewBuilder(cfg.N), w: &pingpong{gap: 1}}
+	var got []int
+	e.At(2.0, func() { got = append(got, 3) })
+	e.At(1.0, func() { got = append(got, 1) })
+	e.At(1.0, func() { got = append(got, 2) }) // same instant, later insertion
+	for e.pq.Len() > 0 {
+		item := heap.Pop(&e.pq).(*eventItem)
+		e.now = item.at
+		item.fn()
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("execution order = %v, want [1 2 3]", got)
+	}
+	if e.Now() != 2.0 {
+		t.Errorf("clock = %v, want 2", e.Now())
+	}
+}
+
+// TestBasicCheckpointSpread: basic checkpoints respect the configured mean
+// roughly (loose bound — the run is stochastic but seeded).
+func TestBasicCheckpointSpread(t *testing.T) {
+	cfg := shortConfig(core.KindNone, 12)
+	cfg.Duration = 400
+	cfg.BasicMean = 10
+	cfg.KeepEmptyBasic = true
+	res, err := Run(cfg, &pingpong{gap: 1e9})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	perProc := float64(res.Stats.Basic) / float64(cfg.N)
+	expect := cfg.Duration / cfg.BasicMean
+	if perProc < expect*0.6 || perProc > expect*1.4 {
+		t.Errorf("basic checkpoints per process = %.1f, expected about %.1f", perProc, expect)
+	}
+}
+
+// TestAllProtocolsRunAllKinds is a sweep smoke test: every protocol
+// terminates and produces a valid annotated pattern under the in-package
+// workload.
+func TestAllProtocolsRunAllKinds(t *testing.T) {
+	for _, kind := range core.Kinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			res, err := Run(shortConfig(kind, 33), &pingpong{gap: 0.4})
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if err := res.Pattern.Validate(); err != nil {
+				t.Fatalf("invalid pattern: %v", err)
+			}
+			if err := rgraph.VerifyRecordedTDVs(res.Pattern); err != nil {
+				t.Fatalf("TDVs: %v", err)
+			}
+		})
+	}
+}
+
+func TestEngineAccessors(t *testing.T) {
+	cfg := shortConfig(core.KindNone, 2)
+	e := &Engine{cfg: cfg, rng: newTestRand(2)}
+	if e.N() != cfg.N {
+		t.Errorf("N = %d", e.N())
+	}
+	if e.Rand() == nil {
+		t.Error("nil rng")
+	}
+}

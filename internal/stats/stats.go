@@ -1,0 +1,202 @@
+// Package stats provides the small statistics and report-formatting
+// toolkit used by the experiment harness: sample aggregation with
+// confidence intervals, aligned text tables, and CSV series.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Sample is a collection of replicated measurements.
+type Sample []float64
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func (s Sample) Mean() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, v := range s {
+		total += v
+	}
+	return total / float64(len(s))
+}
+
+// Std returns the sample standard deviation (0 for fewer than 2 values).
+func (s Sample) Std() float64 {
+	if len(s) < 2 {
+		return 0
+	}
+	m := s.Mean()
+	acc := 0.0
+	for _, v := range s {
+		d := v - m
+		acc += d * d
+	}
+	return math.Sqrt(acc / float64(len(s)-1))
+}
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval of the mean.
+func (s Sample) CI95() float64 {
+	if len(s) < 2 {
+		return 0
+	}
+	return 1.96 * s.Std() / math.Sqrt(float64(len(s)))
+}
+
+// Min returns the smallest value (0 for an empty sample).
+func (s Sample) Min() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	m := s[0]
+	for _, v := range s[1:] {
+		m = math.Min(m, v)
+	}
+	return m
+}
+
+// Max returns the largest value (0 for an empty sample).
+func (s Sample) Max() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	m := s[0]
+	for _, v := range s[1:] {
+		m = math.Max(m, v)
+	}
+	return m
+}
+
+// Table is a simple report table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row; cells beyond the header width are dropped, missing
+// cells are blank-filled when rendering.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render returns the table as aligned monospaced text.
+func (t *Table) Render() string {
+	width := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		width[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i := range t.Header {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV returns the table as comma-separated values (no quoting: callers
+// only emit numeric and identifier cells).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Header, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Series is a figure: a swept x-axis and one named line per protocol.
+type Series struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Lines  map[string][]float64
+}
+
+// NewSeries creates an empty series.
+func NewSeries(title, xlabel, ylabel string) *Series {
+	return &Series{Title: title, XLabel: xlabel, YLabel: ylabel, Lines: make(map[string][]float64)}
+}
+
+// Add appends a point to the named line.
+func (s *Series) Add(line string, y float64) {
+	s.Lines[line] = append(s.Lines[line], y)
+}
+
+// LineNames returns the line names in deterministic order.
+func (s *Series) LineNames() []string {
+	names := make([]string, 0, len(s.Lines))
+	for name := range s.Lines {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Table converts the series to a table with one row per x value.
+func (s *Series) Table() *Table {
+	names := s.LineNames()
+	t := &Table{Title: s.Title, Header: append([]string{s.XLabel}, names...)}
+	for i, x := range s.X {
+		row := []string{Format(x)}
+		for _, name := range names {
+			ys := s.Lines[name]
+			if i < len(ys) {
+				row = append(row, Format(ys[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Format renders a float compactly (4 significant decimals, no trailing
+// zeros).
+func Format(v float64) string {
+	out := fmt.Sprintf("%.4f", v)
+	out = strings.TrimRight(out, "0")
+	out = strings.TrimRight(out, ".")
+	if out == "" || out == "-" {
+		return "0"
+	}
+	return out
+}

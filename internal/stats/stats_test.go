@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleMoments(t *testing.T) {
+	s := Sample{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := s.Mean(); got != 5 {
+		t.Errorf("mean = %v, want 5", got)
+	}
+	if got := s.Std(); math.Abs(got-2.138) > 0.01 {
+		t.Errorf("std = %v, want ~2.138", got)
+	}
+	if got := s.CI95(); got <= 0 || got > s.Std() {
+		t.Errorf("ci95 = %v out of range", got)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSampleDegenerate(t *testing.T) {
+	var empty Sample
+	if empty.Mean() != 0 || empty.Std() != 0 || empty.CI95() != 0 || empty.Min() != 0 || empty.Max() != 0 {
+		t.Error("empty sample should yield zeros")
+	}
+	one := Sample{3}
+	if one.Mean() != 3 || one.Std() != 0 || one.CI95() != 0 {
+		t.Error("singleton sample moments wrong")
+	}
+}
+
+func TestQuickMeanBounds(t *testing.T) {
+	f := func(vals []float64) bool {
+		s := Sample(nil)
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				s = append(s, v)
+			}
+		}
+		if len(s) == 0 {
+			return true
+		}
+		m := s.Mean()
+		return m >= s.Min()-1e-6 && m <= s.Max()+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{Title: "demo", Header: []string{"proto", "R"}}
+	tb.AddRow("bhmr", "0.12")
+	tb.AddRow("fdas", "0.25")
+	out := tb.Render()
+	for _, want := range []string{"demo", "proto", "bhmr", "0.25", "-----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("rendered %d lines, want 5", len(lines))
+	}
+}
+
+func TestTableRenderShortRows(t *testing.T) {
+	tb := &Table{Header: []string{"a", "b", "c"}}
+	tb.AddRow("only")
+	out := tb.Render()
+	if !strings.Contains(out, "only") {
+		t.Error("short row dropped")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{Header: []string{"x", "y"}}
+	tb.AddRow("1", "2")
+	want := "x,y\n1,2\n"
+	if got := tb.CSV(); got != want {
+		t.Errorf("csv = %q, want %q", got, want)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("fig", "x", "R")
+	s.X = []float64{1, 2}
+	s.Add("bhmr", 0.1)
+	s.Add("bhmr", 0.2)
+	s.Add("fdas", 0.3)
+	names := s.LineNames()
+	if len(names) != 2 || names[0] != "bhmr" || names[1] != "fdas" {
+		t.Errorf("names = %v", names)
+	}
+	tb := s.Table()
+	if tb.Title != "fig" || len(tb.Rows) != 2 {
+		t.Errorf("table = %+v", tb)
+	}
+	// fdas has only one point: second row blank-fills.
+	if tb.Rows[1][2] != "" {
+		t.Errorf("missing point rendered as %q", tb.Rows[1][2])
+	}
+}
+
+func TestFormat(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{1.5, "1.5"},
+		{0.1234567, "0.1235"},
+		{3.0000, "3"},
+		{-2.5, "-2.5"},
+	}
+	for _, tt := range tests {
+		if got := Format(tt.in); got != tt.want {
+			t.Errorf("Format(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}

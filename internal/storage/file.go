@@ -1,0 +1,123 @@
+package storage
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// File is a file-backed store: one JSON file per checkpoint inside a
+// directory, named ckpt_<proc>_<index>.json. It tolerates process
+// restarts: a new File over the same directory sees the old checkpoints.
+type File struct {
+	dir string
+	mu  sync.Mutex
+}
+
+var _ Store = (*File)(nil)
+
+// NewFile creates (if needed) the directory and returns a store over it.
+func NewFile(dir string) (*File, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint dir: %w", err)
+	}
+	return &File{dir: dir}, nil
+}
+
+// Dir returns the backing directory.
+func (f *File) Dir() string { return f.dir }
+
+// Put implements Store.
+func (f *File) Put(cp Checkpoint) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	data, err := json.Marshal(cp)
+	if err != nil {
+		return fmt.Errorf("encode checkpoint: %w", err)
+	}
+	tmp := f.path(cp.Proc, cp.Index) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("write checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, f.path(cp.Proc, cp.Index)); err != nil {
+		return fmt.Errorf("commit checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Get implements Store.
+func (f *File) Get(proc, index int) (Checkpoint, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	data, err := os.ReadFile(f.path(proc, index))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return Checkpoint{}, fmt.Errorf("process %d index %d: %w", proc, index, ErrNotFound)
+		}
+		return Checkpoint{}, fmt.Errorf("read checkpoint: %w", err)
+	}
+	var cp Checkpoint
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return Checkpoint{}, fmt.Errorf("decode checkpoint: %w", err)
+	}
+	return cp, nil
+}
+
+// Latest implements Store.
+func (f *File) Latest(proc int) (Checkpoint, error) {
+	indexes, err := f.Indexes(proc)
+	if err != nil {
+		return Checkpoint{}, err
+	}
+	if len(indexes) == 0 {
+		return Checkpoint{}, fmt.Errorf("process %d: %w", proc, ErrNotFound)
+	}
+	return f.Get(proc, indexes[len(indexes)-1])
+}
+
+// Indexes implements Store.
+func (f *File) Indexes(proc int) ([]int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	entries, err := os.ReadDir(f.dir)
+	if err != nil {
+		return nil, fmt.Errorf("list checkpoints: %w", err)
+	}
+	prefix := "ckpt_" + strconv.Itoa(proc) + "_"
+	var out []int
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		idx, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, prefix), ".json"))
+		if err != nil {
+			continue // foreign file, ignore
+		}
+		out = append(out, idx)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// Delete implements Store.
+func (f *File) Delete(proc, index int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	err := os.Remove(f.path(proc, index))
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("delete checkpoint: %w", err)
+	}
+	return nil
+}
+
+func (f *File) path(proc, index int) string {
+	return filepath.Join(f.dir, fmt.Sprintf("ckpt_%d_%d.json", proc, index))
+}

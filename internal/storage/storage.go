@@ -1,0 +1,142 @@
+// Package storage persists local checkpoints for the concurrent runtime:
+// an in-memory store and a file-backed store with the same interface. A
+// stored checkpoint carries the application state snapshot and the
+// dependency vector the protocol recorded with it — everything the
+// recovery manager needs to compute recovery lines without replaying the
+// computation.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/rdt-go/rdt/internal/model"
+)
+
+// Checkpoint is one persisted local checkpoint.
+type Checkpoint struct {
+	Proc  int                  `json:"proc"`
+	Index int                  `json:"index"`
+	Kind  model.CheckpointKind `json:"kind"`
+	TDV   []int                `json:"tdv"`
+	State []byte               `json:"state,omitempty"`
+}
+
+// ErrNotFound is returned when a requested checkpoint does not exist.
+var ErrNotFound = errors.New("checkpoint not found")
+
+// Store persists checkpoints. Implementations are safe for concurrent use.
+type Store interface {
+	// Put persists a checkpoint, overwriting any previous checkpoint with
+	// the same (proc, index).
+	Put(cp Checkpoint) error
+	// Get retrieves one checkpoint, or ErrNotFound.
+	Get(proc, index int) (Checkpoint, error)
+	// Latest retrieves the highest-index checkpoint of a process, or
+	// ErrNotFound when the process has none.
+	Latest(proc int) (Checkpoint, error)
+	// Indexes lists the stored checkpoint indexes of a process, ascending.
+	Indexes(proc int) ([]int, error)
+	// Delete removes one checkpoint; deleting a missing checkpoint is not
+	// an error.
+	Delete(proc, index int) error
+}
+
+// Memory is an in-memory store.
+type Memory struct {
+	mu   sync.RWMutex
+	data map[int]map[int]Checkpoint
+}
+
+var _ Store = (*Memory)(nil)
+
+// NewMemory creates an empty in-memory store.
+func NewMemory() *Memory {
+	return &Memory{data: make(map[int]map[int]Checkpoint)}
+}
+
+// Put implements Store.
+func (m *Memory) Put(cp Checkpoint) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byIndex, ok := m.data[cp.Proc]
+	if !ok {
+		byIndex = make(map[int]Checkpoint)
+		m.data[cp.Proc] = byIndex
+	}
+	cp.TDV = append([]int(nil), cp.TDV...)
+	cp.State = append([]byte(nil), cp.State...)
+	byIndex[cp.Index] = cp
+	return nil
+}
+
+// Get implements Store.
+func (m *Memory) Get(proc, index int) (Checkpoint, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	cp, ok := m.data[proc][index]
+	if !ok {
+		return Checkpoint{}, fmt.Errorf("process %d index %d: %w", proc, index, ErrNotFound)
+	}
+	return cp, nil
+}
+
+// Latest implements Store.
+func (m *Memory) Latest(proc int) (Checkpoint, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	best, found := Checkpoint{}, false
+	for _, cp := range m.data[proc] {
+		if !found || cp.Index > best.Index {
+			best, found = cp, true
+		}
+	}
+	if !found {
+		return Checkpoint{}, fmt.Errorf("process %d: %w", proc, ErrNotFound)
+	}
+	return best, nil
+}
+
+// Indexes implements Store.
+func (m *Memory) Indexes(proc int) ([]int, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []int
+	for idx := range m.data[proc] {
+		out = append(out, idx)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// Delete implements Store.
+func (m *Memory) Delete(proc, index int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.data[proc], index)
+	return nil
+}
+
+// GCBelow removes, for every process, all checkpoints strictly below the
+// given global checkpoint — the garbage collection a recovery line
+// permits. It returns the number of checkpoints removed.
+func GCBelow(s Store, line model.GlobalCheckpoint) (int, error) {
+	removed := 0
+	for proc, keep := range line {
+		indexes, err := s.Indexes(proc)
+		if err != nil {
+			return removed, err
+		}
+		for _, idx := range indexes {
+			if idx < keep {
+				if err := s.Delete(proc, idx); err != nil {
+					return removed, err
+				}
+				removed++
+			}
+		}
+	}
+	return removed, nil
+}

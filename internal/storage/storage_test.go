@@ -1,0 +1,297 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"github.com/rdt-go/rdt/internal/model"
+)
+
+func stores(t *testing.T) map[string]Store {
+	t.Helper()
+	file, err := NewFile(t.TempDir())
+	if err != nil {
+		t.Fatalf("file store: %v", err)
+	}
+	return map[string]Store{
+		"memory": NewMemory(),
+		"file":   file,
+	}
+}
+
+func TestStorePutGetRoundTrip(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			want := Checkpoint{
+				Proc:  1,
+				Index: 3,
+				Kind:  model.KindForced,
+				TDV:   []int{1, 3, 0},
+				State: []byte("state-bytes"),
+			}
+			if err := s.Put(want); err != nil {
+				t.Fatalf("put: %v", err)
+			}
+			got, err := s.Get(1, 3)
+			if err != nil {
+				t.Fatalf("get: %v", err)
+			}
+			if got.Proc != want.Proc || got.Index != want.Index || got.Kind != want.Kind {
+				t.Errorf("got %+v, want %+v", got, want)
+			}
+			if string(got.State) != "state-bytes" || len(got.TDV) != 3 || got.TDV[1] != 3 {
+				t.Errorf("payload mismatch: %+v", got)
+			}
+		})
+	}
+}
+
+func TestStoreGetMissing(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, err := s.Get(0, 0); !errors.Is(err, ErrNotFound) {
+				t.Errorf("err = %v, want ErrNotFound", err)
+			}
+			if _, err := s.Latest(2); !errors.Is(err, ErrNotFound) {
+				t.Errorf("latest err = %v, want ErrNotFound", err)
+			}
+		})
+	}
+}
+
+func TestStoreLatestAndIndexes(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, idx := range []int{0, 2, 1, 5, 3} {
+				if err := s.Put(Checkpoint{Proc: 0, Index: idx, TDV: []int{idx}}); err != nil {
+					t.Fatalf("put: %v", err)
+				}
+			}
+			latest, err := s.Latest(0)
+			if err != nil {
+				t.Fatalf("latest: %v", err)
+			}
+			if latest.Index != 5 {
+				t.Errorf("latest index = %d, want 5", latest.Index)
+			}
+			idxs, err := s.Indexes(0)
+			if err != nil {
+				t.Fatalf("indexes: %v", err)
+			}
+			want := []int{0, 1, 2, 3, 5}
+			if len(idxs) != len(want) {
+				t.Fatalf("indexes = %v, want %v", idxs, want)
+			}
+			for i := range want {
+				if idxs[i] != want[i] {
+					t.Fatalf("indexes = %v, want %v", idxs, want)
+				}
+			}
+		})
+	}
+}
+
+func TestStoreOverwrite(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := s.Put(Checkpoint{Proc: 0, Index: 1, State: []byte("a")}); err != nil {
+				t.Fatalf("put: %v", err)
+			}
+			if err := s.Put(Checkpoint{Proc: 0, Index: 1, State: []byte("b")}); err != nil {
+				t.Fatalf("overwrite: %v", err)
+			}
+			got, err := s.Get(0, 1)
+			if err != nil {
+				t.Fatalf("get: %v", err)
+			}
+			if string(got.State) != "b" {
+				t.Errorf("state = %q, want b", got.State)
+			}
+		})
+	}
+}
+
+func TestStoreDelete(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := s.Put(Checkpoint{Proc: 0, Index: 1}); err != nil {
+				t.Fatalf("put: %v", err)
+			}
+			if err := s.Delete(0, 1); err != nil {
+				t.Fatalf("delete: %v", err)
+			}
+			if _, err := s.Get(0, 1); !errors.Is(err, ErrNotFound) {
+				t.Errorf("get after delete: %v", err)
+			}
+			if err := s.Delete(0, 1); err != nil {
+				t.Errorf("deleting missing checkpoint errored: %v", err)
+			}
+		})
+	}
+}
+
+func TestMemoryPutCopiesSlices(t *testing.T) {
+	s := NewMemory()
+	tdv := []int{1, 2}
+	state := []byte("s")
+	if err := s.Put(Checkpoint{Proc: 0, Index: 0, TDV: tdv, State: state}); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	tdv[0] = 9
+	state[0] = 'x'
+	got, err := s.Get(0, 0)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if got.TDV[0] != 1 || got.State[0] != 's' {
+		t.Error("stored checkpoint aliases caller slices")
+	}
+}
+
+func TestGCBelow(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			for proc := 0; proc < 2; proc++ {
+				for idx := 0; idx <= 4; idx++ {
+					if err := s.Put(Checkpoint{Proc: proc, Index: idx}); err != nil {
+						t.Fatalf("put: %v", err)
+					}
+				}
+			}
+			removed, err := GCBelow(s, model.GlobalCheckpoint{2, 4})
+			if err != nil {
+				t.Fatalf("gc: %v", err)
+			}
+			if removed != 2+4 {
+				t.Errorf("removed = %d, want 6", removed)
+			}
+			if _, err := s.Get(0, 1); !errors.Is(err, ErrNotFound) {
+				t.Error("checkpoint below line survived GC")
+			}
+			if _, err := s.Get(0, 2); err != nil {
+				t.Error("checkpoint on the line was collected")
+			}
+		})
+	}
+}
+
+func TestFileStoreSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewFile(dir)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	if err := s1.Put(Checkpoint{Proc: 1, Index: 2, TDV: []int{0, 2}, State: []byte("persisted")}); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	s2, err := NewFile(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	got, err := s2.Get(1, 2)
+	if err != nil {
+		t.Fatalf("get after reopen: %v", err)
+	}
+	if string(got.State) != "persisted" {
+		t.Errorf("state = %q", got.State)
+	}
+	if s2.Dir() != dir {
+		t.Errorf("dir = %q, want %q", s2.Dir(), dir)
+	}
+}
+
+func TestFileStoreIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFile(dir)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	for _, name := range []string{"README.txt", "ckpt_0_x.json", "ckpt_.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("junk"), 0o644); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	if err := s.Put(Checkpoint{Proc: 0, Index: 1}); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	idxs, err := s.Indexes(0)
+	if err != nil {
+		t.Fatalf("indexes: %v", err)
+	}
+	if len(idxs) != 1 || idxs[0] != 1 {
+		t.Errorf("indexes = %v, want [1]", idxs)
+	}
+}
+
+func TestFileStoreRejectsCorruptCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFile(dir)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "ckpt_0_0.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := s.Get(0, 0); err == nil {
+		t.Error("corrupt checkpoint decoded successfully")
+	}
+}
+
+func TestStoreConcurrentAccess(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			var wg sync.WaitGroup
+			for proc := 0; proc < 4; proc++ {
+				wg.Add(1)
+				go func(proc int) {
+					defer wg.Done()
+					for idx := 0; idx < 20; idx++ {
+						if err := s.Put(Checkpoint{Proc: proc, Index: idx, TDV: []int{idx}}); err != nil {
+							t.Errorf("put: %v", err)
+							return
+						}
+						if _, err := s.Latest(proc); err != nil {
+							t.Errorf("latest: %v", err)
+							return
+						}
+					}
+				}(proc)
+			}
+			wg.Wait()
+			for proc := 0; proc < 4; proc++ {
+				latest, err := s.Latest(proc)
+				if err != nil {
+					t.Fatalf("latest: %v", err)
+				}
+				if latest.Index != 19 {
+					t.Errorf("process %d latest = %d, want 19", proc, latest.Index)
+				}
+			}
+		})
+	}
+}
+
+func TestFileStoreBadDir(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := NewFile(filepath.Join(file, "sub")); err == nil {
+		t.Error("NewFile succeeded under a regular file")
+	}
+}
+
+func ExampleGCBelow() {
+	s := NewMemory()
+	for idx := 0; idx <= 3; idx++ {
+		_ = s.Put(Checkpoint{Proc: 0, Index: idx})
+		_ = s.Put(Checkpoint{Proc: 1, Index: idx})
+	}
+	removed, _ := GCBelow(s, model.GlobalCheckpoint{2, 1})
+	fmt.Println(removed)
+	// Output: 3
+}

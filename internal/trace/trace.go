@@ -1,0 +1,157 @@
+// Package trace serializes checkpoint and communication patterns to JSON
+// and provides reference fixtures, notably the pattern of Figure 1 of the
+// paper, reconstructed event by event from the statements the text makes
+// about it.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/rdt-go/rdt/internal/model"
+)
+
+// Save writes the pattern as indented JSON.
+func Save(w io.Writer, p *model.Pattern) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(p); err != nil {
+		return fmt.Errorf("save trace: %w", err)
+	}
+	return nil
+}
+
+// Load reads a pattern from JSON and validates it.
+func Load(r io.Reader) (*model.Pattern, error) {
+	var p model.Pattern
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("load trace: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("load trace: %w", err)
+	}
+	return &p, nil
+}
+
+// SaveFile writes the pattern to a JSON file.
+func SaveFile(path string, p *model.Pattern) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("save trace: %w", err)
+	}
+	defer f.Close()
+	if err := Save(f, p); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a pattern from a JSON file.
+func LoadFile(path string) (*model.Pattern, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("load trace: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// Figure1 message handles, exported so tests can reference the messages of
+// the fixture by their paper names.
+const (
+	M1 = iota
+	M2
+	M3
+	M4
+	M5
+	M6
+	M7
+)
+
+// Figure-1 process identifiers: the paper calls them P_i, P_j, P_k.
+const (
+	Pi = model.ProcID(0)
+	Pj = model.ProcID(1)
+	Pk = model.ProcID(2)
+)
+
+// Figure1 builds the checkpoint and communication pattern of Figure 1.a of
+// the paper. The reconstruction satisfies every statement the text makes
+// about the figure:
+//
+//   - [m3 m2] is a (non-causal) message chain from C_{k,1} to C_{i,2};
+//   - m5 is orphan w.r.t. (C_{i,2}, C_{j,2}), so {C_{i,2}, C_{j,2}, C_{k,1}}
+//     is inconsistent while {C_{i,1}, C_{j,1}, C_{k,1}} is consistent;
+//   - [m5 m4] and [m5 m6] are message chains for the R-path
+//     C_{i,3} -> C_{k,2}; [m5 m6] is causal, a causal sibling of the
+//     non-causal [m5 m4];
+//   - [m3 m2 m5 m4 m7] is a non-causal chain, the concatenation of the
+//     causal chains [m3], [m2 m5] and [m4 m7].
+//
+// Checkpoints beyond those required by the message placement are basic.
+func Figure1() (*model.Pattern, error) {
+	b := model.NewBuilder(3)
+
+	// Interval I_{i,1}: P_i sends m1 to P_j.
+	m1 := b.Send(Pi, Pj)
+	b.Checkpoint(Pi, model.KindBasic, nil) // C_{i,1}
+
+	// Interval I_{j,1}: P_j delivers m1, sends m2 to P_i, delivers m3
+	// (sent by P_k in I_{k,1}); send(m2) precedes deliver(m3), so [m3 m2]
+	// is a non-causal chain.
+	if err := b.Deliver(m1); err != nil {
+		return nil, err
+	}
+	m2 := b.Send(Pj, Pi)
+	m3 := b.Send(Pk, Pj) // send in I_{k,1}
+	if err := b.Deliver(m3); err != nil {
+		return nil, err
+	}
+	b.Checkpoint(Pk, model.KindBasic, nil) // C_{k,1}
+	b.Checkpoint(Pj, model.KindBasic, nil) // C_{j,1}
+
+	// Interval I_{i,2}: P_i delivers m2 and checkpoints C_{i,2}.
+	if err := b.Deliver(m2); err != nil {
+		return nil, err
+	}
+	b.Checkpoint(Pi, model.KindBasic, nil) // C_{i,2}
+
+	// Interval I_{j,2}: P_j sends m4 to P_k, then delivers m5 (sent by P_i
+	// in I_{i,3}), then sends m6 to P_k. [m5 m4] is non-causal; [m5 m6] is
+	// its causal sibling.
+	m4 := b.Send(Pj, Pk)
+	m5 := b.Send(Pi, Pj) // send in I_{i,3}
+	if err := b.Deliver(m5); err != nil {
+		return nil, err
+	}
+	m6 := b.Send(Pj, Pk)
+	b.Checkpoint(Pj, model.KindBasic, nil) // C_{j,2}
+
+	// Interval I_{k,2}: P_k delivers m4, sends m7 to P_j (causal [m4 m7]),
+	// delivers m6, checkpoints C_{k,2}.
+	if err := b.Deliver(m4); err != nil {
+		return nil, err
+	}
+	m7 := b.Send(Pk, Pj)
+	if err := b.Deliver(m6); err != nil {
+		return nil, err
+	}
+	b.Checkpoint(Pk, model.KindBasic, nil) // C_{k,2}
+
+	// Interval I_{i,3} closes with C_{i,3} (m5 was sent in it above).
+	b.Checkpoint(Pi, model.KindBasic, nil) // C_{i,3}
+
+	// Interval I_{j,3}: P_j delivers m7 and checkpoints C_{j,3}.
+	if err := b.Deliver(m7); err != nil {
+		return nil, err
+	}
+	b.Checkpoint(Pj, model.KindBasic, nil) // C_{j,3}
+
+	// Interval I_{k,3}: close with C_{k,3} so the figure has the same
+	// checkpoint counts as the paper's drawing.
+	b.Checkpoint(Pk, model.KindBasic, nil) // C_{k,3} (empty interval)
+
+	return b.Finalize()
+}

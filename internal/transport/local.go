@@ -1,0 +1,89 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Local is an in-process transport: frames are delivered by short-lived
+// goroutines, optionally after a random delay, so concurrent runs exhibit
+// genuine asynchrony while staying inside one process.
+type Local struct {
+	mu       sync.Mutex
+	handlers map[int]Handler
+	closed   bool
+	wg       sync.WaitGroup
+
+	maxDelay time.Duration
+	rng      *rand.Rand
+}
+
+var _ Transport = (*Local)(nil)
+
+// NewLocal creates an in-process transport. maxDelay > 0 adds a uniform
+// random delivery delay in [0, maxDelay) to every frame.
+func NewLocal(maxDelay time.Duration) *Local {
+	return &Local{
+		handlers: make(map[int]Handler),
+		maxDelay: maxDelay,
+		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// Register implements Transport.
+func (l *Local) Register(proc int, h Handler) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if _, dup := l.handlers[proc]; dup {
+		return fmt.Errorf("process %d already registered", proc)
+	}
+	l.handlers[proc] = h
+	return nil
+}
+
+// Send implements Transport.
+func (l *Local) Send(f Frame) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	h, ok := l.handlers[f.To]
+	if !ok {
+		l.mu.Unlock()
+		return fmt.Errorf("no handler registered for process %d", f.To)
+	}
+	var delay time.Duration
+	if l.maxDelay > 0 {
+		delay = time.Duration(l.rng.Int63n(int64(l.maxDelay)))
+	}
+	l.wg.Add(1)
+	l.mu.Unlock()
+
+	go func() {
+		defer l.wg.Done()
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		h(f)
+	}()
+	return nil
+}
+
+// Close implements Transport.
+func (l *Local) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+	l.wg.Wait()
+	return nil
+}

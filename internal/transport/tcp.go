@@ -1,0 +1,167 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// TCP is a loopback TCP transport: every process owns a listener, frames
+// are gob-encoded over persistent connections dialed on first use. It
+// exists so the runtime can be exercised over a real network stack.
+type TCP struct {
+	n     int
+	addrs []string
+
+	mu        sync.Mutex
+	handlers  map[int]Handler
+	listeners []net.Listener
+	conns     map[int]*tcpConn
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+type tcpConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+var _ Transport = (*TCP)(nil)
+
+// NewTCP creates listeners for n processes on 127.0.0.1 and starts their
+// accept loops. Handlers must be registered before peers send to them;
+// frames arriving for an unregistered process are dropped after Close.
+func NewTCP(n int) (*TCP, error) {
+	t := &TCP{
+		n:        n,
+		addrs:    make([]string, n),
+		handlers: make(map[int]Handler),
+		conns:    make(map[int]*tcpConn),
+	}
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			_ = t.Close()
+			return nil, fmt.Errorf("listen for process %d: %w", i, err)
+		}
+		t.listeners = append(t.listeners, ln)
+		t.addrs[i] = ln.Addr().String()
+		t.wg.Add(1)
+		go t.acceptLoop(ln)
+	}
+	return t, nil
+}
+
+// Addr returns the listen address of a process, for diagnostics.
+func (t *TCP) Addr(proc int) string { return t.addrs[proc] }
+
+// Register implements Transport.
+func (t *TCP) Register(proc int, h Handler) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
+	if _, dup := t.handlers[proc]; dup {
+		return fmt.Errorf("process %d already registered", proc)
+	}
+	t.handlers[proc] = h
+	return nil
+}
+
+// Send implements Transport.
+func (t *TCP) Send(f Frame) error {
+	if f.To < 0 || f.To >= t.n {
+		return fmt.Errorf("send to unknown process %d", f.To)
+	}
+	c, err := t.dial(f.To)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(f); err != nil {
+		return fmt.Errorf("encode frame to %d: %w", f.To, err)
+	}
+	return nil
+}
+
+// Close implements Transport.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	listeners := t.listeners
+	conns := t.conns
+	t.mu.Unlock()
+
+	for _, ln := range listeners {
+		_ = ln.Close()
+	}
+	for _, c := range conns {
+		_ = c.conn.Close()
+	}
+	t.wg.Wait()
+	return nil
+}
+
+func (t *TCP) dial(to int) (*tcpConn, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, ErrClosed
+	}
+	if c, ok := t.conns[to]; ok {
+		return c, nil
+	}
+	conn, err := net.Dial("tcp", t.addrs[to])
+	if err != nil {
+		return nil, fmt.Errorf("dial process %d: %w", to, err)
+	}
+	c := &tcpConn{conn: conn, enc: gob.NewEncoder(conn)}
+	t.conns[to] = c
+	return c, nil
+}
+
+func (t *TCP) acceptLoop(ln net.Listener) {
+	defer t.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		t.wg.Add(1)
+		t.mu.Unlock()
+		go t.readLoop(conn)
+	}
+}
+
+func (t *TCP) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	for {
+		var f Frame
+		if err := dec.Decode(&f); err != nil {
+			// EOF or teardown during shutdown ends the stream.
+			return
+		}
+		t.mu.Lock()
+		h := t.handlers[f.To]
+		t.mu.Unlock()
+		if h != nil {
+			h(f)
+		}
+	}
+}

@@ -1,0 +1,311 @@
+package vclock
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestVecClone(t *testing.T) {
+	v := Vec{1, 2, 3}
+	c := v.Clone()
+	c[0] = 9
+	if v[0] != 1 {
+		t.Error("clone aliases original")
+	}
+}
+
+func TestVecMaxInto(t *testing.T) {
+	v := Vec{1, 5, 3}
+	v.MaxInto(Vec{2, 4, 3})
+	if !v.Equal(Vec{2, 5, 3}) {
+		t.Errorf("max = %v", v)
+	}
+}
+
+func TestVecEqualAndDominated(t *testing.T) {
+	if !(Vec{1, 2}).Equal(Vec{1, 2}) {
+		t.Error("Equal failed")
+	}
+	if (Vec{1, 2}).Equal(Vec{1}) {
+		t.Error("Equal ignored length")
+	}
+	if !(Vec{1, 2}).DominatedBy(Vec{1, 3}) {
+		t.Error("DominatedBy failed")
+	}
+	if (Vec{1, 4}).DominatedBy(Vec{1, 3}) {
+		t.Error("DominatedBy accepted larger entry")
+	}
+	if (Vec{1}).DominatedBy(Vec{1, 3}) {
+		t.Error("DominatedBy ignored length")
+	}
+}
+
+func TestVecString(t *testing.T) {
+	if got := (Vec{1, 0, 7}).String(); got != "[1 0 7]" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// genVecs yields two random same-length vectors for quick properties.
+func genVecs(r *rand.Rand) (Vec, Vec) {
+	n := 1 + r.Intn(8)
+	a, b := NewVec(n), NewVec(n)
+	for i := 0; i < n; i++ {
+		a[i] = r.Intn(10)
+		b[i] = r.Intn(10)
+	}
+	return a, b
+}
+
+func TestQuickMaxIntoCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := genVecs(r)
+		x := a.Clone()
+		x.MaxInto(b)
+		y := b.Clone()
+		y.MaxInto(a)
+		return x.Equal(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMaxIntoIdempotentAndMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := genVecs(r)
+		x := a.Clone()
+		x.MaxInto(b)
+		once := x.Clone()
+		x.MaxInto(b)
+		return x.Equal(once) && a.DominatedBy(x) && b.DominatedBy(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMaxIntoAssociative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := genVecs(r)
+		c, _ := genVecs(r)
+		if len(c) != len(a) {
+			c = NewVec(len(a))
+			for i := range c {
+				c[i] = r.Intn(10)
+			}
+		}
+		left := a.Clone()
+		left.MaxInto(b)
+		left.MaxInto(c)
+		bc := b.Clone()
+		bc.MaxInto(c)
+		right := a.Clone()
+		right.MaxInto(bc)
+		return left.Equal(right)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoolsBasics(t *testing.T) {
+	b := NewBools(4)
+	if b.Any() {
+		t.Error("fresh vector should be all false")
+	}
+	b[2] = true
+	if !b.Any() || b.Count() != 1 {
+		t.Errorf("Any/Count wrong: %v", b)
+	}
+	c := b.Clone()
+	c[2] = false
+	if !b[2] {
+		t.Error("clone aliases original")
+	}
+	b.Reset()
+	if b.Any() {
+		t.Error("reset left true entries")
+	}
+}
+
+func TestBoolsString(t *testing.T) {
+	b := Bools{false, true, true, false}
+	if got := b.String(); got != "0110" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(3)
+	if m.N() != 3 {
+		t.Fatalf("N = %d", m.N())
+	}
+	m.Set(1, 2, true)
+	if !m.At(1, 2) || m.At(2, 1) {
+		t.Error("Set/At wrong")
+	}
+	c := m.Clone()
+	c.Set(0, 0, true)
+	if m.At(0, 0) {
+		t.Error("clone aliases original")
+	}
+	if m.Equal(c) {
+		t.Error("Equal missed a difference")
+	}
+	c.Set(0, 0, false)
+	if !m.Equal(c) {
+		t.Error("Equal failed on equal matrices")
+	}
+}
+
+func TestIdentityMatrix(t *testing.T) {
+	m := IdentityMatrix(3)
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			if m.At(r, c) != (r == c) {
+				t.Errorf("identity wrong at (%d,%d)", r, c)
+			}
+		}
+	}
+}
+
+func TestMatrixRowOps(t *testing.T) {
+	src := NewMatrix(3)
+	src.Set(1, 0, true)
+	src.Set(1, 2, true)
+
+	dst := NewMatrix(3)
+	dst.Set(1, 1, true)
+	dst.OrRow(1, src)
+	if !dst.At(1, 0) || !dst.At(1, 1) || !dst.At(1, 2) {
+		t.Errorf("OrRow wrong: %v", dst)
+	}
+
+	dst2 := NewMatrix(3)
+	dst2.Set(1, 1, true)
+	dst2.CopyRow(1, src)
+	if dst2.At(1, 1) || !dst2.At(1, 0) || !dst2.At(1, 2) {
+		t.Errorf("CopyRow wrong: %v", dst2)
+	}
+}
+
+func TestMatrixOrColInto(t *testing.T) {
+	m := NewMatrix(3)
+	m.Set(0, 1, true) // row 0 has column 1 set
+	m.Set(2, 1, true)
+	m.OrColInto(2, 1)
+	if !m.At(0, 2) || !m.At(2, 2) || m.At(1, 2) {
+		t.Errorf("OrColInto wrong:\n%v", m)
+	}
+}
+
+func TestMatrixClearOps(t *testing.T) {
+	m := IdentityMatrix(3)
+	m.Set(1, 0, true)
+	m.Set(1, 2, true)
+	m.ClearRowExcept(1, 1)
+	if m.At(1, 0) || !m.At(1, 1) || m.At(1, 2) {
+		t.Errorf("ClearRowExcept wrong:\n%v", m)
+	}
+	m.ClearRowExcept(1, -1)
+	if m.At(1, 1) {
+		t.Error("ClearRowExcept(-1) kept the diagonal")
+	}
+	m2 := IdentityMatrix(3)
+	m2.ClearDiagonal()
+	for k := 0; k < 3; k++ {
+		if m2.At(k, k) {
+			t.Errorf("diagonal (%d,%d) still set", k, k)
+		}
+	}
+}
+
+func TestMatrixString(t *testing.T) {
+	m := IdentityMatrix(2)
+	if got := m.String(); got != "10\n01" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestCheckDims(t *testing.T) {
+	if err := CheckDims(3, NewVec(3)); err != nil {
+		t.Errorf("CheckDims rejected matching length: %v", err)
+	}
+	if err := CheckDims(3, NewVec(2)); err == nil {
+		t.Error("CheckDims accepted mismatched length")
+	}
+}
+
+func TestQuickOrRowMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(5)
+		a, b := NewMatrix(n), NewMatrix(n)
+		for i := 0; i < n*n/2; i++ {
+			a.Set(r.Intn(n), r.Intn(n), true)
+			b.Set(r.Intn(n), r.Intn(n), true)
+		}
+		row := r.Intn(n)
+		merged := a.Clone()
+		merged.OrRow(row, b)
+		// Every bit of a survives; every bit of b's row appears.
+		for c := 0; c < n; c++ {
+			if a.At(row, c) && !merged.At(row, c) {
+				return false
+			}
+			if b.At(row, c) && !merged.At(row, c) {
+				return false
+			}
+		}
+		// Other rows untouched.
+		for rr := 0; rr < n; rr++ {
+			if rr == row {
+				continue
+			}
+			for c := 0; c < n; c++ {
+				if merged.At(rr, c) != a.At(rr, c) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVecReflectEquality(t *testing.T) {
+	// Guards against Vec accidentally becoming a struct: analyses rely on
+	// slice semantics for JSON round-trips.
+	v := Vec{1, 2}
+	if !reflect.DeepEqual([]int(v), []int{1, 2}) {
+		t.Error("Vec lost slice semantics")
+	}
+}
+
+func TestMatrixCellsRoundTrip(t *testing.T) {
+	m := IdentityMatrix(3)
+	m.Set(0, 2, true)
+	cells := m.CloneCells()
+	cells[1] = true // mutating the copy must not touch the matrix
+	if m.At(0, 1) {
+		t.Error("CloneCells aliases the matrix")
+	}
+	back, err := MatrixFromCells(3, m.CloneCells())
+	if err != nil {
+		t.Fatalf("from cells: %v", err)
+	}
+	if !back.Equal(m) {
+		t.Error("round trip lost cells")
+	}
+	if _, err := MatrixFromCells(3, make([]bool, 5)); err == nil {
+		t.Error("wrong cell count accepted")
+	}
+}

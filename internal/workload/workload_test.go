@@ -1,0 +1,179 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/rdt-go/rdt/internal/core"
+	"github.com/rdt-go/rdt/internal/sim"
+)
+
+func run(t *testing.T, w sim.Workload, seed int64) *sim.Result {
+	t.Helper()
+	cfg := sim.DefaultConfig(core.KindBHMR, seed)
+	cfg.N = 6
+	cfg.Duration = 150
+	res, err := sim.Run(cfg, w)
+	if err != nil {
+		t.Fatalf("run %s: %v", w.Name(), err)
+	}
+	return res
+}
+
+func TestByNameRegistry(t *testing.T) {
+	for _, name := range Names() {
+		w, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if w.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, w.Name())
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Error("ByName accepted an unknown environment")
+	}
+}
+
+func TestEveryEnvironmentGeneratesTraffic(t *testing.T) {
+	for i, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			w, err := ByName(name)
+			if err != nil {
+				t.Fatalf("ByName: %v", err)
+			}
+			res := run(t, w, int64(100+i))
+			if len(res.Pattern.Messages) < 20 {
+				t.Errorf("environment %s produced only %d messages", name, len(res.Pattern.Messages))
+			}
+			if res.Stats.Basic == 0 {
+				t.Errorf("environment %s produced no basic checkpoints", name)
+			}
+		})
+	}
+}
+
+func TestRandomSendsToEveryoneButSelf(t *testing.T) {
+	res := run(t, &Random{MeanGap: 0.5}, 17)
+	seen := make(map[[2]int]bool)
+	for _, m := range res.Pattern.Messages {
+		if m.From == m.To {
+			t.Fatalf("self-send %v", m)
+		}
+		seen[[2]int{int(m.From), int(m.To)}] = true
+	}
+	// With 6 processes and hundreds of messages, every ordered pair should
+	// appear.
+	if len(seen) != 6*5 {
+		t.Errorf("saw %d ordered pairs, want 30", len(seen))
+	}
+}
+
+func TestRingOnlySendsToSuccessor(t *testing.T) {
+	res := run(t, &Ring{MeanGap: 0.5}, 21)
+	for _, m := range res.Pattern.Messages {
+		if int(m.To) != (int(m.From)+1)%res.Pattern.N {
+			t.Fatalf("ring message %v not to successor", m)
+		}
+	}
+}
+
+func TestClientServerShape(t *testing.T) {
+	res := run(t, &ClientServer{Forward: 0.5, Think: 1, Service: 0.2}, 23)
+	sawForward := false
+	for _, m := range res.Pattern.Messages {
+		d := int(m.To) - int(m.From)
+		if d != 1 && d != -1 {
+			t.Fatalf("client/server message %v skips the chain", m)
+		}
+		if int(m.From) >= 1 && d == 1 {
+			sawForward = true
+		}
+	}
+	if !sawForward {
+		t.Error("no request was ever forwarded up the chain")
+	}
+}
+
+func TestBurstSendsInBursts(t *testing.T) {
+	res := run(t, &Burst{MeanQuiet: 3, BurstLen: 4}, 29)
+	// Bursts send BurstLen messages back to back, so per-process message
+	// counts are multiples of the burst length.
+	counts := make([]int, res.Pattern.N)
+	for _, m := range res.Pattern.Messages {
+		counts[m.From]++
+	}
+	for i, c := range counts {
+		if c%4 != 0 {
+			t.Errorf("process %d sent %d messages, not a multiple of the burst length", i, c)
+		}
+	}
+}
+
+func TestGroupPeers(t *testing.T) {
+	peers := groupPeers(9, 3, 1)
+	for i, ps := range peers {
+		if len(ps) == 0 {
+			t.Fatalf("process %d has no group peers", i)
+		}
+		for _, p := range ps {
+			if p == i {
+				t.Fatalf("process %d lists itself as peer", i)
+			}
+			found := false
+			for _, q := range peers[p] {
+				if q == i {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("peer relation not symmetric between %d and %d", i, p)
+			}
+		}
+	}
+	// Groups of 3 overlapping by 1 over 9 processes: each member of a
+	// group interior sees at most 4 distinct peers.
+	for i, ps := range peers {
+		if len(ps) > 4 {
+			t.Errorf("process %d has %d peers, want <= 4", i, len(ps))
+		}
+	}
+}
+
+func TestGroupPeersDegenerateParameters(t *testing.T) {
+	// Clamped parameters must not panic or produce self-peers.
+	for _, args := range [][3]int{{5, 0, 0}, {5, 2, 5}, {5, 3, -2}, {4, 9, 1}} {
+		peers := groupPeers(args[0], args[1], args[2])
+		for i, ps := range peers {
+			for _, p := range ps {
+				if p == i {
+					t.Fatalf("groupPeers%v: process %d lists itself", args, i)
+				}
+				if p < 0 || p >= args[0] {
+					t.Fatalf("groupPeers%v: peer %d out of range", args, p)
+				}
+			}
+		}
+	}
+}
+
+func TestGroupsBiasKeepsTrafficLocal(t *testing.T) {
+	w := &Groups{GroupSize: 3, Overlap: 1, IntraBias: 0.95, MeanGap: 0.5}
+	res := run(t, w, 31)
+	local, total := 0, 0
+	peers := groupPeers(res.Pattern.N, 3, 1)
+	for _, m := range res.Pattern.Messages {
+		total++
+		for _, p := range peers[m.From] {
+			if p == int(m.To) {
+				local++
+				break
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no traffic")
+	}
+	if frac := float64(local) / float64(total); frac < 0.8 {
+		t.Errorf("only %.2f of traffic stayed in groups, want >= 0.8", frac)
+	}
+}

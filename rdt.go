@@ -1,0 +1,319 @@
+package rdt
+
+import (
+	"io"
+	"time"
+
+	"github.com/rdt-go/rdt/internal/cluster"
+	"github.com/rdt-go/rdt/internal/core"
+	"github.com/rdt-go/rdt/internal/explore"
+	"github.com/rdt-go/rdt/internal/model"
+	"github.com/rdt-go/rdt/internal/recovery"
+	"github.com/rdt-go/rdt/internal/rgraph"
+	"github.com/rdt-go/rdt/internal/sim"
+	"github.com/rdt-go/rdt/internal/storage"
+	"github.com/rdt-go/rdt/internal/trace"
+	"github.com/rdt-go/rdt/internal/transport"
+	"github.com/rdt-go/rdt/internal/workload"
+)
+
+// Protocol selects a communication-induced checkpointing protocol.
+type Protocol = core.Kind
+
+// The checkpointing protocols, least conservative first. All except None
+// guarantee the RDT property.
+const (
+	// None takes only basic checkpoints (uncoordinated baseline).
+	None = core.KindNone
+	// BCS is the Briatico–Ciuffoletti–Simoncini index-based protocol:
+	// Z-cycle freedom (no useless checkpoints) without full RDT.
+	BCS = core.KindBCS
+	// BHMR is the paper's protocol: condition C1 ∨ C2 with full causal
+	// sibling tracking — the least conservative of the family.
+	BHMR = core.KindBHMR
+	// BHMRNoSimple is published variant 1 (C1 ∨ C2', no simple vector).
+	BHMRNoSimple = core.KindBHMRNoSimple
+	// BHMRCausalOnly is published variant 2 (C1 alone, false diagonal).
+	BHMRCausalOnly = core.KindBHMRCausalOnly
+	// FDAS is Wang's Fixed-Dependency-After-Send.
+	FDAS = core.KindFDAS
+	// FDI is Wang's Fixed-Dependency-Interval.
+	FDI = core.KindFDI
+	// NRAS is Russell's No-Receive-After-Send.
+	NRAS = core.KindNRAS
+	// CBR is Checkpoint-Before-Receive.
+	CBR = core.KindCBR
+	// CAS is Wu–Fuchs Checkpoint-After-Send.
+	CAS = core.KindCAS
+)
+
+// Protocols returns every protocol, least conservative first.
+func Protocols() []Protocol { return core.Kinds() }
+
+// RDTProtocols returns the protocols that guarantee the RDT property.
+func RDTProtocols() []Protocol { return core.RDTKinds() }
+
+// ParseProtocol maps a protocol name ("bhmr", "fdas", ...) to its value.
+func ParseProtocol(name string) (Protocol, error) { return core.ParseKind(name) }
+
+// ProtocolInstance is the per-process protocol state machine, for
+// embedding the protocols into an engine of your own. See NewCluster for
+// the ready-made runtime.
+type ProtocolInstance = core.Instance
+
+// CheckpointRecord and Sink carry checkpoint announcements out of a
+// protocol instance.
+type (
+	CheckpointRecord = core.CheckpointRecord
+	Sink             = core.Sink
+)
+
+// NewProtocolInstance creates a protocol state machine for process proc of
+// an n-process system; sink (may be nil) observes every checkpoint taken.
+func NewProtocolInstance(p Protocol, proc, n int, sink Sink) (ProtocolInstance, error) {
+	return core.New(p, proc, n, sink)
+}
+
+// Model types: checkpoint and communication patterns and their elements.
+type (
+	// Pattern is a recorded checkpoint and communication pattern.
+	Pattern = model.Pattern
+	// Checkpoint is one local checkpoint of a pattern.
+	Checkpoint = model.Checkpoint
+	// CkptID names a local checkpoint C_{proc,index}.
+	CkptID = model.CkptID
+	// GlobalCheckpoint holds one checkpoint index per process.
+	GlobalCheckpoint = model.GlobalCheckpoint
+	// PatternBuilder constructs patterns event by event.
+	PatternBuilder = model.Builder
+	// ProcID identifies a process (0..N-1).
+	ProcID = model.ProcID
+	// CheckpointKind classifies checkpoints (initial, basic, forced,
+	// final).
+	CheckpointKind = model.CheckpointKind
+)
+
+// Checkpoint kinds, re-exported for pattern inspection.
+const (
+	KindInitial = model.KindInitial
+	KindBasic   = model.KindBasic
+	KindForced  = model.KindForced
+	KindFinal   = model.KindFinal
+)
+
+// NewPatternBuilder returns a builder for hand-constructing patterns.
+func NewPatternBuilder(n int) *PatternBuilder { return model.NewBuilder(n) }
+
+// Figure1 returns the reference pattern of Figure 1 of the paper.
+func Figure1() (*Pattern, error) { return trace.Figure1() }
+
+// SaveTrace and LoadTrace serialize patterns as JSON.
+func SaveTrace(w io.Writer, p *Pattern) error { return trace.Save(w, p) }
+
+// LoadTrace reads and validates a JSON pattern.
+func LoadTrace(r io.Reader) (*Pattern, error) { return trace.Load(r) }
+
+// SaveTraceFile writes a pattern to a JSON file.
+func SaveTraceFile(path string, p *Pattern) error { return trace.SaveFile(path, p) }
+
+// LoadTraceFile reads a pattern from a JSON file.
+func LoadTraceFile(path string) (*Pattern, error) { return trace.LoadFile(path) }
+
+// Analysis types from the rollback-dependency theory.
+type (
+	// RGraph is the rollback-dependency graph with its reachability
+	// relation.
+	RGraph = rgraph.Graph
+	// RDTReport is the outcome of an offline RDT check.
+	RDTReport = rgraph.Report
+	// RDTViolation is one untrackable R-path.
+	RDTViolation = rgraph.Violation
+	// Chains analyzes causal and zigzag message chains.
+	Chains = rgraph.Chains
+)
+
+// BuildRGraph constructs the R-graph of a pattern and precomputes its
+// reachability relation.
+func BuildRGraph(p *Pattern) (*RGraph, error) { return rgraph.Build(p) }
+
+// NewChains builds the message-chain (zigzag/causal) analysis of a
+// pattern.
+func NewChains(p *Pattern) (*Chains, error) { return rgraph.NewChains(p) }
+
+// CheckRDT verifies the Rollback-Dependency Trackability property of a
+// pattern, reporting up to maxViolations untrackable R-paths (<= 0 for a
+// default cap).
+func CheckRDT(p *Pattern, maxViolations int) (*RDTReport, error) {
+	return rgraph.CheckRDT(p, maxViolations)
+}
+
+// VerifyRecordedTDVs checks the dependency vectors recorded with the
+// pattern's checkpoints against an offline recomputation.
+func VerifyRecordedTDVs(p *Pattern) error { return rgraph.VerifyRecordedTDVs(p) }
+
+// IsConsistent reports whether a global checkpoint has no orphan message.
+func IsConsistent(p *Pattern, g GlobalCheckpoint) (bool, error) { return rgraph.IsConsistent(p, g) }
+
+// MinConsistentGlobal returns the minimum consistent global checkpoint
+// containing all the given checkpoints. Under RDT, for a single
+// checkpoint, it equals the dependency vector recorded with it
+// (Corollary 4.5).
+func MinConsistentGlobal(p *Pattern, set ...CkptID) (GlobalCheckpoint, error) {
+	return rgraph.MinConsistentContaining(p, set...)
+}
+
+// MaxConsistentGlobal returns the maximum consistent global checkpoint
+// containing all the given checkpoints.
+func MaxConsistentGlobal(p *Pattern, set ...CkptID) (GlobalCheckpoint, error) {
+	return rgraph.MaxConsistentContaining(p, set...)
+}
+
+// TraceRecoveryLine computes, from the full trace, the maximum consistent
+// global checkpoint dominated by the given per-process bounds.
+func TraceRecoveryLine(p *Pattern, bounds GlobalCheckpoint) (GlobalCheckpoint, error) {
+	return rgraph.RecoveryLine(p, bounds)
+}
+
+// Runtime types: the goroutine-per-process cluster.
+type (
+	// Cluster runs N protocol-equipped processes.
+	Cluster = cluster.Cluster
+	// ClusterConfig parameterizes a cluster.
+	ClusterConfig = cluster.Config
+	// Node is the handle of one cluster process.
+	Node = cluster.Node
+	// NodeStatus is a point-in-time view of a node's protocol state.
+	NodeStatus = cluster.Status
+)
+
+// NewCluster builds and starts a cluster.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
+
+// Transport types: how frames move between cluster processes.
+type (
+	// Transport moves frames between processes.
+	Transport = transport.Transport
+	// Frame is one addressed, opaque message.
+	Frame = transport.Frame
+)
+
+// NewLocalTransport returns an in-process transport; maxDelay > 0 adds a
+// random delivery delay.
+func NewLocalTransport(maxDelay time.Duration) Transport { return transport.NewLocal(maxDelay) }
+
+// NewTCPTransport returns a loopback TCP transport for n processes.
+func NewTCPTransport(n int) (Transport, error) { return transport.NewTCP(n) }
+
+// Storage types: checkpoint persistence.
+type (
+	// Store persists checkpoints.
+	Store = storage.Store
+	// StoredCheckpoint is one persisted checkpoint.
+	StoredCheckpoint = storage.Checkpoint
+)
+
+// NewMemoryStore returns an in-memory checkpoint store.
+func NewMemoryStore() Store { return storage.NewMemory() }
+
+// NewFileStore returns a file-backed checkpoint store rooted at dir.
+func NewFileStore(dir string) (Store, error) { return storage.NewFile(dir) }
+
+// Recovery types: rollback from stored checkpoints.
+type (
+	// RecoveryManager computes recovery lines over a checkpoint store.
+	RecoveryManager = recovery.Manager
+	// RecoveryPlan is the outcome of a recovery-line computation.
+	RecoveryPlan = recovery.Plan
+)
+
+// NewRecoveryManager creates a recovery manager for n processes over a
+// store.
+func NewRecoveryManager(store Store, n int) (*RecoveryManager, error) {
+	return recovery.NewManager(store, n)
+}
+
+// Simulation types: the deterministic discrete-event simulator.
+type (
+	// SimConfig parameterizes a simulation run.
+	SimConfig = sim.Config
+	// SimResult is the outcome of a run.
+	SimResult = sim.Result
+	// Workload drives the communication of a run.
+	Workload = sim.Workload
+	// SimEngine is the event loop handed to workloads.
+	SimEngine = sim.Engine
+)
+
+// DefaultSimConfig returns the baseline simulation parameters.
+func DefaultSimConfig(p Protocol, seed int64) SimConfig { return sim.DefaultConfig(p, seed) }
+
+// Simulate executes one deterministic simulation.
+func Simulate(cfg SimConfig, w Workload) (*SimResult, error) { return sim.Run(cfg, w) }
+
+// WorkloadByName constructs one of the named communication environments
+// ("random", "groups", "client-server", "ring", "burst").
+func WorkloadByName(name string) (Workload, error) { return workload.ByName(name) }
+
+// WorkloadNames lists the registered environments.
+func WorkloadNames() []string { return workload.Names() }
+
+// InTransit returns the messages in the channels at the cut g (sent at or
+// before the sender's entry, delivered after the receiver's) — the set a
+// message log must replay after rolling back to g.
+func InTransit(p *Pattern, g GlobalCheckpoint) ([]Message, error) { return rgraph.InTransit(p, g) }
+
+// Message is one application message of a pattern.
+type Message = model.Message
+
+// RollbackClosure returns every checkpoint discarded when rolling back
+// past the given ones: the targets plus everything R-path-reachable from
+// them.
+func RollbackClosure(g *RGraph, targets ...CkptID) []CkptID {
+	return g.RollbackClosure(targets...)
+}
+
+// PatternPrefix returns the sub-pattern as of the consistent cut g: the
+// history a recovered system keeps after rolling back to g (in-transit
+// messages dropped).
+func PatternPrefix(p *Pattern, g GlobalCheckpoint) (*Pattern, error) { return p.Prefix(g) }
+
+// ReplayMessage is one in-transit message to re-send after a rollback.
+type ReplayMessage = recovery.ReplayMessage
+
+// ReplaySet computes the in-transit messages at a recovery line, with
+// payloads from the message log (for example Cluster.Payload).
+func ReplaySet(p *Pattern, line GlobalCheckpoint, payload func(id int) ([]byte, bool)) ([]ReplayMessage, error) {
+	return recovery.ReplaySet(p, line, payload)
+}
+
+// Exhaustive exploration: verify protocol properties over every
+// interleaving of a small scripted scenario (model checking in miniature).
+type (
+	// ScenarioOp is one scripted action of an exploration scenario.
+	ScenarioOp = explore.Op
+	// ScheduleChoice is one step of an explored schedule.
+	ScheduleChoice = explore.Choice
+	// ExploreResult summarizes an exhaustive exploration.
+	ExploreResult = explore.Result
+)
+
+// ScenarioSend returns a scripted send to the given process.
+func ScenarioSend(to int) ScenarioOp { return explore.Send(to) }
+
+// ScenarioCheckpoint returns a scripted basic checkpoint.
+func ScenarioCheckpoint() ScenarioOp { return explore.Checkpoint() }
+
+// Explore enumerates every interleaving of the per-process scripts with
+// every admissible delivery order, replays the protocol over each, and
+// calls check on every complete execution.
+func Explore(p Protocol, scripts [][]ScenarioOp, check func(schedule []ScheduleChoice, pattern *Pattern) error) (*ExploreResult, error) {
+	return explore.Run(p, scripts, check)
+}
+
+// Resume starts the next incarnation after a rollback: a fresh cluster
+// into which the in-transit messages of the previous incarnation are
+// replayed from the message log. The application must have reinstalled
+// the recovery line's state snapshots first.
+func Resume(cfg ClusterConfig, replay []ReplayMessage) (*Cluster, error) {
+	return recovery.Resume(cfg, replay)
+}

@@ -1,0 +1,241 @@
+package rdt_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	rdt "github.com/rdt-go/rdt"
+)
+
+func TestPublicProtocolRegistry(t *testing.T) {
+	if len(rdt.Protocols()) != 10 {
+		t.Errorf("protocols = %v", rdt.Protocols())
+	}
+	if len(rdt.RDTProtocols()) != 8 || len(rdt.RDTProtocols()) >= len(rdt.Protocols())-1 {
+		t.Errorf("rdt protocols = %v", rdt.RDTProtocols())
+	}
+	p, err := rdt.ParseProtocol("bhmr")
+	if err != nil || p != rdt.BHMR {
+		t.Errorf("parse bhmr = %v, %v", p, err)
+	}
+	if _, err := rdt.ParseProtocol("nope"); err == nil {
+		t.Error("parsed unknown protocol")
+	}
+}
+
+func TestPublicSimulateAndAnalyze(t *testing.T) {
+	w, err := rdt.WorkloadByName("random")
+	if err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+	cfg := rdt.DefaultSimConfig(rdt.BHMR, 5)
+	cfg.N = 4
+	cfg.Duration = 80
+	res, err := rdt.Simulate(cfg, w)
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	report, err := rdt.CheckRDT(res.Pattern, 0)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if !report.RDT {
+		t.Fatalf("violations: %v", report.Violations)
+	}
+	if err := rdt.VerifyRecordedTDVs(res.Pattern); err != nil {
+		t.Fatalf("tdvs: %v", err)
+	}
+
+	// Consistency helpers over the public surface.
+	target := rdt.CkptID{Proc: 1, Index: 1}
+	min, err := rdt.MinConsistentGlobal(res.Pattern, target)
+	if err != nil {
+		t.Fatalf("min: %v", err)
+	}
+	max, err := rdt.MaxConsistentGlobal(res.Pattern, target)
+	if err != nil {
+		t.Fatalf("max: %v", err)
+	}
+	if !min.DominatedBy(max) {
+		t.Errorf("min %v not below max %v", min, max)
+	}
+	ok, err := rdt.IsConsistent(res.Pattern, min)
+	if err != nil || !ok {
+		t.Errorf("min inconsistent: %v %v", ok, err)
+	}
+	line, err := rdt.TraceRecoveryLine(res.Pattern, max)
+	if err != nil {
+		t.Fatalf("line: %v", err)
+	}
+	if !line.Equal(max) {
+		t.Errorf("recovery line below a consistent cut should be that cut: %v vs %v", line, max)
+	}
+}
+
+func TestPublicWorkloadRegistry(t *testing.T) {
+	if len(rdt.WorkloadNames()) != 5 {
+		t.Errorf("workloads = %v", rdt.WorkloadNames())
+	}
+	if _, err := rdt.WorkloadByName("mars"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestPublicTraceRoundTrip(t *testing.T) {
+	p, err := rdt.Figure1()
+	if err != nil {
+		t.Fatalf("figure1: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := rdt.SaveTrace(&buf, p); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	got, err := rdt.LoadTrace(&buf)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if got.N != 3 {
+		t.Errorf("N = %d", got.N)
+	}
+	path := filepath.Join(t.TempDir(), "fig.json")
+	if err := rdt.SaveTraceFile(path, p); err != nil {
+		t.Fatalf("save file: %v", err)
+	}
+	if _, err := rdt.LoadTraceFile(path); err != nil {
+		t.Fatalf("load file: %v", err)
+	}
+}
+
+func TestPublicPatternBuilder(t *testing.T) {
+	b := rdt.NewPatternBuilder(2)
+	m := b.Send(0, 1)
+	b.Checkpoint(0, rdt.KindBasic, nil)
+	if err := b.Deliver(m); err != nil {
+		t.Fatalf("deliver: %v", err)
+	}
+	p, err := b.Finalize()
+	if err != nil {
+		t.Fatalf("finalize: %v", err)
+	}
+	g, err := rdt.BuildRGraph(p)
+	if err != nil {
+		t.Fatalf("graph: %v", err)
+	}
+	if !g.HasRPath(rdt.CkptID{Proc: 0, Index: 1}, rdt.CkptID{Proc: 1, Index: 1}) {
+		t.Error("message edge missing from public graph")
+	}
+	chains, err := rdt.NewChains(p)
+	if err != nil {
+		t.Fatalf("chains: %v", err)
+	}
+	if !chains.HasCausalChain(rdt.CkptID{Proc: 0, Index: 1}, rdt.CkptID{Proc: 1, Index: 1}) {
+		t.Error("causal chain missing")
+	}
+}
+
+func TestPublicClusterAndRecovery(t *testing.T) {
+	store := rdt.NewMemoryStore()
+	c, err := rdt.NewCluster(rdt.ClusterConfig{
+		N:        3,
+		Protocol: rdt.BHMR,
+		Store:    store,
+		Snapshot: func(proc int) []byte { return []byte{byte(proc)} },
+	})
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := c.Node(i%3).Send((i+1)%3, []byte("m")); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	if err := c.Node(1).Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	c.Quiesce()
+	st, err := c.Node(1).Status()
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if st.Basic != 1 {
+		t.Errorf("status = %+v", st)
+	}
+	p, err := c.Stop()
+	if err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	if len(p.Messages) != 6 {
+		t.Errorf("messages = %d", len(p.Messages))
+	}
+
+	mgr, err := rdt.NewRecoveryManager(store, 3)
+	if err != nil {
+		t.Fatalf("manager: %v", err)
+	}
+	plan, err := mgr.AfterCrash(0)
+	if err != nil {
+		t.Fatalf("after crash: %v", err)
+	}
+	if len(plan.Line) != 3 {
+		t.Errorf("plan = %+v", plan)
+	}
+	cps, err := mgr.Restore(plan.Line)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if len(cps) != 3 {
+		t.Errorf("restored = %d", len(cps))
+	}
+}
+
+func TestPublicFileStoreAndTransports(t *testing.T) {
+	fs, err := rdt.NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("file store: %v", err)
+	}
+	if err := fs.Put(rdt.StoredCheckpoint{Proc: 0, Index: 0, TDV: []int{0, 0}}); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	tcp, err := rdt.NewTCPTransport(2)
+	if err != nil {
+		t.Fatalf("tcp: %v", err)
+	}
+	c, err := rdt.NewCluster(rdt.ClusterConfig{N: 2, Transport: tcp, Store: fs})
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	if err := c.Node(0).Send(1, []byte("over tcp")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	c.Quiesce()
+	p, err := c.Stop()
+	if err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	if len(p.Messages) != 1 {
+		t.Errorf("messages = %d", len(p.Messages))
+	}
+
+	local := rdt.NewLocalTransport(0)
+	if err := local.Close(); err != nil {
+		t.Errorf("close local: %v", err)
+	}
+}
+
+func TestPublicProtocolInstance(t *testing.T) {
+	var records []rdt.CheckpointRecord
+	inst, err := rdt.NewProtocolInstance(rdt.FDAS, 0, 2, func(r rdt.CheckpointRecord) {
+		records = append(records, r)
+	})
+	if err != nil {
+		t.Fatalf("instance: %v", err)
+	}
+	inst.TakeBasicCheckpoint()
+	if len(records) != 2 { // initial + basic
+		t.Errorf("records = %v", records)
+	}
+	if inst.CurrentInterval() != 2 {
+		t.Errorf("interval = %d", inst.CurrentInterval())
+	}
+}
