@@ -1,0 +1,32 @@
+# Tier-1 is the gate every change must keep green; tier-2 adds static
+# analysis and the race detector (the observability layer is explicitly
+# concurrent, so tier-2 is what validates it).
+
+GO ?= go
+
+.PHONY: all test race vet bench obs-bench clean
+
+all: test
+
+# Tier-1: build everything and run the full test suite.
+test:
+	$(GO) build ./...
+	$(GO) test ./...
+
+# Tier-2: vet + race-enabled tests across the module.
+race: vet
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Regenerate the evaluation benchmarks (reduced grid).
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Measure observability overhead on the runtime hot path.
+obs-bench:
+	$(GO) test -bench 'BenchmarkObs' -benchmem -run '^$$' .
+
+clean:
+	$(GO) clean ./...

@@ -235,6 +235,77 @@ func BenchmarkClusterThroughput(b *testing.B) {
 	c.Quiesce()
 }
 
+// BenchmarkObsOverhead isolates the cost of the observability layer on
+// the runtime's send/deliver hot path: the same workload with
+// instrumentation off (the nil fast path), metrics only, and metrics
+// plus event tracing. Comparing ns/op across the three sub-benchmarks
+// bounds the instrumentation overhead (the metrics path is expected to
+// stay within a few percent of "off").
+func BenchmarkObsOverhead(b *testing.B) {
+	variants := []struct {
+		name   string
+		obs    func() *rdt.MetricsRegistry
+		tracer func() *rdt.EventTracer
+	}{
+		{"off", func() *rdt.MetricsRegistry { return nil }, func() *rdt.EventTracer { return nil }},
+		{"metrics", rdt.NewMetricsRegistry, func() *rdt.EventTracer { return nil }},
+		{"metrics+events", rdt.NewMetricsRegistry,
+			func() *rdt.EventTracer { return rdt.NewEventTracer(rdt.DefaultEventCapacity) }},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			c, err := rdt.NewCluster(rdt.ClusterConfig{
+				N: 4, Protocol: rdt.BHMR, Obs: v.obs(), Tracer: v.tracer(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Stop() //nolint:errcheck // benchmark cleanup
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.Node(0).Send(1, []byte("x")); err != nil {
+					b.Fatal(err)
+				}
+				if i%256 == 0 {
+					c.Quiesce()
+				}
+			}
+			c.Quiesce()
+		})
+	}
+}
+
+// BenchmarkObsInstruments measures the raw per-operation cost of the
+// instruments themselves, including the nil no-op path.
+func BenchmarkObsInstruments(b *testing.B) {
+	reg := rdt.NewMetricsRegistry()
+	counter := reg.Counter("bench_counter_total")
+	hist := reg.Histogram("bench_hist", nil)
+	tracer := rdt.NewEventTracer(1024)
+	b.Run("counter", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			counter.Inc()
+		}
+	})
+	b.Run("counter-nil", func(b *testing.B) {
+		var nr *rdt.MetricsRegistry
+		c := nr.Counter("unused_total")
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("histogram", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hist.Observe(float64(i % 100))
+		}
+	})
+	b.Run("tracer", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tracer.Record(rdt.TraceEvent{Type: rdt.EventSend, Proc: i % 4})
+		}
+	})
+}
+
 // BenchmarkRGraphScaling measures the offline analyses as trace size
 // grows (nodes here are checkpoints of the R-graph).
 func BenchmarkRGraphScaling(b *testing.B) {

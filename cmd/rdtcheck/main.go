@@ -30,18 +30,24 @@ func main() {
 	}
 }
 
+// metricsServed is a test seam: it runs after all output is printed and
+// before the observability server shuts down, with the server's address.
+var metricsServed = func(addr string) {}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("rdtcheck", flag.ContinueOnError)
 	var (
-		minAt   = fs.String("min", "", "compute the minimum consistent global checkpoint containing proc,index")
-		maxAt   = fs.String("max", "", "compute the maximum consistent global checkpoint containing proc,index")
-		lineAt  = fs.String("line", "", "compute the recovery line below the comma-separated per-process bounds")
-		dot     = fs.Bool("dot", false, "emit the pattern as Graphviz DOT instead of analyzing it")
-		rdot    = fs.Bool("rdot", false, "emit the rollback-dependency graph as Graphviz DOT instead of analyzing it")
-		ascii   = fs.Bool("ascii", false, "also print the pattern as an ASCII space-time diagram")
-		useless = fs.Bool("useless", false, "also list useless checkpoints (requires the O(M²) chain closure)")
-		fig1    = fs.Bool("figure1", false, "analyze the built-in Figure 1 fixture instead of a file")
-		maxViol = fs.Int("violations", 10, "maximum RDT violations to list")
+		minAt       = fs.String("min", "", "compute the minimum consistent global checkpoint containing proc,index")
+		maxAt       = fs.String("max", "", "compute the maximum consistent global checkpoint containing proc,index")
+		lineAt      = fs.String("line", "", "compute the recovery line below the comma-separated per-process bounds")
+		dot         = fs.Bool("dot", false, "emit the pattern as Graphviz DOT instead of analyzing it")
+		rdot        = fs.Bool("rdot", false, "emit the rollback-dependency graph as Graphviz DOT instead of analyzing it")
+		ascii       = fs.Bool("ascii", false, "also print the pattern as an ASCII space-time diagram")
+		useless     = fs.Bool("useless", false, "also list useless checkpoints (requires the O(M²) chain closure)")
+		fig1        = fs.Bool("figure1", false, "analyze the built-in Figure 1 fixture instead of a file")
+		maxViol     = fs.Int("violations", 10, "maximum RDT violations to list")
+		metricsAddr = fs.String("metrics-addr", "", "serve Prometheus /metrics, /debug/events, and /debug/vars for the analyzed pattern on this address (:0 picks a port)")
+		events      = fs.Int("events", 0, "print the last N replayed events after the analysis")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -86,6 +92,22 @@ func run(args []string, out io.Writer) error {
 	report, err := rdt.CheckRDT(p, *maxViol)
 	if err != nil {
 		return err
+	}
+
+	if *metricsAddr != "" || *events > 0 {
+		reg := rdt.NewMetricsRegistry()
+		tracer := rdt.NewEventTracer(rdt.DefaultEventCapacity)
+		replayPattern(reg, tracer, p, len(report.Violations))
+		if *metricsAddr != "" {
+			srv, err := rdt.ServeObs(*metricsAddr, reg, tracer)
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			fmt.Fprintf(out, "metrics: http://%s/metrics events: http://%s/debug/events\n", srv.Addr(), srv.Addr())
+			defer func() { metricsServed(srv.Addr()) }()
+		}
+		defer printEvents(out, tracer, *events)
 	}
 	fmt.Fprintf(out, "RDT property: %v (%d/%d rollback dependencies trackable)\n",
 		report.RDT, report.TrackablePairs, report.RPathPairs)
@@ -151,6 +173,59 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "recovery line below %v: %v\n", bounds, line)
 	}
 	return nil
+}
+
+// replayPattern projects an offline pattern into the observability
+// model: each checkpoint and message becomes the structured event and
+// counter increment the live runtime would have recorded, so the same
+// /metrics and /debug/events surface works on archived traces.
+func replayPattern(reg *rdt.MetricsRegistry, tracer *rdt.EventTracer, p *rdt.Pattern, violations int) {
+	basic := reg.Counter("rdt_check_checkpoints_total", "kind", "basic")
+	forced := reg.Counter("rdt_check_checkpoints_total", "kind", "forced")
+	for _, cs := range p.Checkpoints {
+		for i := range cs {
+			cp := &cs[i]
+			switch cp.Kind {
+			case rdt.KindBasic:
+				basic.Inc()
+				tracer.Record(rdt.TraceEvent{
+					Type: rdt.EventBasicCheckpoint, Proc: int(cp.Proc), Value: cp.Index,
+				})
+			case rdt.KindForced:
+				forced.Inc()
+				tracer.Record(rdt.TraceEvent{
+					Type: rdt.EventForcedCheckpoint, Proc: int(cp.Proc), Value: cp.Index,
+				})
+			}
+		}
+	}
+	messages := reg.Counter("rdt_check_messages_total")
+	for _, m := range p.Messages {
+		messages.Inc()
+		tracer.Record(rdt.TraceEvent{
+			Type: rdt.EventSend, Proc: int(m.From), Peer: int(m.To), Value: m.ID,
+		})
+		tracer.Record(rdt.TraceEvent{
+			Type: rdt.EventDeliver, Proc: int(m.To), Peer: int(m.From), Value: m.ID,
+		})
+	}
+	reg.Counter("rdt_check_violations_total").Add(int64(violations))
+}
+
+// printEvents writes the tail of the replayed event trace, oldest first.
+func printEvents(out io.Writer, tracer *rdt.EventTracer, n int) {
+	if tracer == nil || n <= 0 {
+		return
+	}
+	tail := tracer.Tail(n)
+	fmt.Fprintf(out, "events (last %d of %d replayed):\n", len(tail), tracer.Seq())
+	for _, ev := range tail {
+		fmt.Fprintf(out, "  #%-8d %-17s proc=%d", ev.Seq, ev.Type, ev.Proc)
+		if ev.Type == rdt.EventSend || ev.Type == rdt.EventDeliver {
+			fmt.Fprintf(out, " peer=%d", ev.Peer)
+		}
+		fmt.Fprintf(out, " value=%d\n", ev.Value)
+	}
 }
 
 // parseCkpt parses "proc,index".

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	return string(body)
+}
+
+// TestRunCheckMetricsMatchReport replays the Figure 1 fixture into the
+// observability surface and cross-checks the served counters against
+// the printed pattern summary.
+func TestRunCheckMetricsMatchReport(t *testing.T) {
+	var metricsBody, eventsBody string
+	oldHook := metricsServed
+	metricsServed = func(addr string) {
+		metricsBody = httpGet(t, "http://"+addr+"/metrics")
+		eventsBody = httpGet(t, "http://"+addr+"/debug/events")
+	}
+	defer func() { metricsServed = oldHook }()
+
+	var out bytes.Buffer
+	if err := run([]string{"-figure1", "-metrics-addr", "127.0.0.1:0", "-events", "4"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if metricsBody == "" {
+		t.Fatal("metricsServed hook never ran")
+	}
+
+	var procs, messages, initial, basic, forced, final int
+	for _, line := range strings.Split(out.String(), "\n") {
+		if _, err := fmt.Sscanf(line, "pattern: %d processes, %d messages, checkpoints: %d initial + %d basic + %d forced + %d final",
+			&procs, &messages, &initial, &basic, &forced, &final); err == nil {
+			break
+		}
+	}
+	if messages == 0 {
+		t.Fatalf("summary parse failed:\n%s", out.String())
+	}
+
+	series := make(map[string]int)
+	for _, line := range strings.Split(metricsBody, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if i := strings.LastIndexByte(line, ' '); i > 0 {
+			if v, err := strconv.Atoi(line[i+1:]); err == nil {
+				series[line[:i]] = v
+			}
+		}
+	}
+	if got := series["rdt_check_messages_total"]; got != messages {
+		t.Errorf("metrics report %d messages, summary %d", got, messages)
+	}
+	if got := series[`rdt_check_checkpoints_total{kind="basic"}`]; got != basic {
+		t.Errorf("metrics report %d basic, summary %d", got, basic)
+	}
+	if got := series[`rdt_check_checkpoints_total{kind="forced"}`]; got != forced {
+		t.Errorf("metrics report %d forced, summary %d", got, forced)
+	}
+	if _, ok := series["rdt_check_violations_total"]; !ok {
+		t.Error("metrics missing rdt_check_violations_total")
+	}
+
+	if !strings.Contains(eventsBody, `"seq"`) {
+		t.Errorf("/debug/events returned no events: %s", eventsBody)
+	}
+	if !strings.Contains(out.String(), "events (last 4 of ") {
+		t.Errorf("missing event tail:\n%s", out.String())
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"path/filepath"
 
 	"github.com/rdt-go/rdt/internal/experiments"
+	"github.com/rdt-go/rdt/internal/obs"
 	"github.com/rdt-go/rdt/internal/stats"
 )
 
@@ -34,8 +35,9 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("rdtexperiments", flag.ContinueOnError)
 	var (
-		quick  = fs.Bool("quick", false, "use the reduced experiment grid")
-		csvDir = fs.String("csv", "", "directory to write CSV artifacts into")
+		quick       = fs.Bool("quick", false, "use the reduced experiment grid")
+		csvDir      = fs.String("csv", "", "directory to write CSV artifacts into")
+		metricsAddr = fs.String("metrics-addr", "", "serve live Prometheus /metrics for the running grid on this address (:0 picks a port)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -43,6 +45,15 @@ func run(args []string, out io.Writer) error {
 	cfg := experiments.Default()
 	if *quick {
 		cfg = experiments.Quick()
+	}
+	if *metricsAddr != "" {
+		cfg.Obs = obs.NewRegistry()
+		srv, err := obs.Serve(*metricsAddr, cfg.Obs, nil)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(out, "metrics: http://%s/metrics\n", srv.Addr())
 	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {

@@ -28,25 +28,50 @@ func main() {
 	}
 }
 
+// metricsServed is a test seam: it runs after all output is printed and
+// before the observability server shuts down, with the server's address.
+var metricsServed = func(addr string) {}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("rdtsim", flag.ContinueOnError)
 	var (
-		protocol  = fs.String("protocol", "bhmr", "checkpointing protocol ('all' for a comparison): "+strings.Join(protocolNames(), ", "))
-		env       = fs.String("workload", "random", "communication environment: "+strings.Join(rdt.WorkloadNames(), ", "))
-		n         = fs.Int("n", 8, "number of processes")
-		duration  = fs.Float64("duration", 1000, "simulated time horizon")
-		basic     = fs.Float64("basic", 10, "mean interval between basic checkpoints")
-		seed      = fs.Int64("seed", 1, "random seed")
-		seeds     = fs.Int("seeds", 1, "number of replications (seed, seed+1, ...); with more than one, report mean and 95% CI of R")
-		tracePath = fs.String("trace", "", "write the recorded pattern to this JSON file")
-		check     = fs.Bool("check", true, "verify the RDT property of the recorded pattern")
+		protocol    = fs.String("protocol", "bhmr", "checkpointing protocol ('all' for a comparison): "+strings.Join(rdt.ProtocolNames(), ", "))
+		env         = fs.String("workload", "random", "communication environment: "+strings.Join(rdt.WorkloadNames(), ", "))
+		n           = fs.Int("n", 8, "number of processes")
+		duration    = fs.Float64("duration", 1000, "simulated time horizon")
+		basic       = fs.Float64("basic", 10, "mean interval between basic checkpoints")
+		seed        = fs.Int64("seed", 1, "random seed")
+		seeds       = fs.Int("seeds", 1, "number of replications (seed, seed+1, ...); with more than one, report mean and 95% CI of R")
+		tracePath   = fs.String("trace", "", "write the recorded pattern to this JSON file")
+		check       = fs.Bool("check", true, "verify the RDT property of the recorded pattern")
+		metricsAddr = fs.String("metrics-addr", "", "serve Prometheus /metrics, /debug/events, and /debug/vars on this address (:0 picks a port)")
+		events      = fs.Int("events", 0, "print the last N structured events after the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	var (
+		reg    *rdt.MetricsRegistry
+		tracer *rdt.EventTracer
+	)
+	if *metricsAddr != "" || *events > 0 {
+		reg = rdt.NewMetricsRegistry()
+		tracer = rdt.NewEventTracer(rdt.DefaultEventCapacity)
+	}
+	if *metricsAddr != "" {
+		srv, err := rdt.ServeObs(*metricsAddr, reg, tracer)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(out, "metrics: http://%s/metrics events: http://%s/debug/events\n", srv.Addr(), srv.Addr())
+		defer func() { metricsServed(srv.Addr()) }()
+	}
+	defer printEvents(out, tracer, *events)
+
 	if *protocol == "all" {
-		return compareAll(out, *env, *n, *duration, *basic, *seed)
+		return compareAll(out, *env, *n, *duration, *basic, *seed, reg, tracer)
 	}
 	kind, err := rdt.ParseProtocol(*protocol)
 	if err != nil {
@@ -60,6 +85,8 @@ func run(args []string, out io.Writer) error {
 	cfg.N = *n
 	cfg.Duration = *duration
 	cfg.BasicMean = *basic
+	cfg.Obs = reg
+	cfg.Tracer = tracer
 
 	if *seeds > 1 {
 		return replicate(out, cfg, *env, *seeds)
@@ -99,12 +126,27 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-func protocolNames() []string {
-	var out []string
-	for _, p := range rdt.Protocols() {
-		out = append(out, p.String())
+// printEvents writes the tail of the structured event trace, oldest
+// first. A nil tracer or n <= 0 prints nothing.
+func printEvents(out io.Writer, tracer *rdt.EventTracer, n int) {
+	if tracer == nil || n <= 0 {
+		return
 	}
-	return out
+	tail := tracer.Tail(n)
+	fmt.Fprintf(out, "events (last %d of %d recorded):\n", len(tail), tracer.Seq())
+	for _, ev := range tail {
+		fmt.Fprintf(out, "  #%-8d %-17s proc=%d", ev.Seq, ev.Type, ev.Proc)
+		if ev.Type == rdt.EventSend || ev.Type == rdt.EventDeliver || ev.Type == rdt.EventRetry {
+			fmt.Fprintf(out, " peer=%d", ev.Peer)
+		}
+		if ev.Predicate != "" {
+			fmt.Fprintf(out, " predicate=%s", ev.Predicate)
+		}
+		if ev.Detail != "" {
+			fmt.Fprintf(out, " detail=%q", ev.Detail)
+		}
+		fmt.Fprintf(out, " value=%d\n", ev.Value)
+	}
 }
 
 // replicate runs the configuration over consecutive seeds and reports the
@@ -134,8 +176,9 @@ func replicate(out io.Writer, cfg rdt.SimConfig, env string, seeds int) error {
 }
 
 // compareAll runs every protocol on the same workload and seed and prints
-// a comparison table.
-func compareAll(out io.Writer, env string, n int, duration, basic float64, seed int64) error {
+// a comparison table. All runs share the registry and tracer (may be
+// nil), with series distinguished by their protocol label.
+func compareAll(out io.Writer, env string, n int, duration, basic float64, seed int64, reg *rdt.MetricsRegistry, tracer *rdt.EventTracer) error {
 	fmt.Fprintf(out, "workload=%s n=%d duration=%g basic=%g seed=%d\n", env, n, duration, basic, seed)
 	fmt.Fprintf(out, "%-8s %9s %9s %9s %9s %10s %6s\n",
 		"protocol", "messages", "basic", "forced", "R=f/b", "piggyback", "RDT")
@@ -148,6 +191,8 @@ func compareAll(out io.Writer, env string, n int, duration, basic float64, seed 
 		cfg.N = n
 		cfg.Duration = duration
 		cfg.BasicMean = basic
+		cfg.Obs = reg
+		cfg.Tracer = tracer
 		res, err := rdt.Simulate(cfg, w)
 		if err != nil {
 			return err

@@ -126,12 +126,25 @@ func run() error {
 	}
 
 	db := newKV()
+	// One registry and tracer observe both incarnations and the recovery
+	// in between; /metrics and /debug/events stay live throughout.
+	reg := rdt.NewMetricsRegistry()
+	tracer := rdt.NewEventTracer(rdt.DefaultEventCapacity)
+	srv, err := rdt.ServeObs("127.0.0.1:0", reg, tracer)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("observability: http://%s/metrics\n", srv.Addr())
+
 	cfg := rdt.ClusterConfig{
 		N:           nodes,
 		Protocol:    rdt.BHMR,
 		Store:       store,
 		Snapshot:    db.snapshot,
 		LogPayloads: true,
+		Obs:         reg,
+		Tracer:      tracer,
 		Handler: func(node *rdt.Node, _ int, payload []byte) {
 			db.apply(node, payload)
 		},
@@ -183,7 +196,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	plan, err := mgr.AfterCrash(2)
+	plan, err := mgr.Observe(reg, tracer).AfterCrash(2)
 	if err != nil {
 		return err
 	}
@@ -230,6 +243,20 @@ func run() error {
 	fmt.Printf("incarnation 2: %d messages, RDT: %v\n", len(pattern2.Messages), report.RDT)
 	for i := 0; i < nodes; i++ {
 		fmt.Printf("  shard %d: %s\n", i, db.dump(i))
+	}
+
+	// The registry spans the whole story: both incarnations' checkpoints
+	// with the predicate that forced each one, the recovery, the replay.
+	snap := reg.Snapshot()
+	fmt.Printf("observed: %d basic + %d forced checkpoints, %d recoveries, %d replayed writes\n",
+		snap.CounterValue("rdt_checkpoints_total", "protocol", "bhmr", "kind", "basic"),
+		snap.CounterValue("rdt_checkpoints_total", "protocol", "bhmr", "kind", "forced"),
+		snap.CounterValue("rdt_recoveries_total"),
+		snap.CounterValue("rdt_replayed_messages_total"))
+	for _, m := range snap.Metrics {
+		if m.Name == "rdt_forced_checkpoints_total" {
+			fmt.Printf("  forced by %s: %d\n", m.Labels[1], m.Value)
+		}
 	}
 	return nil
 }

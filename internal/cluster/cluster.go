@@ -19,6 +19,7 @@ import (
 
 	"github.com/rdt-go/rdt/internal/core"
 	"github.com/rdt-go/rdt/internal/model"
+	"github.com/rdt-go/rdt/internal/obs"
 	"github.com/rdt-go/rdt/internal/storage"
 	"github.com/rdt-go/rdt/internal/transport"
 )
@@ -30,8 +31,8 @@ type Config struct {
 	// Protocol selects the checkpointing protocol (default KindBHMR).
 	Protocol core.Kind
 	// Transport moves frames between processes; defaults to an in-process
-	// transport with up to 2ms delivery delay. The cluster closes it on
-	// Stop.
+	// transport with up to transport.DefaultLocalDelay of delivery
+	// delay. The cluster closes it on Stop.
 	Transport transport.Transport
 	// Store persists checkpoints; defaults to an in-memory store.
 	Store storage.Store
@@ -45,6 +46,16 @@ type Config struct {
 	// id of the recorded pattern — the sender-based message log recovery
 	// needs to replay in-transit messages after a rollback.
 	LogPayloads bool
+
+	// Obs, if non-nil, receives the cluster's metrics (sends,
+	// deliveries, per-predicate forced checkpoints, queue depths,
+	// latency histograms) and turns on transport instrumentation. Nil
+	// disables observability at near-zero cost.
+	Obs *obs.Registry
+	// Tracer, if non-nil, records structured events (sends, deliveries,
+	// checkpoints with their triggering predicate, transport retries)
+	// into its bounded ring.
+	Tracer *obs.Tracer
 }
 
 // ErrStopped is returned by operations on a stopped cluster.
@@ -63,6 +74,7 @@ type Cluster struct {
 	stopped  bool
 
 	outstanding *pending
+	ins         *instruments // nil when observability is off
 }
 
 // New builds and starts a cluster.
@@ -81,7 +93,11 @@ func New(cfg Config) (*Cluster, error) {
 		outstanding: newPending(),
 	}
 	if c.trans == nil {
-		c.trans = transport.NewLocal(2 * time.Millisecond)
+		c.trans = transport.NewLocal(transport.DefaultLocalDelay)
+	}
+	if cfg.Obs != nil || cfg.Tracer != nil {
+		c.ins = newInstruments(cfg.Obs, cfg.Tracer, cfg.Protocol)
+		c.trans = transport.WithObs(c.trans, cfg.Obs, cfg.Tracer)
 	}
 	if cfg.LogPayloads {
 		c.payloads = make(map[int][]byte)
@@ -122,7 +138,15 @@ func (c *Cluster) Store() storage.Store { return c.store }
 // Quiesce blocks until no operation or message is outstanding — including
 // any cascade the Handler callback generates. It does not stop the
 // cluster.
-func (c *Cluster) Quiesce() { c.outstanding.wait() }
+func (c *Cluster) Quiesce() {
+	if c.ins == nil {
+		c.outstanding.wait()
+		return
+	}
+	start := time.Now()
+	c.outstanding.wait()
+	c.ins.quiesceWait.Observe(time.Since(start).Seconds())
+}
 
 // Stop quiesces the cluster, shuts down the nodes and the transport, and
 // returns the recorded pattern, finalized. Stop is idempotent; subsequent
@@ -202,6 +226,7 @@ func (c *Cluster) recordCheckpoint(rec core.CheckpointRecord) {
 		c.builder.Checkpoint(model.ProcID(rec.Proc), rec.Kind, rec.TDV)
 		c.mu.Unlock()
 	}
+	c.ins.checkpoint(rec)
 	var state []byte
 	if c.cfg.Snapshot != nil {
 		state = c.cfg.Snapshot(rec.Proc)

@@ -3,8 +3,10 @@ package cluster
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/rdt-go/rdt/internal/core"
+	"github.com/rdt-go/rdt/internal/obs"
 	"github.com/rdt-go/rdt/internal/transport"
 	"github.com/rdt-go/rdt/internal/vclock"
 )
@@ -28,6 +30,10 @@ type op struct {
 	payload []byte // opSend
 	frame   []byte // opFrame
 	query   chan Status
+
+	// arrived stamps when an opFrame entered the mailbox; zero when
+	// observability is off.
+	arrived time.Time
 }
 
 type opKind int
@@ -52,7 +58,7 @@ func newNode(c *Cluster, proc int) (*Node, error) {
 	n := &Node{
 		c:       c,
 		proc:    proc,
-		mailbox: newMailbox(),
+		mailbox: newMailbox(c.ins.queueDepth(proc)),
 		done:    make(chan struct{}),
 	}
 	inst, err := core.New(c.cfg.Protocol, proc, c.cfg.N, c.recordCheckpoint)
@@ -113,8 +119,12 @@ func (n *Node) enqueue(o op) error {
 // onFrame is the transport handler: it hands the frame to the node
 // goroutine. It must not block.
 func (n *Node) onFrame(f transport.Frame) {
+	o := op{kind: opFrame, frame: f.Data}
+	if n.c.ins != nil {
+		o.arrived = time.Now()
+	}
 	// The sender already accounted for this frame in outstanding.
-	if !n.mailbox.put(op{kind: opFrame, frame: f.Data}) {
+	if !n.mailbox.put(o) {
 		n.c.outstanding.done() // dropped during shutdown
 	}
 }
@@ -138,6 +148,9 @@ func (n *Node) execute(o op) {
 	case opCheckpoint:
 		n.inst.TakeBasicCheckpoint()
 	case opFrame:
+		if ins := n.c.ins; ins != nil && !o.arrived.IsZero() {
+			ins.deliveryLatency.Observe(time.Since(o.arrived).Seconds())
+		}
 		n.doDeliver(o.frame)
 	case opQuery:
 		o.query <- Status{
@@ -153,6 +166,13 @@ func (n *Node) execute(o op) {
 func (n *Node) doSend(to int, payload []byte) {
 	pb, forceAfter := n.inst.OnSend(to)
 	handle := n.c.recordSend(n.proc, to, payload)
+	if ins := n.c.ins; ins != nil {
+		ins.sends.Inc()
+		ins.piggybackBytes.Add(int64(n.inst.WireSize()))
+		ins.tracer.Record(obs.Event{
+			Type: obs.EventSend, Proc: n.proc, Peer: to, Value: handle,
+		})
+	}
 	if forceAfter {
 		n.inst.CheckpointAfterSend()
 	}
@@ -178,6 +198,12 @@ func (n *Node) doDeliver(frame []byte) {
 	if err := n.c.recordDeliver(handle); err != nil {
 		panic(fmt.Sprintf("cluster: %v", err))
 	}
+	if ins := n.c.ins; ins != nil {
+		ins.deliveries.Inc()
+		ins.tracer.Record(obs.Event{
+			Type: obs.EventDeliver, Proc: n.proc, Peer: from, Value: handle,
+		})
+	}
 	if n.c.cfg.Handler != nil {
 		n.c.cfg.Handler(n, from, payload)
 	}
@@ -185,16 +211,18 @@ func (n *Node) doDeliver(frame []byte) {
 
 // mailbox is an unbounded FIFO queue with shutdown semantics. Transports
 // deliver into it without blocking, which is what keeps the cluster free
-// of send/receive deadlocks.
+// of send/receive deadlocks. The depth gauge (nil-safe, may be nil)
+// tracks the queue length for live introspection.
 type mailbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	items  []op
 	closed bool
+	depth  *obs.Gauge
 }
 
-func newMailbox() *mailbox {
-	m := &mailbox{}
+func newMailbox(depth *obs.Gauge) *mailbox {
+	m := &mailbox{depth: depth}
 	m.cond = sync.NewCond(&m.mu)
 	return m
 }
@@ -207,6 +235,7 @@ func (m *mailbox) put(o op) bool {
 		return false
 	}
 	m.items = append(m.items, o)
+	m.depth.Set(int64(len(m.items)))
 	m.cond.Signal()
 	return true
 }
@@ -224,6 +253,7 @@ func (m *mailbox) take() (op, bool) {
 	}
 	o := m.items[0]
 	m.items = m.items[1:]
+	m.depth.Set(int64(len(m.items)))
 	return o, true
 }
 

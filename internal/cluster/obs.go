@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"strconv"
+
+	"github.com/rdt-go/rdt/internal/core"
+	"github.com/rdt-go/rdt/internal/model"
+	"github.com/rdt-go/rdt/internal/obs"
+)
+
+// instruments bundles the cluster's pre-created observability series so
+// the hot paths never take the registry lock. A nil *instruments means
+// observability is off; every use is guarded by one nil check, and the
+// individual series are themselves nil-safe.
+type instruments struct {
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	proto  string
+
+	sends          *obs.Counter
+	deliveries     *obs.Counter
+	piggybackBytes *obs.Counter
+	basic          *obs.Counter
+	forced         *obs.Counter
+
+	// deliveryLatency is the mailbox wait: frame arrival at the node to
+	// execution in the node goroutine.
+	deliveryLatency *obs.Histogram
+	quiesceWait     *obs.Histogram
+}
+
+// newInstruments creates the cluster's series. reg and tr may each be
+// nil (the corresponding series are nil and no-op).
+func newInstruments(reg *obs.Registry, tr *obs.Tracer, protocol core.Kind) *instruments {
+	proto := protocol.String()
+	return &instruments{
+		reg:             reg,
+		tracer:          tr,
+		proto:           proto,
+		sends:           reg.Counter("rdt_cluster_sends_total", "protocol", proto),
+		deliveries:      reg.Counter("rdt_cluster_deliveries_total", "protocol", proto),
+		piggybackBytes:  reg.Counter("rdt_cluster_piggyback_bytes_total", "protocol", proto),
+		basic:           reg.Counter("rdt_checkpoints_total", "protocol", proto, "kind", "basic"),
+		forced:          reg.Counter("rdt_checkpoints_total", "protocol", proto, "kind", "forced"),
+		deliveryLatency: reg.Histogram("rdt_cluster_delivery_latency_seconds", obs.LatencyBuckets, "protocol", proto),
+		quiesceWait:     reg.Histogram("rdt_cluster_quiesce_wait_seconds", obs.LatencyBuckets, "protocol", proto),
+	}
+}
+
+// queueDepth returns the mailbox-depth gauge of one node.
+func (ins *instruments) queueDepth(proc int) *obs.Gauge {
+	if ins == nil {
+		return nil
+	}
+	return ins.reg.Gauge("rdt_cluster_queue_depth", "proc", strconv.Itoa(proc))
+}
+
+// checkpoint accounts for one recorded checkpoint, attributing forced
+// ones to the predicate that fired them. Initial checkpoints are not
+// counted (they are part of the model, not of the overhead).
+func (ins *instruments) checkpoint(rec core.CheckpointRecord) {
+	if ins == nil {
+		return
+	}
+	switch rec.Kind {
+	case model.KindBasic:
+		ins.basic.Inc()
+		ins.tracer.Record(obs.Event{
+			Type:  obs.EventBasicCheckpoint,
+			Proc:  rec.Proc,
+			Value: rec.Index,
+		})
+	case model.KindForced:
+		ins.forced.Inc()
+		// Checkpoints are orders of magnitude rarer than messages, so
+		// the per-predicate series may take the registry lock here.
+		ins.reg.Counter("rdt_forced_checkpoints_total",
+			"protocol", ins.proto, "predicate", rec.Predicate).Inc()
+		ins.tracer.Record(obs.Event{
+			Type:      obs.EventForcedCheckpoint,
+			Proc:      rec.Proc,
+			Predicate: rec.Predicate,
+			Value:     rec.Index,
+		})
+	}
+}

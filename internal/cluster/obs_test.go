@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/rdt-go/rdt/internal/core"
+	"github.com/rdt-go/rdt/internal/obs"
+)
+
+// TestClusterObsMatchesProtocolCounters is the end-to-end accounting
+// check: after a quiesced BHMR run, the registry's checkpoint counters
+// must equal the protocol instances' own Basic()/Forced() counts (as
+// reported by Node.Status()), the per-predicate attribution must sum to
+// the forced total, and the traffic counters must match the recorded
+// pattern.
+func TestClusterObsMatchesProtocolCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(1 << 14)
+	c, err := New(Config{
+		N:        4,
+		Protocol: core.KindBHMR,
+		Obs:      reg,
+		Tracer:   tr,
+		Handler:  echoApp,
+	})
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	const rounds = 25
+	for i := 0; i < rounds; i++ {
+		for p := 0; p < 4; p++ {
+			if err := c.Node(p).Send((p+1)%4, []byte("ping")); err != nil {
+				t.Fatalf("send: %v", err)
+			}
+		}
+		if i%5 == 0 {
+			for p := 0; p < 4; p++ {
+				if err := c.Node(p).Checkpoint(); err != nil {
+					t.Fatalf("checkpoint: %v", err)
+				}
+			}
+		}
+	}
+	c.Quiesce()
+
+	wantBasic, wantForced := 0, 0
+	for p := 0; p < 4; p++ {
+		st, err := c.Node(p).Status()
+		if err != nil {
+			t.Fatalf("status: %v", err)
+		}
+		wantBasic += st.Basic
+		wantForced += st.Forced
+	}
+	if wantBasic == 0 || wantForced == 0 {
+		t.Fatalf("degenerate run: basic=%d forced=%d", wantBasic, wantForced)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.CounterValue("rdt_checkpoints_total", "protocol", "bhmr", "kind", "basic"); got != int64(wantBasic) {
+		t.Errorf("obs basic = %d, protocol counters say %d", got, wantBasic)
+	}
+	if got := snap.CounterValue("rdt_checkpoints_total", "protocol", "bhmr", "kind", "forced"); got != int64(wantForced) {
+		t.Errorf("obs forced = %d, protocol counters say %d", got, wantForced)
+	}
+	if got := snap.SumCounters("rdt_forced_checkpoints_total"); got != int64(wantForced) {
+		t.Errorf("predicate attribution sums to %d, forced total is %d", got, wantForced)
+	}
+
+	p, err := c.Stop()
+	if err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	msgs := int64(len(p.Messages))
+	if got := snap.CounterValue("rdt_cluster_sends_total", "protocol", "bhmr"); got != msgs {
+		t.Errorf("obs sends = %d, pattern has %d messages", got, msgs)
+	}
+	if got := snap.CounterValue("rdt_cluster_deliveries_total", "protocol", "bhmr"); got != msgs {
+		t.Errorf("obs deliveries = %d, pattern has %d messages", got, msgs)
+	}
+	if got := snap.CounterValue("rdt_transport_frames_total", "transport", "local"); got != msgs {
+		t.Errorf("obs transport frames = %d, pattern has %d messages", got, msgs)
+	}
+
+	// The transport decorator timed every hop, and the node goroutine
+	// timed every mailbox wait.
+	hop, ok := snap.Get("rdt_transport_hop_seconds", "transport", "local")
+	if !ok || hop.Count != msgs {
+		t.Errorf("hop histogram count = %d (ok=%v), want %d", hop.Count, ok, msgs)
+	}
+	lat, ok := snap.Get("rdt_cluster_delivery_latency_seconds", "protocol", "bhmr")
+	if !ok || lat.Count != msgs {
+		t.Errorf("delivery latency count = %d (ok=%v), want %d", lat.Count, ok, msgs)
+	}
+	quiesce, ok := snap.Get("rdt_cluster_quiesce_wait_seconds", "protocol", "bhmr")
+	if !ok || quiesce.Count != 1 {
+		t.Errorf("quiesce wait count = %d (ok=%v), want 1", quiesce.Count, ok)
+	}
+
+	// Every forced checkpoint left a predicate-tagged event in the ring.
+	forcedEvents := 0
+	for _, ev := range tr.Tail(0) {
+		if ev.Type == obs.EventForcedCheckpoint {
+			forcedEvents++
+			if ev.Predicate == "" {
+				t.Errorf("forced-checkpoint event %d has no predicate", ev.Seq)
+			}
+		}
+	}
+	if forcedEvents != wantForced {
+		t.Errorf("tracer has %d forced-checkpoint events, want %d", forcedEvents, wantForced)
+	}
+}
+
+// TestClusterObsOffByDefault: without a registry or tracer the cluster
+// must not allocate instruments (the nil fast path).
+func TestClusterObsOffByDefault(t *testing.T) {
+	c, err := New(Config{N: 2, Protocol: core.KindBHMR})
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	if c.ins != nil {
+		t.Error("instruments allocated although observability is off")
+	}
+	if _, err := c.Stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+}

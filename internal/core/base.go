@@ -53,6 +53,13 @@ func (b *base) afterFirstSend() bool { return b.sentTo.Any() }
 // interval index) with a copy of the dependency vector, and advances
 // TDV[proc] to the new interval.
 func (b *base) record(kind model.CheckpointKind) {
+	b.recordPred(kind, "")
+}
+
+// recordPred is record with the forced-checkpoint attribution: predicate
+// names the visible condition that fired (empty for basic and initial
+// checkpoints).
+func (b *base) recordPred(kind model.CheckpointKind, predicate string) {
 	b.sentTo.Reset()
 	b.events = 0
 	switch kind {
@@ -63,10 +70,11 @@ func (b *base) record(kind model.CheckpointKind) {
 	}
 	if b.sink != nil {
 		b.sink(CheckpointRecord{
-			Proc:  b.proc,
-			Index: b.tdv[b.proc],
-			Kind:  kind,
-			TDV:   b.tdv.Clone(),
+			Proc:      b.proc,
+			Index:     b.tdv[b.proc],
+			Kind:      kind,
+			TDV:       b.tdv.Clone(),
+			Predicate: predicate,
 		})
 	}
 	b.tdv[b.proc]++
@@ -115,40 +123,51 @@ func (v *vector) OnSend(to int) (Piggyback, bool) {
 	return pb, v.kind == KindCAS
 }
 
-func (v *vector) CheckpointAfterSend() { v.record(model.KindForced) }
+func (v *vector) CheckpointAfterSend() { v.recordPred(model.KindForced, "after-send") }
 
 func (v *vector) OnArrival(_ int, pb Piggyback) bool {
-	forced := v.condition(pb)
-	if forced {
+	predicate := v.condition(pb)
+	if predicate != "" {
 		if v.kind == KindBCS {
 			// Adopt the sender's sequence number: the forced checkpoint
 			// joins the consistent cut of that number.
 			v.sn = pb.SN
 		}
-		v.record(model.KindForced)
+		v.recordPred(model.KindForced, predicate)
 	}
 	v.tdv.MaxInto(pb.TDV)
 	v.events++
-	return forced
+	return predicate != ""
 }
 
 // condition evaluates the protocol's visible condition for a message about
-// to be delivered.
-func (v *vector) condition(pb Piggyback) bool {
+// to be delivered, returning the name of the predicate that fired ("" when
+// no forced checkpoint is needed).
+func (v *vector) condition(pb Piggyback) string {
 	switch v.kind {
 	case KindBCS:
-		return pb.SN > v.sn
+		if pb.SN > v.sn {
+			return "future-sn"
+		}
 	case KindFDAS:
-		return v.afterFirstSend() && v.newDependency(pb)
+		if v.afterFirstSend() && v.newDependency(pb) {
+			return "fdas"
+		}
 	case KindFDI:
-		return v.events > 0 && v.newDependency(pb)
+		if v.events > 0 && v.newDependency(pb) {
+			return "fdi"
+		}
 	case KindNRAS:
-		return v.afterFirstSend()
+		if v.afterFirstSend() {
+			return "nras"
+		}
 	case KindCBR:
-		return v.events > 0
-	default: // KindNone, KindCAS
-		return false
+		if v.events > 0 {
+			return "cbr"
+		}
+	default: // KindNone, KindCAS: never forced on arrival
 	}
+	return ""
 }
 
 func (v *vector) WireSize() int {

@@ -45,6 +45,12 @@ func newBHMR(kind Kind, proc, n int, sink Sink) *bhmr {
 // simple entries of the other processes and this process's causal row,
 // record the checkpoint with the current TDV, and open the next interval.
 func (b *bhmr) takeCheckpoint(kind model.CheckpointKind) {
+	b.takeCheckpointPred(kind, "")
+}
+
+// takeCheckpointPred is takeCheckpoint with the forced-checkpoint
+// attribution (the visible-condition clause that fired).
+func (b *bhmr) takeCheckpointPred(kind model.CheckpointKind, predicate string) {
 	if b.simple != nil {
 		for j := range b.simple {
 			if j != b.proc {
@@ -57,7 +63,7 @@ func (b *bhmr) takeCheckpoint(kind model.CheckpointKind) {
 		keep = -1 // variant B also keeps the diagonal entry false
 	}
 	b.causal.ClearRowExcept(b.proc, keep)
-	b.record(kind)
+	b.recordPred(kind, predicate)
 }
 
 func (b *bhmr) TakeBasicCheckpoint() { b.takeCheckpoint(model.KindBasic) }
@@ -72,29 +78,38 @@ func (b *bhmr) OnSend(to int) (Piggyback, bool) {
 	return pb, false
 }
 
-func (b *bhmr) CheckpointAfterSend() { b.takeCheckpoint(model.KindForced) }
+func (b *bhmr) CheckpointAfterSend() { b.takeCheckpointPred(model.KindForced, "after-send") }
 
 func (b *bhmr) OnArrival(from int, pb Piggyback) bool {
-	forced := b.condition(pb)
-	if forced {
-		b.takeCheckpoint(model.KindForced)
+	predicate := b.condition(pb)
+	if predicate != "" {
+		b.takeCheckpointPred(model.KindForced, predicate)
 	}
 	b.merge(from, pb)
 	b.events++
-	return forced
+	return predicate != ""
 }
 
 // condition evaluates the variant's visible condition on the pre-delivery
-// state.
-func (b *bhmr) condition(pb Piggyback) bool {
+// state, returning the name of the clause that fired ("" when delivery
+// needs no forced checkpoint). C1 is checked first, so a message firing
+// both clauses is attributed to C1.
+func (b *bhmr) condition(pb Piggyback) string {
+	if b.c1(pb) {
+		return "C1"
+	}
 	switch b.kind {
 	case KindBHMR:
-		return b.c1(pb) || b.c2(pb)
+		if b.c2(pb) {
+			return "C2"
+		}
 	case KindBHMRNoSimple:
-		return b.c1(pb) || b.c2prime(pb)
-	default: // KindBHMRCausalOnly
-		return b.c1(pb)
+		if b.c2prime(pb) {
+			return "C2'"
+		}
+	default: // KindBHMRCausalOnly: C1 alone
 	}
+	return ""
 }
 
 // c1 is predicate C1: to this process's knowledge there is a breakable

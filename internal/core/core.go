@@ -169,6 +169,13 @@ type CheckpointRecord struct {
 	Index int
 	Kind  model.CheckpointKind
 	TDV   vclock.Vec // the vector recorded with the checkpoint
+
+	// Predicate names the visible condition that fired, for forced
+	// checkpoints ("C1", "C2", "C2'", "fdas", "fdi", "nras", "cbr",
+	// "after-send", "future-sn"); empty otherwise. It is what lets the
+	// observability layer attribute forced-checkpoint overhead to the
+	// exact clause of the protocol's visible characterization.
+	Predicate string
 }
 
 // Sink receives checkpoint records in the order they are taken. It may be

@@ -14,6 +14,7 @@ import (
 
 	"github.com/rdt-go/rdt/internal/core"
 	"github.com/rdt-go/rdt/internal/model"
+	"github.com/rdt-go/rdt/internal/obs"
 	"github.com/rdt-go/rdt/internal/recovery"
 	"github.com/rdt-go/rdt/internal/rgraph"
 	"github.com/rdt-go/rdt/internal/sim"
@@ -35,6 +36,12 @@ type Config struct {
 	BasicMeans []float64
 	// Protocols are the lines of the figures.
 	Protocols []core.Kind
+
+	// Obs, if non-nil, receives the metrics of every simulation of the
+	// grid (protocol-labeled) plus a grid-progress counter
+	// rdt_experiment_runs_total, so a paper-scale regeneration can be
+	// watched live over /metrics.
+	Obs *obs.Registry
 }
 
 // Default returns the paper-scale configuration used by the CLI.
@@ -79,7 +86,12 @@ func runOne(cfg Config, kind core.Kind, env string, basicMean float64, seed int6
 	sc.N = cfg.N
 	sc.Duration = cfg.Duration
 	sc.BasicMean = basicMean
-	return sim.Run(sc, w)
+	sc.Obs = cfg.Obs
+	res, err := sim.Run(sc, w)
+	if err == nil {
+		cfg.Obs.Counter("rdt_experiment_runs_total").Inc()
+	}
+	return res, err
 }
 
 // ratioR averages the paper's overhead measure R = forced/basic over the
@@ -343,10 +355,12 @@ func DelaySensitivity(cfg Config) (*stats.Series, error) {
 				sc.BasicMean = mid
 				sc.DelayMin = 0.05
 				sc.DelayMax = d
+				sc.Obs = cfg.Obs
 				res, err := sim.Run(sc, w)
 				if err != nil {
 					return nil, err
 				}
+				cfg.Obs.Counter("rdt_experiment_runs_total").Inc()
 				sample = append(sample, res.Stats.ForcedPerBasic())
 			}
 			s.Add(kind.String(), sample.Mean())
@@ -403,9 +417,11 @@ func ConditionAttribution(cfg Config) (*stats.Table, error) {
 					saved++
 				}
 			}
+			sc.Obs = cfg.Obs
 			if _, err := sim.Run(sc, w); err != nil {
 				return nil, err
 			}
+			cfg.Obs.Counter("rdt_experiment_runs_total").Inc()
 		}
 		t.AddRow(env,
 			fmt.Sprintf("%d", arrivals), fmt.Sprintf("%d", c1), fmt.Sprintf("%d", c2),

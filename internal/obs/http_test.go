@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden locks the exposition format down against the
+// Prometheus text format (0.0.4): TYPE lines, label rendering,
+// cumulative histogram buckets with le labels, _sum and _count.
+func TestPrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("rdt_checkpoints_total", "protocol", "bhmr", "kind", "forced").Add(3)
+	reg.Counter("rdt_checkpoints_total", "protocol", "bhmr", "kind", "basic").Add(5)
+	reg.Gauge("rdt_queue_depth", "proc", "0").Set(2)
+	h := reg.Histogram("rdt_hop_seconds", []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.002)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	golden := `# TYPE rdt_checkpoints_total counter
+rdt_checkpoints_total{kind="basic",protocol="bhmr"} 5
+rdt_checkpoints_total{kind="forced",protocol="bhmr"} 3
+# TYPE rdt_hop_seconds histogram
+rdt_hop_seconds_bucket{le="0.001"} 1
+rdt_hop_seconds_bucket{le="0.01"} 2
+rdt_hop_seconds_bucket{le="+Inf"} 3
+rdt_hop_seconds_sum 5.0025
+rdt_hop_seconds_count 3
+# TYPE rdt_queue_depth gauge
+rdt_queue_depth{proc="0"} 2
+`
+	if b.String() != golden {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", b.String(), golden)
+	}
+}
+
+// TestServeEndpoints starts a real server on an ephemeral port and
+// scrapes /metrics, /debug/events, and /debug/vars.
+func TestServeEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("up_total").Inc()
+	tr := NewTracer(16)
+	tr.Record(Event{Type: EventForcedCheckpoint, Proc: 3, Predicate: "C2"})
+	tr.Record(Event{Type: EventRollback, Proc: 1, Value: 2})
+
+	srv, err := Serve(":0", reg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close() //nolint:errcheck // test cleanup
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close() //nolint:errcheck // test cleanup
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return string(body)
+	}
+
+	if metrics := get("/metrics"); !strings.Contains(metrics, "up_total 1") {
+		t.Errorf("/metrics missing counter:\n%s", metrics)
+	}
+
+	var events struct {
+		Seq    uint64  `json:"seq"`
+		Events []Event `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(get("/debug/events")), &events); err != nil {
+		t.Fatalf("/debug/events not JSON: %v", err)
+	}
+	if events.Seq != 2 || len(events.Events) != 2 {
+		t.Fatalf("/debug/events = seq %d, %d events", events.Seq, len(events.Events))
+	}
+	if events.Events[0].Predicate != "C2" || events.Events[1].Type != EventRollback {
+		t.Errorf("events content wrong: %+v", events.Events)
+	}
+
+	var events1 struct {
+		Events []Event `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(get("/debug/events?n=1")), &events1); err != nil {
+		t.Fatal(err)
+	}
+	if len(events1.Events) != 1 || events1.Events[0].Seq != 2 {
+		t.Errorf("?n=1 returned %+v", events1.Events)
+	}
+
+	if vars := get("/debug/vars"); !strings.Contains(vars, "memstats") {
+		t.Error("/debug/vars missing expvar content")
+	}
+
+	// A bad ?n= is rejected.
+	resp, err := http.Get("http://" + srv.Addr() + "/debug/events?n=zzz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close() //nolint:errcheck // test cleanup
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad n: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestEventJSONTypes checks the event type marshals as its name.
+func TestEventJSONTypes(t *testing.T) {
+	data, err := json.Marshal(Event{Seq: 1, Type: EventSend, Proc: 2, Peer: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"type":"send"`) {
+		t.Errorf("event JSON = %s", data)
+	}
+}

@@ -1,0 +1,381 @@
+// Package obs is the observability layer of the library: lock-free
+// counters, gauges, and fixed-bucket histograms behind a Registry, a
+// bounded structured-event ring buffer (Tracer), and an HTTP server
+// exposing both (Prometheus text exposition at /metrics, a JSON event
+// tail at /debug/events) with no dependencies beyond the standard
+// library.
+//
+// Everything is nil-safe: methods on a nil *Registry return nil
+// instruments, and methods on nil instruments are no-ops, so
+// instrumented hot paths pay a single predictable-branch nil check when
+// observability is off. Instruments are identified by a name plus
+// label pairs; asking for the same identity twice returns the same
+// instrument, so concurrent layers share series naturally.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing lock-free counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one. Safe on a nil receiver (no-op).
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n. Safe on a nil receiver (no-op).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a lock-free instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v. Safe on a nil receiver (no-op).
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by delta. Safe on a nil receiver (no-op).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// atomicFloat accumulates a float64 with compare-and-swap.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) value() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Histogram is a lock-free fixed-bucket histogram. Bucket i counts
+// observations v with v <= bounds[i] (and v > bounds[i-1]); one
+// implicit overflow bucket counts everything beyond the last bound.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; the last is the +Inf bucket
+	count  atomic.Int64
+	sum    atomicFloat
+}
+
+// Observe records one value. Safe on a nil receiver (no-op).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	h.count.Add(1)
+	h.sum.add(v)
+}
+
+// Count returns the number of observations (0 on a nil receiver).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values (0 on a nil receiver).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.value()
+}
+
+// Standard bucket layouts used across the runtime.
+var (
+	// LatencyBuckets covers sub-microsecond to ten-second latencies in
+	// decades (values in seconds).
+	LatencyBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+	// DepthBuckets covers rollback distances and queue depths in powers
+	// of two.
+	DepthBuckets = []float64{0, 1, 2, 4, 8, 16, 32, 64, 128}
+	// SizeBuckets covers message and piggyback sizes in bytes.
+	SizeBuckets = []float64{16, 64, 256, 1024, 4096, 16384, 65536}
+)
+
+// MetricType classifies an instrument.
+type MetricType string
+
+// The instrument types.
+const (
+	TypeCounter   MetricType = "counter"
+	TypeGauge     MetricType = "gauge"
+	TypeHistogram MetricType = "histogram"
+)
+
+// entry is one registered instrument with its identity.
+type entry struct {
+	name   string
+	labels []string // alternating key, value
+	typ    MetricType
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// Registry holds the instruments of one runtime. The zero value is not
+// usable; call NewRegistry. A nil *Registry is a valid "observability
+// off" registry: its lookup methods return nil instruments.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+// seriesKey canonicalizes name plus label pairs; label pairs are sorted
+// by key so callers may pass them in any order.
+func seriesKey(name string, labels []string) (string, []string) {
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: metric %q has an odd label list %v", name, labels))
+	}
+	if len(labels) == 0 {
+		return name, nil
+	}
+	pairs := make([][2]string, 0, len(labels)/2)
+	for i := 0; i+1 < len(labels); i += 2 {
+		pairs = append(pairs, [2]string{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a][0] < pairs[b][0] })
+	sorted := make([]string, 0, len(labels))
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", p[0], p[1])
+		sorted = append(sorted, p[0], p[1])
+	}
+	b.WriteByte('}')
+	return b.String(), sorted
+}
+
+// lookup finds or creates the entry for an identity, checking the type.
+func (r *Registry) lookup(name string, typ MetricType, labels []string) *entry {
+	key, sorted := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[key]; ok {
+		if e.typ != typ {
+			panic(fmt.Sprintf("obs: metric %s registered as %s, requested as %s", key, e.typ, typ))
+		}
+		return e
+	}
+	e := &entry{name: name, labels: sorted, typ: typ}
+	r.entries[key] = e
+	return e
+}
+
+// Counter returns the counter for the identity, creating it on first
+// use. Labels are alternating key, value. Returns nil on a nil
+// registry.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	e := r.lookup(name, TypeCounter, labels)
+	if e.counter == nil {
+		e.counter = &Counter{}
+	}
+	return e.counter
+}
+
+// Gauge returns the gauge for the identity, creating it on first use.
+// Returns nil on a nil registry.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	e := r.lookup(name, TypeGauge, labels)
+	if e.gauge == nil {
+		e.gauge = &Gauge{}
+	}
+	return e.gauge
+}
+
+// Histogram returns the histogram for the identity, creating it with
+// the given bucket bounds on first use (bounds must be sorted
+// ascending; they are ignored on later lookups). Returns nil on a nil
+// registry.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	e := r.lookup(name, TypeHistogram, labels)
+	if e.hist == nil {
+		if !sort.Float64sAreSorted(bounds) {
+			panic(fmt.Sprintf("obs: histogram %s bounds not sorted: %v", name, bounds))
+		}
+		h := &Histogram{bounds: append([]float64(nil), bounds...)}
+		h.counts = make([]atomic.Int64, len(h.bounds)+1)
+		e.hist = h
+	}
+	return e.hist
+}
+
+// Metric is one series of a Snapshot.
+type Metric struct {
+	// Name is the metric name; Labels are alternating key, value,
+	// sorted by key.
+	Name   string     `json:"name"`
+	Labels []string   `json:"labels,omitempty"`
+	Type   MetricType `json:"type"`
+
+	// Value is the current count or gauge value (counter, gauge).
+	Value int64 `json:"value,omitempty"`
+
+	// Histogram payload (histogram only): per-bucket counts aligned
+	// with Bounds plus one overflow bucket, the observation count, and
+	// the observation sum.
+	Bounds []float64 `json:"bounds,omitempty"`
+	Counts []int64   `json:"counts,omitempty"`
+	Count  int64     `json:"count,omitempty"`
+	Sum    float64   `json:"sum,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of every registered series, sorted
+// by name then labels.
+type Snapshot struct {
+	Metrics []Metric `json:"metrics"`
+}
+
+// Snapshot copies the current value of every series. Safe on a nil
+// registry (empty snapshot).
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	keys := make([]string, 0, len(r.entries))
+	for k := range r.entries {
+		keys = append(keys, k)
+	}
+	entries := make([]*entry, 0, len(keys))
+	sort.Strings(keys)
+	for _, k := range keys {
+		entries = append(entries, r.entries[k])
+	}
+	r.mu.Unlock()
+
+	out := Snapshot{Metrics: make([]Metric, 0, len(entries))}
+	for _, e := range entries {
+		m := Metric{Name: e.name, Labels: e.labels, Type: e.typ}
+		switch e.typ {
+		case TypeCounter:
+			m.Value = e.counter.Value()
+		case TypeGauge:
+			m.Value = e.gauge.Value()
+		case TypeHistogram:
+			h := e.hist
+			m.Bounds = append([]float64(nil), h.bounds...)
+			m.Counts = make([]int64, len(h.counts))
+			for i := range h.counts {
+				m.Counts[i] = h.counts[i].Load()
+			}
+			m.Count = h.count.Load()
+			m.Sum = h.sum.value()
+		}
+		out.Metrics = append(out.Metrics, m)
+	}
+	return out
+}
+
+// labelsMatch reports whether the metric's sorted label pairs equal the
+// canonicalized query pairs.
+func labelsMatch(have []string, query []string) bool {
+	_, sorted := seriesKey("", query)
+	if len(have) != len(sorted) {
+		return false
+	}
+	for i := range have {
+		if have[i] != sorted[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Get returns the series with the given identity, if present.
+func (s Snapshot) Get(name string, labels ...string) (Metric, bool) {
+	for _, m := range s.Metrics {
+		if m.Name == name && labelsMatch(m.Labels, labels) {
+			return m, true
+		}
+	}
+	return Metric{}, false
+}
+
+// CounterValue returns the value of a counter series (0 when absent).
+func (s Snapshot) CounterValue(name string, labels ...string) int64 {
+	m, ok := s.Get(name, labels...)
+	if !ok {
+		return 0
+	}
+	return m.Value
+}
+
+// SumCounters sums every series of the named counter across all label
+// combinations.
+func (s Snapshot) SumCounters(name string) int64 {
+	var total int64
+	for _, m := range s.Metrics {
+		if m.Name == name && m.Type == TypeCounter {
+			total += m.Value
+		}
+	}
+	return total
+}

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCounterConcurrent hammers one counter from many goroutines; run
+// with -race to verify the lock-free implementation.
+func TestCounterConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_total", "label", "x")
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("depth")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Errorf("gauge = %d, want 4", got)
+	}
+}
+
+// TestHistogramConcurrent checks bucket assignment and totals under
+// concurrent observation.
+func TestHistogramConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", []float64{1, 10, 100})
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, v := range []float64{0.5, 1, 5, 50, 500} {
+				h.Observe(v)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*5 {
+		t.Errorf("count = %d, want %d", got, workers*5)
+	}
+	wantSum := float64(workers) * (0.5 + 1 + 5 + 50 + 500)
+	if got := h.Sum(); got != wantSum {
+		t.Errorf("sum = %g, want %g", got, wantSum)
+	}
+	m, ok := reg.Snapshot().Get("lat")
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	// 0.5 and 1 land in le=1 (le semantics), 5 in le=10, 50 in le=100,
+	// 500 overflows.
+	want := []int64{2 * workers, workers, workers, workers}
+	for i, c := range m.Counts {
+		if c != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, c, want[i])
+		}
+	}
+}
+
+// TestNilFastPath verifies the observability-off path: a nil registry
+// returns nil instruments and every method is a no-op.
+func TestNilFastPath(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("a")
+	g := reg.Gauge("b")
+	h := reg.Histogram("c", LatencyBuckets)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry returned non-nil instruments")
+	}
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil instruments reported nonzero values")
+	}
+	if s := reg.Snapshot(); len(s.Metrics) != 0 {
+		t.Errorf("nil registry snapshot has %d metrics", len(s.Metrics))
+	}
+	var tr *Tracer
+	tr.Record(Event{Type: EventSend})
+	if tr.Tail(10) != nil || tr.Len() != 0 || tr.Seq() != 0 {
+		t.Error("nil tracer retained events")
+	}
+}
+
+// TestRegistryIdentity checks that the same name and labels (in any
+// order) return the same instrument, and different labels a different
+// one.
+func TestRegistryIdentity(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("x_total", "proto", "bhmr", "kind", "forced")
+	b := reg.Counter("x_total", "kind", "forced", "proto", "bhmr")
+	if a != b {
+		t.Error("label order changed instrument identity")
+	}
+	c := reg.Counter("x_total", "kind", "basic", "proto", "bhmr")
+	if a == c {
+		t.Error("different labels shared an instrument")
+	}
+	a.Inc()
+	snap := reg.Snapshot()
+	if got := snap.CounterValue("x_total", "kind", "forced", "proto", "bhmr"); got != 1 {
+		t.Errorf("snapshot lookup = %d, want 1", got)
+	}
+	if got := snap.SumCounters("x_total"); got != 1 {
+		t.Errorf("SumCounters = %d, want 1", got)
+	}
+}
+
+// TestRegistryConcurrentLookup races instrument creation.
+func TestRegistryConcurrentLookup(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				reg.Counter("shared_total").Inc()
+				reg.Histogram("shared_hist", DepthBuckets).Observe(float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Snapshot().CounterValue("shared_total"); got != 8*200 {
+		t.Errorf("shared counter = %d, want %d", got, 8*200)
+	}
+}
+
+func TestSnapshotSorted(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("zzz")
+	reg.Counter("aaa", "p", "1")
+	reg.Counter("aaa", "p", "0")
+	s := reg.Snapshot()
+	var names []string
+	for _, m := range s.Metrics {
+		names = append(names, m.Name+promLabels(m.Labels))
+	}
+	want := []string{`aaa{p="0"}`, `aaa{p="1"}`, "zzz"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("snapshot[%d] = %s, want %s", i, names[i], want[i])
+		}
+	}
+}

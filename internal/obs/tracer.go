@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// EventType classifies a structured trace event.
+type EventType uint8
+
+// The event types recorded by the runtime and the protocol family.
+const (
+	// EventSend is an application message send (Proc → Peer).
+	EventSend EventType = iota + 1
+	// EventDeliver is an application message delivery (Peer → Proc).
+	EventDeliver
+	// EventBasicCheckpoint is an application-initiated checkpoint.
+	EventBasicCheckpoint
+	// EventForcedCheckpoint is a protocol-forced checkpoint; Predicate
+	// names the visible condition that fired.
+	EventForcedCheckpoint
+	// EventRollback is one process rolling back during recovery; Value
+	// is the number of checkpoint intervals lost.
+	EventRollback
+	// EventRetry is a transport-level send retry.
+	EventRetry
+)
+
+// String returns the event type's wire name.
+func (t EventType) String() string {
+	switch t {
+	case EventSend:
+		return "send"
+	case EventDeliver:
+		return "deliver"
+	case EventBasicCheckpoint:
+		return "basic-checkpoint"
+	case EventForcedCheckpoint:
+		return "forced-checkpoint"
+	case EventRollback:
+		return "rollback"
+	case EventRetry:
+		return "retry"
+	default:
+		return fmt.Sprintf("event(%d)", uint8(t))
+	}
+}
+
+// MarshalJSON encodes the type as its string name.
+func (t EventType) MarshalJSON() ([]byte, error) { return json.Marshal(t.String()) }
+
+// UnmarshalJSON decodes a string name back into the type.
+func (t *EventType) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	for ev := EventSend; ev <= EventRetry; ev++ {
+		if ev.String() == name {
+			*t = ev
+			return nil
+		}
+	}
+	return fmt.Errorf("obs: unknown event type %q", name)
+}
+
+// Event is one structured trace record. Seq is a logical timestamp
+// assigned by the tracer: it increases by one per recorded event and
+// never repeats, so gaps in a tail reveal overwritten history.
+type Event struct {
+	Seq       uint64    `json:"seq"`
+	Type      EventType `json:"type"`
+	Proc      int       `json:"proc"`
+	Peer      int       `json:"peer,omitempty"`
+	Predicate string    `json:"predicate,omitempty"`
+	Detail    string    `json:"detail,omitempty"`
+	Value     int       `json:"value,omitempty"`
+}
+
+// Tracer is a bounded ring buffer of events. When full, new events
+// overwrite the oldest. All methods are safe for concurrent use and
+// safe on a nil receiver (no-ops).
+type Tracer struct {
+	mu   sync.Mutex
+	seq  uint64
+	buf  []Event
+	next int  // slot the next event goes into
+	full bool // the ring has wrapped at least once
+}
+
+// DefaultTracerCapacity is the ring size used by the cmd tools.
+const DefaultTracerCapacity = 8192
+
+// NewTracer returns a tracer retaining the last capacity events
+// (minimum 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{buf: make([]Event, capacity)}
+}
+
+// Record appends an event, assigning its logical timestamp. The
+// caller's Seq field is ignored. Safe on a nil receiver.
+func (t *Tracer) Record(ev Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.seq++
+	ev.Seq = t.seq
+	t.buf[t.next] = ev
+	t.next++
+	if t.next == len(t.buf) {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+// Seq returns the logical timestamp of the most recent event (0 when
+// none was recorded). Safe on a nil receiver.
+func (t *Tracer) Seq() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq
+}
+
+// Len returns the number of retained events. Safe on a nil receiver.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.full {
+		return len(t.buf)
+	}
+	return t.next
+}
+
+// Tail returns up to n of the most recent events, oldest first. n <= 0
+// returns every retained event. Safe on a nil receiver (nil slice).
+func (t *Tracer) Tail(n int) []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	size := t.next
+	if t.full {
+		size = len(t.buf)
+	}
+	if n <= 0 || n > size {
+		n = size
+	}
+	out := make([]Event, 0, n)
+	// Oldest retained event sits at next when full, at 0 otherwise;
+	// start n events before the write cursor.
+	start := t.next - n
+	if start < 0 {
+		start += len(t.buf)
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, t.buf[(start+i)%len(t.buf)])
+	}
+	return out
+}

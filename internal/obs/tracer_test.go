@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestTracerWraparound fills a small ring past capacity and checks that
+// the tail holds the most recent events, oldest first, with contiguous
+// logical timestamps.
+func TestTracerWraparound(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Record(Event{Type: EventSend, Proc: i})
+	}
+	if got := tr.Len(); got != 4 {
+		t.Errorf("Len = %d, want 4", got)
+	}
+	if got := tr.Seq(); got != 10 {
+		t.Errorf("Seq = %d, want 10", got)
+	}
+	tail := tr.Tail(0)
+	if len(tail) != 4 {
+		t.Fatalf("Tail(0) returned %d events, want 4", len(tail))
+	}
+	for i, ev := range tail {
+		wantSeq := uint64(7 + i)
+		if ev.Seq != wantSeq || ev.Proc != int(wantSeq)-1 {
+			t.Errorf("tail[%d] = seq %d proc %d, want seq %d proc %d",
+				i, ev.Seq, ev.Proc, wantSeq, wantSeq-1)
+		}
+	}
+	// A bounded tail returns the newest n.
+	short := tr.Tail(2)
+	if len(short) != 2 || short[0].Seq != 9 || short[1].Seq != 10 {
+		t.Errorf("Tail(2) = %+v, want seqs 9,10", short)
+	}
+	// Asking for more than retained returns everything.
+	if got := tr.Tail(100); len(got) != 4 {
+		t.Errorf("Tail(100) returned %d events, want 4", len(got))
+	}
+}
+
+// TestTracerBeforeWrap covers the partially filled ring.
+func TestTracerBeforeWrap(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Record(Event{Type: EventBasicCheckpoint, Proc: 1})
+	tr.Record(Event{Type: EventForcedCheckpoint, Proc: 2, Predicate: "C1"})
+	tail := tr.Tail(0)
+	if len(tail) != 2 {
+		t.Fatalf("Tail = %d events, want 2", len(tail))
+	}
+	if tail[0].Seq != 1 || tail[1].Seq != 2 || tail[1].Predicate != "C1" {
+		t.Errorf("tail = %+v", tail)
+	}
+}
+
+// TestTracerConcurrent records from many goroutines; with -race this
+// verifies the ring's synchronization. Every retained event must have a
+// unique seq.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(64)
+	var wg sync.WaitGroup
+	const workers, per = 8, 100
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.Record(Event{Type: EventDeliver, Proc: w, Peer: i})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := tr.Seq(); got != workers*per {
+		t.Errorf("Seq = %d, want %d", got, workers*per)
+	}
+	seen := make(map[uint64]bool)
+	for _, ev := range tr.Tail(0) {
+		if seen[ev.Seq] {
+			t.Errorf("duplicate seq %d", ev.Seq)
+		}
+		seen[ev.Seq] = true
+	}
+	if len(seen) != 64 {
+		t.Errorf("retained %d events, want 64", len(seen))
+	}
+}
+
+func TestEventTypeStrings(t *testing.T) {
+	want := map[EventType]string{
+		EventSend:             "send",
+		EventDeliver:          "deliver",
+		EventBasicCheckpoint:  "basic-checkpoint",
+		EventForcedCheckpoint: "forced-checkpoint",
+		EventRollback:         "rollback",
+		EventRetry:            "retry",
+		EventType(99):         "event(99)",
+	}
+	for typ, name := range want {
+		if got := typ.String(); got != name {
+			t.Errorf("%d.String() = %q, want %q", typ, got, name)
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"github.com/rdt-go/rdt/internal/model"
+	"github.com/rdt-go/rdt/internal/obs"
 	"github.com/rdt-go/rdt/internal/rgraph"
 	"github.com/rdt-go/rdt/internal/storage"
 )
@@ -50,8 +51,10 @@ func (p *Plan) TotalRollback() int {
 
 // Manager computes recovery lines over a checkpoint store.
 type Manager struct {
-	store storage.Store
-	n     int
+	store  storage.Store
+	n      int
+	obs    *obs.Registry
+	tracer *obs.Tracer
 }
 
 // NewManager creates a recovery manager for a system of n processes.
@@ -63,6 +66,31 @@ func NewManager(store storage.Store, n int) (*Manager, error) {
 		return nil, errors.New("recovery: nil store")
 	}
 	return &Manager{store: store, n: n}, nil
+}
+
+// Observe attaches observability to the manager: every computed
+// recovery line reports per-process rollback depths (histogram and
+// rollback events) and bumps the recovery counter. Either argument may
+// be nil. It returns the manager for chaining.
+func (m *Manager) Observe(reg *obs.Registry, tr *obs.Tracer) *Manager {
+	m.obs = reg
+	m.tracer = tr
+	return m
+}
+
+// observePlan accounts for one recovery-line computation.
+func (m *Manager) observePlan(p *Plan) {
+	if m.obs == nil && m.tracer == nil {
+		return
+	}
+	m.obs.Counter("rdt_recoveries_total").Inc()
+	perProc := m.obs.Histogram("rdt_rollback_depth", obs.DepthBuckets, "scope", "process")
+	for proc, d := range p.Depth {
+		perProc.Observe(float64(d))
+		m.tracer.Record(obs.Event{Type: obs.EventRollback, Proc: proc, Value: d})
+	}
+	m.obs.Histogram("rdt_rollback_depth", obs.DepthBuckets, "scope", "total").
+		Observe(float64(p.TotalRollback()))
 }
 
 // Latest returns the per-process latest stored checkpoint indexes.
@@ -120,11 +148,13 @@ func (m *Manager) LineFrom(bounds model.GlobalCheckpoint) (*Plan, error) {
 			}
 		}
 	}
-	return &Plan{
+	plan := &Plan{
 		Line:   g,
 		Bounds: bounds.Clone(),
 		Depth:  rollbackDepth(bounds, g),
-	}, nil
+	}
+	m.observePlan(plan)
+	return plan, nil
 }
 
 // AfterCrash computes the recovery line when the given processes crash:

@@ -32,5 +32,8 @@ func Resume(cfg cluster.Config, replay []ReplayMessage) (*cluster.Cluster, error
 			return nil, fmt.Errorf("recovery: replay message %d: %w", m.ID, err)
 		}
 	}
+	// The new incarnation's registry accounts for the replayed channel
+	// state (a no-op when observability is off).
+	cfg.Obs.Counter("rdt_replayed_messages_total").Add(int64(len(replay)))
 	return c, nil
 }

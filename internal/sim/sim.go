@@ -20,6 +20,7 @@ import (
 
 	"github.com/rdt-go/rdt/internal/core"
 	"github.com/rdt-go/rdt/internal/model"
+	"github.com/rdt-go/rdt/internal/obs"
 )
 
 // Config parameterizes one simulation run.
@@ -52,6 +53,15 @@ type Config struct {
 	// the protocol processes it — the hook used by the predicate-hierarchy
 	// tests.
 	Monitor func(inst core.Instance, from int, pb core.Piggyback)
+
+	// Obs, if non-nil, receives the run's metrics (messages, deliveries,
+	// per-predicate forced checkpoints), labeled by protocol so
+	// comparison sweeps share one registry. It does not perturb the
+	// simulation's determinism.
+	Obs *obs.Registry
+	// Tracer, if non-nil, records the run's structured events into its
+	// bounded ring.
+	Tracer *obs.Tracer
 }
 
 // DefaultConfig returns a configuration with the baseline parameters used
@@ -133,6 +143,9 @@ func Run(cfg Config, w Workload) (*Result, error) {
 		builder: model.NewBuilder(cfg.N),
 		w:       w,
 	}
+	if cfg.Obs != nil || cfg.Tracer != nil {
+		e.obs = newEngineObs(cfg.Obs, cfg.Tracer, cfg.Protocol)
+	}
 	e.insts = make([]core.Instance, cfg.N)
 	for i := 0; i < cfg.N; i++ {
 		inst, err := core.New(cfg.Protocol, i, cfg.N, e.sink)
@@ -173,6 +186,33 @@ type Engine struct {
 	builder *model.Builder
 	insts   []core.Instance
 	w       Workload
+	obs     *engineObs // nil when observability is off
+}
+
+// engineObs bundles the pre-created series of one run, labeled by
+// protocol so sweeps over several protocols share a registry.
+type engineObs struct {
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	proto  string
+
+	messages   *obs.Counter
+	deliveries *obs.Counter
+	basic      *obs.Counter
+	forced     *obs.Counter
+}
+
+func newEngineObs(reg *obs.Registry, tr *obs.Tracer, protocol core.Kind) *engineObs {
+	proto := protocol.String()
+	return &engineObs{
+		reg:        reg,
+		tracer:     tr,
+		proto:      proto,
+		messages:   reg.Counter("rdt_sim_messages_total", "protocol", proto),
+		deliveries: reg.Counter("rdt_sim_deliveries_total", "protocol", proto),
+		basic:      reg.Counter("rdt_checkpoints_total", "protocol", proto, "kind", "basic"),
+		forced:     reg.Counter("rdt_checkpoints_total", "protocol", proto, "kind", "forced"),
+	}
 }
 
 // N returns the number of processes.
@@ -211,6 +251,12 @@ func (e *Engine) Send(from, to int, payload any) {
 	inst := e.insts[from]
 	pb, forceAfter := inst.OnSend(to)
 	handle := e.builder.Send(model.ProcID(from), model.ProcID(to))
+	if e.obs != nil {
+		e.obs.messages.Inc()
+		e.obs.tracer.Record(obs.Event{
+			Type: obs.EventSend, Proc: from, Peer: to, Value: handle,
+		})
+	}
 	if forceAfter {
 		inst.CheckpointAfterSend()
 	}
@@ -229,6 +275,12 @@ func (e *Engine) arrive(handle, from, to int, pb core.Piggyback, payload any) {
 		// engine bug; surface it loudly during development.
 		panic(fmt.Sprintf("sim: %v", err))
 	}
+	if e.obs != nil {
+		e.obs.deliveries.Inc()
+		e.obs.tracer.Record(obs.Event{
+			Type: obs.EventDeliver, Proc: to, Peer: from, Value: handle,
+		})
+	}
 	e.w.OnDeliver(e, Delivery{From: from, To: to, Payload: payload})
 }
 
@@ -240,6 +292,26 @@ func (e *Engine) sink(rec core.CheckpointRecord) {
 		return
 	}
 	e.builder.Checkpoint(model.ProcID(rec.Proc), rec.Kind, rec.TDV)
+	if e.obs == nil {
+		return
+	}
+	switch rec.Kind {
+	case model.KindBasic:
+		e.obs.basic.Inc()
+		e.obs.tracer.Record(obs.Event{
+			Type: obs.EventBasicCheckpoint, Proc: rec.Proc, Value: rec.Index,
+		})
+	case model.KindForced:
+		e.obs.forced.Inc()
+		e.obs.reg.Counter("rdt_forced_checkpoints_total",
+			"protocol", e.obs.proto, "predicate", rec.Predicate).Inc()
+		e.obs.tracer.Record(obs.Event{
+			Type:      obs.EventForcedCheckpoint,
+			Proc:      rec.Proc,
+			Predicate: rec.Predicate,
+			Value:     rec.Index,
+		})
+	}
 }
 
 func (e *Engine) scheduleBasic(proc int) {

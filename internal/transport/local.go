@@ -7,6 +7,12 @@ import (
 	"time"
 )
 
+// DefaultLocalDelay is the delivery-delay bound of the in-process
+// transport a cluster creates when none is configured. It is the single
+// source of truth for that default: cluster.Config's documentation
+// refers to it.
+const DefaultLocalDelay = 2 * time.Millisecond
+
 // Local is an in-process transport: frames are delivered by short-lived
 // goroutines, optionally after a random delay, so concurrent runs exhibit
 // genuine asynchrony while staying inside one process.
@@ -31,6 +37,9 @@ func NewLocal(maxDelay time.Duration) *Local {
 		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 }
+
+// Name identifies the transport in metric labels.
+func (l *Local) Name() string { return "local" }
 
 // Register implements Transport.
 func (l *Local) Register(proc int, h Handler) error {

@@ -57,6 +57,9 @@ func NewTCP(n int) (*TCP, error) {
 // Addr returns the listen address of a process, for diagnostics.
 func (t *TCP) Addr(proc int) string { return t.addrs[proc] }
 
+// Name identifies the transport in metric labels.
+func (t *TCP) Name() string { return "tcp" }
+
 // Register implements Transport.
 func (t *TCP) Register(proc int, h Handler) error {
 	t.mu.Lock()

@@ -8,6 +8,7 @@ import (
 	"github.com/rdt-go/rdt/internal/core"
 	"github.com/rdt-go/rdt/internal/explore"
 	"github.com/rdt-go/rdt/internal/model"
+	"github.com/rdt-go/rdt/internal/obs"
 	"github.com/rdt-go/rdt/internal/recovery"
 	"github.com/rdt-go/rdt/internal/rgraph"
 	"github.com/rdt-go/rdt/internal/sim"
@@ -55,6 +56,18 @@ func RDTProtocols() []Protocol { return core.RDTKinds() }
 
 // ParseProtocol maps a protocol name ("bhmr", "fdas", ...) to its value.
 func ParseProtocol(name string) (Protocol, error) { return core.ParseKind(name) }
+
+// ProtocolNames lists every protocol's conventional name, least
+// conservative first — the single source the tools, metric labels, and
+// error messages draw from (each name is Protocol.String()).
+func ProtocolNames() []string {
+	kinds := core.Kinds()
+	names := make([]string, len(kinds))
+	for i, k := range kinds {
+		names[i] = k.String()
+	}
+	return names
+}
 
 // ProtocolInstance is the per-process protocol state machine, for
 // embedding the protocols into an engine of your own. See NewCluster for
@@ -316,4 +329,56 @@ func Explore(p Protocol, scripts [][]ScenarioOp, check func(schedule []ScheduleC
 // the recovery line's state snapshots first.
 func Resume(cfg ClusterConfig, replay []ReplayMessage) (*Cluster, error) {
 	return recovery.Resume(cfg, replay)
+}
+
+// Observability types: metrics, structured event tracing, and live
+// introspection. A MetricsRegistry plugged into ClusterConfig.Obs or
+// SimConfig.Obs collects counters, gauges, and histograms from every
+// layer (protocols, runtime, transport, recovery); an EventTracer
+// records typed events (sends, deliveries, checkpoints with the
+// predicate that forced them, rollbacks, transport retries) in a
+// bounded ring. ServeObs exposes both over HTTP.
+type (
+	// MetricsRegistry holds named counters, gauges, and histograms. A
+	// nil registry disables instrumentation at near-zero cost.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of every series.
+	MetricsSnapshot = obs.Snapshot
+	// MetricSeries is one series of a snapshot.
+	MetricSeries = obs.Metric
+	// EventTracer is a bounded ring buffer of structured events with
+	// logical timestamps.
+	EventTracer = obs.Tracer
+	// TraceEvent is one structured event.
+	TraceEvent = obs.Event
+	// EventType classifies a structured trace event.
+	EventType = obs.EventType
+	// ObsServer serves /metrics (Prometheus text format),
+	// /debug/events (JSON tail), and /debug/vars (expvar).
+	ObsServer = obs.Server
+)
+
+// DefaultEventCapacity is the tracer ring size the cmd tools use.
+const DefaultEventCapacity = obs.DefaultTracerCapacity
+
+// The event types a tracer records.
+const (
+	EventSend             = obs.EventSend
+	EventDeliver          = obs.EventDeliver
+	EventBasicCheckpoint  = obs.EventBasicCheckpoint
+	EventForcedCheckpoint = obs.EventForcedCheckpoint
+	EventRollback         = obs.EventRollback
+	EventRetry            = obs.EventRetry
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewEventTracer returns a tracer retaining the last capacity events.
+func NewEventTracer(capacity int) *EventTracer { return obs.NewTracer(capacity) }
+
+// ServeObs starts an HTTP introspection server on addr (":0" picks an
+// ephemeral port; see ObsServer.Addr). Either argument may be nil.
+func ServeObs(addr string, reg *MetricsRegistry, tr *EventTracer) (*ObsServer, error) {
+	return obs.Serve(addr, reg, tr)
 }
