@@ -136,7 +136,7 @@ func printEvents(out io.Writer, tracer *rdt.EventTracer, n int) {
 	fmt.Fprintf(out, "events (last %d of %d recorded):\n", len(tail), tracer.Seq())
 	for _, ev := range tail {
 		fmt.Fprintf(out, "  #%-8d %-17s proc=%d", ev.Seq, ev.Type, ev.Proc)
-		if ev.Type == rdt.EventSend || ev.Type == rdt.EventDeliver || ev.Type == rdt.EventRetry {
+		if ev.Type == rdt.EventSend || ev.Type == rdt.EventDeliver || ev.Type == rdt.EventSendError {
 			fmt.Fprintf(out, " peer=%d", ev.Peer)
 		}
 		if ev.Predicate != "" {

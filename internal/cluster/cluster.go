@@ -53,7 +53,7 @@ type Config struct {
 	// disables observability at near-zero cost.
 	Obs *obs.Registry
 	// Tracer, if non-nil, records structured events (sends, deliveries,
-	// checkpoints with their triggering predicate, transport retries)
+	// checkpoints with their triggering predicate, transport send errors)
 	// into its bounded ring.
 	Tracer *obs.Tracer
 }

@@ -42,6 +42,35 @@ rdt_queue_depth{proc="0"} 2
 	}
 }
 
+// TestPrometheusPrefixNames guards the family grouping: a labeled
+// metric whose name is a strict prefix of another ("foo" vs "foo_bar")
+// must still render as one contiguous run with a single # TYPE line.
+// Sorting snapshots by series key would split it, because '{' sorts
+// after '_'.
+func TestPrometheusPrefixNames(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("foo", "a", "1").Inc()
+	reg.Counter("foo_bar").Inc()
+	reg.Counter("foo", "a", "2").Inc()
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	golden := `# TYPE foo counter
+foo{a="1"} 1
+foo{a="2"} 1
+# TYPE foo_bar counter
+foo_bar 1
+`
+	if b.String() != golden {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", b.String(), golden)
+	}
+	if got := strings.Count(b.String(), "# TYPE foo counter"); got != 1 {
+		t.Errorf("# TYPE foo emitted %d times, want 1", got)
+	}
+}
+
 // TestServeEndpoints starts a real server on an ephemeral port and
 // scrapes /metrics, /debug/events, and /debug/vars.
 func TestServeEndpoints(t *testing.T) {

@@ -204,8 +204,12 @@ func seriesKey(name string, labels []string) (string, []string) {
 	return b.String(), sorted
 }
 
-// lookup finds or creates the entry for an identity, checking the type.
-func (r *Registry) lookup(name string, typ MetricType, labels []string) *entry {
+// lookup finds or creates the entry for an identity, checking the
+// type. The typed instrument is instantiated while r.mu is held, so
+// every caller — including concurrent first-time requests for the same
+// series — receives the same fully-built instrument, and a concurrent
+// Snapshot never sees a half-initialized entry.
+func (r *Registry) lookup(name string, typ MetricType, labels []string, bounds []float64) *entry {
 	key, sorted := seriesKey(name, labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -216,6 +220,19 @@ func (r *Registry) lookup(name string, typ MetricType, labels []string) *entry {
 		return e
 	}
 	e := &entry{name: name, labels: sorted, typ: typ}
+	switch typ {
+	case TypeCounter:
+		e.counter = &Counter{}
+	case TypeGauge:
+		e.gauge = &Gauge{}
+	case TypeHistogram:
+		if !sort.Float64sAreSorted(bounds) {
+			panic(fmt.Sprintf("obs: histogram %s bounds not sorted: %v", name, bounds))
+		}
+		h := &Histogram{bounds: append([]float64(nil), bounds...)}
+		h.counts = make([]atomic.Int64, len(h.bounds)+1)
+		e.hist = h
+	}
 	r.entries[key] = e
 	return e
 }
@@ -227,11 +244,7 @@ func (r *Registry) Counter(name string, labels ...string) *Counter {
 	if r == nil {
 		return nil
 	}
-	e := r.lookup(name, TypeCounter, labels)
-	if e.counter == nil {
-		e.counter = &Counter{}
-	}
-	return e.counter
+	return r.lookup(name, TypeCounter, labels, nil).counter
 }
 
 // Gauge returns the gauge for the identity, creating it on first use.
@@ -240,11 +253,7 @@ func (r *Registry) Gauge(name string, labels ...string) *Gauge {
 	if r == nil {
 		return nil
 	}
-	e := r.lookup(name, TypeGauge, labels)
-	if e.gauge == nil {
-		e.gauge = &Gauge{}
-	}
-	return e.gauge
+	return r.lookup(name, TypeGauge, labels, nil).gauge
 }
 
 // Histogram returns the histogram for the identity, creating it with
@@ -255,16 +264,7 @@ func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *H
 	if r == nil {
 		return nil
 	}
-	e := r.lookup(name, TypeHistogram, labels)
-	if e.hist == nil {
-		if !sort.Float64sAreSorted(bounds) {
-			panic(fmt.Sprintf("obs: histogram %s bounds not sorted: %v", name, bounds))
-		}
-		h := &Histogram{bounds: append([]float64(nil), bounds...)}
-		h.counts = make([]atomic.Int64, len(h.bounds)+1)
-		e.hist = h
-	}
-	return e.hist
+	return r.lookup(name, TypeHistogram, labels, bounds).hist
 }
 
 // Metric is one series of a Snapshot.
@@ -300,16 +300,27 @@ func (r *Registry) Snapshot() Snapshot {
 		return Snapshot{}
 	}
 	r.mu.Lock()
-	keys := make([]string, 0, len(r.entries))
-	for k := range r.entries {
-		keys = append(keys, k)
-	}
-	entries := make([]*entry, 0, len(keys))
-	sort.Strings(keys)
-	for _, k := range keys {
-		entries = append(entries, r.entries[k])
+	entries := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
 	}
 	r.mu.Unlock()
+	// Sort by (name, labels), not by the rendered series key: '{' sorts
+	// after '_', so key order would split a labeled metric whose name is
+	// a strict prefix of another (foo{...} vs foo_bar) into non-adjacent
+	// runs, and WritePrometheus would emit duplicate # TYPE lines.
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.name != b.name {
+			return a.name < b.name
+		}
+		for k := 0; k < len(a.labels) && k < len(b.labels); k++ {
+			if a.labels[k] != b.labels[k] {
+				return a.labels[k] < b.labels[k]
+			}
+		}
+		return len(a.labels) < len(b.labels)
+	})
 
 	out := Snapshot{Metrics: make([]Metric, 0, len(entries))}
 	for _, e := range entries {

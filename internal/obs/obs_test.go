@@ -147,6 +147,57 @@ func TestRegistryConcurrentLookup(t *testing.T) {
 	}
 }
 
+// TestRegistryConcurrentFirstLookup releases many goroutines from a
+// barrier so the very first lookup of each series races: every caller
+// must receive the same instrument (a divergent Counter pointer would
+// silently drop increments), and concurrent Snapshots must never see a
+// half-initialized histogram entry. Run with -race.
+func TestRegistryConcurrentFirstLookup(t *testing.T) {
+	reg := NewRegistry()
+	const workers = 16
+	start := make(chan struct{})
+	counters := make([]*Counter, workers)
+	hists := make([]*Histogram, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			c := reg.Counter("first_total", "w", "same")
+			c.Inc()
+			counters[w] = c
+			h := reg.Histogram("first_hist", DepthBuckets, "w", "same")
+			h.Observe(1)
+			hists[w] = h
+			// Snapshot concurrently with creation: must not panic on a
+			// nil histogram and must see whole instruments only.
+			for _, m := range reg.Snapshot().Metrics {
+				if m.Type == TypeHistogram && m.Bounds == nil {
+					t.Errorf("snapshot saw histogram %s without bounds", m.Name)
+				}
+			}
+		}(w)
+	}
+	close(start)
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if counters[w] != counters[0] {
+			t.Fatalf("worker %d got a distinct Counter instance", w)
+		}
+		if hists[w] != hists[0] {
+			t.Fatalf("worker %d got a distinct Histogram instance", w)
+		}
+	}
+	snap := reg.Snapshot()
+	if got := snap.CounterValue("first_total", "w", "same"); got != workers {
+		t.Errorf("counter = %d, want %d (increments lost to a racing instance)", got, workers)
+	}
+	if m, ok := snap.Get("first_hist", "w", "same"); !ok || m.Count != workers {
+		t.Errorf("histogram count = %d, want %d", m.Count, workers)
+	}
+}
+
 func TestSnapshotSorted(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("zzz")

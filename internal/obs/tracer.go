@@ -23,8 +23,9 @@ const (
 	// EventRollback is one process rolling back during recovery; Value
 	// is the number of checkpoint intervals lost.
 	EventRollback
-	// EventRetry is a transport-level send retry.
-	EventRetry
+	// EventSendError is a transport-level send failure; Detail carries
+	// the error text.
+	EventSendError
 )
 
 // String returns the event type's wire name.
@@ -40,8 +41,8 @@ func (t EventType) String() string {
 		return "forced-checkpoint"
 	case EventRollback:
 		return "rollback"
-	case EventRetry:
-		return "retry"
+	case EventSendError:
+		return "send-error"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(t))
 	}
@@ -56,7 +57,7 @@ func (t *EventType) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &name); err != nil {
 		return err
 	}
-	for ev := EventSend; ev <= EventRetry; ev++ {
+	for ev := EventSend; ev <= EventSendError; ev++ {
 		if ev.String() == name {
 			*t = ev
 			return nil

@@ -94,7 +94,7 @@ func TestEventTypeStrings(t *testing.T) {
 		EventBasicCheckpoint:  "basic-checkpoint",
 		EventForcedCheckpoint: "forced-checkpoint",
 		EventRollback:         "rollback",
-		EventRetry:            "retry",
+		EventSendError:        "send-error",
 		EventType(99):         "event(99)",
 	}
 	for typ, name := range want {

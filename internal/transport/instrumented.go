@@ -9,18 +9,20 @@ import (
 )
 
 // instrumented decorates a Transport with observability: it counts
-// frames and payload bytes, measures the per-hop delay (send to handler
-// invocation) in a histogram, and retries one transient send failure,
-// recording the retry. The decorator owns both ends of the channel, so
+// frames, payload bytes, and send errors, and measures the per-hop
+// delay (send to handler invocation) in a histogram. It never retries —
+// a retry after an error that surfaced mid-transmission could deliver
+// the frame twice, and an observability wrapper must not change
+// delivery semantics. The decorator owns both ends of the channel, so
 // it carries the send timestamp as an 8-byte prefix on the frame data
 // and strips it before the inner handler runs.
 type instrumented struct {
-	inner   Transport
-	frames  *obs.Counter
-	bytes   *obs.Counter
-	retries *obs.Counter
-	hop     *obs.Histogram
-	tracer  *obs.Tracer
+	inner      Transport
+	frames     *obs.Counter
+	bytes      *obs.Counter
+	sendErrors *obs.Counter
+	hop        *obs.Histogram
+	tracer     *obs.Tracer
 }
 
 var _ Transport = (*instrumented)(nil)
@@ -29,10 +31,11 @@ var _ Transport = (*instrumented)(nil)
 // every instrumented frame.
 const stampLen = 8
 
-// WithObs wraps a transport with frame/byte counters, a per-hop delay
-// histogram, and retry events. A nil registry and tracer return the
-// inner transport unchanged. The transport's Name method (when present)
-// labels the series; unnamed transports are labeled "custom".
+// WithObs wraps a transport with frame/byte/error counters, a per-hop
+// delay histogram, and send-error events. A nil registry and tracer
+// return the inner transport unchanged. The transport's Name method
+// (when present) labels the series; unnamed transports are labeled
+// "custom".
 func WithObs(inner Transport, reg *obs.Registry, tr *obs.Tracer) Transport {
 	if reg == nil && tr == nil {
 		return inner
@@ -42,12 +45,12 @@ func WithObs(inner Transport, reg *obs.Registry, tr *obs.Tracer) Transport {
 		name = n.Name()
 	}
 	return &instrumented{
-		inner:   inner,
-		frames:  reg.Counter("rdt_transport_frames_total", "transport", name),
-		bytes:   reg.Counter("rdt_transport_bytes_total", "transport", name),
-		retries: reg.Counter("rdt_transport_retries_total", "transport", name),
-		hop:     reg.Histogram("rdt_transport_hop_seconds", obs.LatencyBuckets, "transport", name),
-		tracer:  tr,
+		inner:      inner,
+		frames:     reg.Counter("rdt_transport_frames_total", "transport", name),
+		bytes:      reg.Counter("rdt_transport_bytes_total", "transport", name),
+		sendErrors: reg.Counter("rdt_transport_send_errors_total", "transport", name),
+		hop:        reg.Histogram("rdt_transport_hop_seconds", obs.LatencyBuckets, "transport", name),
+		tracer:     tr,
 	}
 }
 
@@ -66,8 +69,11 @@ func (t *instrumented) Register(proc int, h Handler) error {
 	})
 }
 
-// Send implements Transport: it accounts for the frame, stamps the send
-// time, and retries once on a transient error.
+// Send implements Transport: it accounts for the frame, stamps the
+// send time, and counts and traces any error. The error is returned
+// unchanged — never retried, because the decorator cannot tell whether
+// the frame left the wire before the error surfaced, and a duplicate
+// delivery would corrupt the runtime's exactly-once accounting.
 func (t *instrumented) Send(f Frame) error {
 	t.frames.Inc()
 	t.bytes.Add(int64(len(f.Data)))
@@ -77,19 +83,16 @@ func (t *instrumented) Send(f Frame) error {
 	f.Data = stamped
 
 	err := t.inner.Send(f)
-	if err == nil || errors.Is(err, ErrClosed) {
-		return err
+	if err != nil && !errors.Is(err, ErrClosed) {
+		t.sendErrors.Inc()
+		t.tracer.Record(obs.Event{
+			Type:   obs.EventSendError,
+			Proc:   f.From,
+			Peer:   f.To,
+			Detail: err.Error(),
+		})
 	}
-	// One retry covers transient failures (e.g. a TCP dial racing the
-	// peer's listener); a closed transport is final.
-	t.retries.Inc()
-	t.tracer.Record(obs.Event{
-		Type:   obs.EventRetry,
-		Proc:   f.From,
-		Peer:   f.To,
-		Detail: err.Error(),
-	})
-	return t.inner.Send(f)
+	return err
 }
 
 // Close implements Transport.

@@ -336,7 +336,7 @@ func Resume(cfg ClusterConfig, replay []ReplayMessage) (*Cluster, error) {
 // SimConfig.Obs collects counters, gauges, and histograms from every
 // layer (protocols, runtime, transport, recovery); an EventTracer
 // records typed events (sends, deliveries, checkpoints with the
-// predicate that forced them, rollbacks, transport retries) in a
+// predicate that forced them, rollbacks, transport send errors) in a
 // bounded ring. ServeObs exposes both over HTTP.
 type (
 	// MetricsRegistry holds named counters, gauges, and histograms. A
@@ -368,7 +368,7 @@ const (
 	EventBasicCheckpoint  = obs.EventBasicCheckpoint
 	EventForcedCheckpoint = obs.EventForcedCheckpoint
 	EventRollback         = obs.EventRollback
-	EventRetry            = obs.EventRetry
+	EventSendError        = obs.EventSendError
 )
 
 // NewMetricsRegistry returns an empty metrics registry.
