@@ -1,10 +1,11 @@
 # Tier-1 is the gate every change must keep green; tier-2 adds static
 # analysis and the race detector (the observability layer is explicitly
-# concurrent, so tier-2 is what validates it).
+# concurrent, so tier-2 is what validates it); the chaos tier replays the
+# seeded fault-injection suite under the race detector.
 
 GO ?= go
 
-.PHONY: all test race vet bench obs-bench clean
+.PHONY: all test race vet chaos check bench obs-bench clean
 
 all: test
 
@@ -20,7 +21,17 @@ race: vet
 vet:
 	$(GO) vet ./...
 
-# Regenerate the evaluation benchmarks (reduced grid).
+# Chaos tier: the seeded fault-injection suite (fixed seed matrix — the
+# fault schedules are reproducible) under the race detector: transport
+# faults, reliable delivery, crash/restart, and end-to-end recovery.
+chaos:
+	$(GO) test -race -run 'Chaos|Crash|Reliable|Faulty|GiveUp|Partition' \
+		./internal/transport/ ./internal/cluster/
+	$(GO) test -race -run 'RunChaos' ./cmd/rdtsim/
+
+# Everything a change must pass before review.
+check: test race chaos
+
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 

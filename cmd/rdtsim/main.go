@@ -8,6 +8,12 @@
 //
 //	rdtsim -protocol bhmr -workload client-server -n 8 -duration 1000 \
 //	       -basic 10 -seed 1 -trace out.json
+//
+// With -faults, rdtsim instead drives the concurrent cluster runtime over
+// a fault-injected transport with reliable delivery on top:
+//
+//	rdtsim -protocol bhmr -n 4 -rounds 20 -seed 7 \
+//	       -faults drop=0.1,dup=0.1,reorder=0.15,err=0.05,delay=2ms
 package main
 
 import (
@@ -46,6 +52,8 @@ func run(args []string, out io.Writer) error {
 		check       = fs.Bool("check", true, "verify the RDT property of the recorded pattern")
 		metricsAddr = fs.String("metrics-addr", "", "serve Prometheus /metrics, /debug/events, and /debug/vars on this address (:0 picks a port)")
 		events      = fs.Int("events", 0, "print the last N structured events after the run")
+		faults      = fs.String("faults", "", "run the cluster runtime under fault injection with this mix, e.g. drop=0.05,dup=0.05,reorder=0.1,err=0.02,delay=3ms")
+		rounds      = fs.Int("rounds", 10, "send rounds of the -faults chaos mode")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,6 +78,20 @@ func run(args []string, out io.Writer) error {
 	}
 	defer printEvents(out, tracer, *events)
 
+	if *faults != "" {
+		probs, err := parseFaults(*faults)
+		if err != nil {
+			return err
+		}
+		if *protocol == "all" {
+			return fmt.Errorf("-faults runs one protocol at a time")
+		}
+		kind, err := rdt.ParseProtocol(*protocol)
+		if err != nil {
+			return err
+		}
+		return runChaos(out, kind, *n, *rounds, probs, *seed, *check, reg, tracer)
+	}
 	if *protocol == "all" {
 		return compareAll(out, *env, *n, *duration, *basic, *seed, reg, tracer)
 	}

@@ -96,3 +96,56 @@ func TestRunSimCompareAll(t *testing.T) {
 		}
 	}
 }
+
+func TestParseFaults(t *testing.T) {
+	p, err := parseFaults("drop=0.1,dup=0.2,reorder=0.3,err=0.05,delay=4ms")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if p.Drop != 0.1 || p.Duplicate != 0.2 || p.Reorder != 0.3 || p.SendError != 0.05 {
+		t.Errorf("probs = %+v", p)
+	}
+	if p.MaxExtraDelay.Milliseconds() != 4 {
+		t.Errorf("delay = %v", p.MaxExtraDelay)
+	}
+	for _, bad := range []string{"drop", "drop=x", "drop=1.5", "warp=0.1", "delay=fast"} {
+		if _, err := parseFaults(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestRunChaosMode(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-protocol", "bhmr", "-n", "4", "-rounds", "6", "-seed", "7",
+		"-faults", "drop=0.15,dup=0.15,reorder=0.2,err=0.05,delay=2ms",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"chaos run", "messages sent", "send retries",
+		"exactly-once", "RDT property", "true",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunChaosModeErrors(t *testing.T) {
+	tests := [][]string{
+		{"-faults", "drop=2"},
+		{"-faults", "drop=0.1", "-protocol", "all"},
+		{"-faults", "drop=0.1", "-protocol", "bogus"},
+		{"-faults", "drop=0.1", "-n", "1"},
+	}
+	for _, args := range tests {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,19 +1,23 @@
 // Command recovery demonstrates rollback recovery on the concurrent
 // runtime: processes run a small replicated-counter application under the
-// BHMR protocol, persist every checkpoint (with its dependency vector) to
-// a file-backed store, and then process 0 "crashes". The recovery manager
-// computes the recovery line from the stored vectors alone, restores the
-// application states, and garbage-collects the checkpoints below the
-// line. A second, uncoordinated run of the same workload in simulation
-// shows the domino effect the protocol prevents.
+// BHMR protocol over a deliberately unreliable wire (fault injection with
+// the reliable delivery layer on top), persist every checkpoint (with its
+// dependency vector) to a file-backed store, and then process 0 crashes
+// mid-run. Cluster.Recover drives the whole loop — recovery line from the
+// stored vectors alone, application states reinstalled, in-transit and
+// lost messages replayed into a second incarnation. A second,
+// uncoordinated run of the same workload in simulation shows the domino
+// effect the protocol prevents.
 package main
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"log"
 	"os"
 	"sync"
+	"time"
 
 	rdt "github.com/rdt-go/rdt"
 )
@@ -39,10 +43,37 @@ func (c *counters) snapshot(proc int) []byte {
 	return buf
 }
 
+func (c *counters) install(proc int, state []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(state) == 8 {
+		c.values[proc] = binary.BigEndian.Uint64(state)
+	} else {
+		c.values[proc] = 0
+	}
+}
+
 func main() {
 	if err := run(); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// chaosStack builds the canonical robust transport: reliable delivery
+// over an injected-fault wire. The cluster adds its observability
+// decorator outermost.
+func chaosStack(seed int64) rdt.Transport {
+	faulty := rdt.WithFaults(rdt.NewLocalTransport(time.Millisecond), rdt.FaultConfig{
+		Seed: seed,
+		Default: rdt.FaultProbs{
+			Drop: 0.1, Duplicate: 0.1, Reorder: 0.15, SendError: 0.05,
+		},
+	})
+	return rdt.Reliable(faulty, rdt.ReliableConfig{
+		Seed:       seed,
+		MaxRetries: 100,
+		Backoff:    time.Millisecond,
+	})
 }
 
 func run() error {
@@ -59,27 +90,29 @@ func run() error {
 	}
 
 	app := &counters{values: make([]uint64, n)}
+	handler := func(node *rdt.Node, from int, payload []byte) {
+		app.bump(node.Proc())
+		// Relay half the traffic onward to build cross-process
+		// dependencies.
+		if len(payload) > 0 && payload[0]%2 == 0 {
+			_ = node.Send((node.Proc()+1)%n, payload[1:])
+		}
+	}
 	c, err := rdt.NewCluster(rdt.ClusterConfig{
 		N:           n,
 		Protocol:    rdt.BHMR,
+		Transport:   chaosStack(7),
 		Store:       store,
 		Snapshot:    app.snapshot,
 		LogPayloads: true, // sender-based message log for in-transit replay
-		Handler: func(node *rdt.Node, from int, payload []byte) {
-			app.bump(node.Proc())
-			// Relay half the traffic onward to build cross-process
-			// dependencies.
-			if len(payload) > 0 && payload[0]%2 == 0 {
-				_ = node.Send((node.Proc()+1)%n, payload[1:])
-			}
-		},
+		Handler:     handler,
 	})
 	if err != nil {
 		return err
 	}
 
 	// Generate work: every process sends around and checkpoints
-	// periodically.
+	// periodically — over a wire that drops, duplicates, and reorders.
 	for round := 0; round < 12; round++ {
 		for proc := 0; proc < n; proc++ {
 			payload := []byte{byte(round), byte(proc)}
@@ -93,102 +126,80 @@ func run() error {
 			}
 		}
 	}
-	c.Quiesce()
-	pattern, err := c.Stop()
-	if err != nil {
-		return err
-	}
-	fmt.Printf("run recorded: %+v\n", pattern.Stats())
-
-	// ---- Process 0 crashes. ----
-	mgr, err := rdt.NewRecoveryManager(store, n)
-	if err != nil {
-		return err
-	}
-	plan, err := mgr.AfterCrash(0)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("latest stored checkpoints: %v\n", plan.Bounds)
-	fmt.Printf("recovery line:             %v\n", plan.Line)
-	fmt.Printf("rollback depth per process: %v (total %d intervals lost)\n",
-		plan.Depth, plan.TotalRollback())
-
-	// The line the manager computed from dependency vectors alone must
-	// match the trace oracle.
-	oracle, err := rdt.TraceRecoveryLine(pattern, plan.Bounds)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("trace oracle agrees:       %v\n", plan.Line.Equal(oracle))
-
-	// Reinstall the application states recorded at the line.
-	cps, err := mgr.Restore(plan.Line)
-	if err != nil {
-		return err
-	}
-	for _, cp := range cps {
-		value := uint64(0)
-		if len(cp.State) == 8 {
-			value = binary.BigEndian.Uint64(cp.State)
-		}
-		fmt.Printf("  P%d restarts from C{%d,%d} with counter=%d\n", cp.Proc, cp.Proc, cp.Index, value)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := c.QuiesceCtx(ctx); err != nil {
+		return fmt.Errorf("quiesce: %w", err)
 	}
 
-	// Messages that were in the channels at the recovery line are lost by
-	// the rollback; the sender-based message log replays them.
-	inTransit, err := rdt.InTransit(pattern, plan.Line)
-	if err != nil {
+	// ---- Process 0 crashes; a message sent to it afterwards is lost,
+	// and the sender checkpoints past it, so the loss lands inside the
+	// recovery line and must be replayed. ----
+	if err := c.Node(0).Crash(); err != nil {
 		return err
 	}
-	fmt.Printf("in-transit messages to replay from the log: %d\n", len(inTransit))
-	for i, m := range inTransit {
-		if i == 3 {
-			fmt.Printf("  ... and %d more\n", len(inTransit)-3)
-			break
-		}
-		payload, ok := c.Payload(m.ID)
-		fmt.Printf("  replay m%d P%d->P%d (payload logged: %v, %d bytes)\n",
-			m.ID, m.From, m.To, ok, len(payload))
+	if err := c.Node(1).Send(0, []byte{99, 1}); err != nil {
+		return err
+	}
+	if err := c.QuiesceCtx(ctx); err != nil {
+		return fmt.Errorf("quiesce: %w", err)
+	}
+	if err := c.Node(1).Checkpoint(); err != nil {
+		return err
 	}
 
-	// Checkpoints below the line are dead weight.
-	removed, err := mgr.GC(plan.Line)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("garbage-collected %d obsolete checkpoints\n", removed)
-
-	// ---- Incarnation 2: resume the computation. ----
-	replaySet, err := rdt.ReplaySet(pattern, plan.Line, c.Payload)
-	if err != nil {
-		return err
-	}
-	for i, cp := range cps {
-		if len(cp.State) == 8 {
-			app.mu.Lock()
-			app.values[i] = binary.BigEndian.Uint64(cp.State)
-			app.mu.Unlock()
-		}
-	}
+	// ---- End-to-end recovery: line → restore → GC → replay → resume. ----
 	store2, err := rdt.NewFileStore(dir + "-inc2")
 	if err != nil {
 		return err
 	}
 	defer os.RemoveAll(dir + "-inc2")
-	c2, err := rdt.Resume(rdt.ClusterConfig{
-		N:        n,
-		Protocol: rdt.BHMR,
-		Store:    store2,
-		Snapshot: app.snapshot,
-		Handler: func(node *rdt.Node, from int, payload []byte) {
-			app.bump(node.Proc())
+	res, err := c.Recover(ctx, rdt.RecoverOptions{
+		Store:     store2,
+		Transport: chaosStack(8),
+		Install: func(cp rdt.StoredCheckpoint) {
+			app.install(cp.Proc, cp.State)
 		},
-	}, replaySet)
+		GC: true,
+	})
 	if err != nil {
 		return err
 	}
-	c2.Quiesce()
+
+	fmt.Printf("incarnation 1 recorded: %+v\n", res.Pattern.Stats())
+	fmt.Printf("messages lost to the crash: %d\n", len(res.Lost))
+	fmt.Printf("latest stored checkpoints: %v\n", res.Plan.Bounds)
+	fmt.Printf("recovery line:             %v\n", res.Plan.Line)
+	fmt.Printf("rollback depth per process: %v (total %d intervals lost)\n",
+		res.Plan.Depth, res.Plan.TotalRollback())
+
+	// The line the manager computed from dependency vectors alone must
+	// match the trace oracle.
+	oracle, err := rdt.TraceRecoveryLine(res.Pattern, res.Plan.Bounds)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace oracle agrees:       %v\n", res.Plan.Line.Equal(oracle))
+
+	fmt.Printf("messages replayed from the log: %d\n", len(res.Replayed))
+	for i, m := range res.Replayed {
+		if i == 3 {
+			fmt.Printf("  ... and %d more\n", len(res.Replayed)-3)
+			break
+		}
+		fmt.Printf("  replay m%d P%d->P%d (%d bytes)\n", m.ID, m.From, m.To, len(m.Payload))
+	}
+
+	// ---- Incarnation 2 keeps computing, again under chaos. ----
+	c2 := res.Cluster
+	for proc := 0; proc < n; proc++ {
+		if err := c2.Node(proc).Send((proc+1)%n, []byte{3, byte(proc)}); err != nil {
+			return err
+		}
+	}
+	if err := c2.QuiesceCtx(ctx); err != nil {
+		return fmt.Errorf("quiesce 2: %w", err)
+	}
 	pattern2, err := c2.Stop()
 	if err != nil {
 		return err
@@ -197,8 +208,8 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("incarnation 2: replayed %d in-transit messages, %d deliveries recorded, RDT: %v\n\n",
-		len(replaySet), len(pattern2.Messages), report.RDT)
+	fmt.Printf("incarnation 2: %d deliveries recorded, RDT: %v\n\n",
+		len(pattern2.Messages), report.RDT)
 
 	return dominoContrast()
 }

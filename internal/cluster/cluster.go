@@ -12,6 +12,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -56,6 +57,13 @@ type Config struct {
 	// checkpoints with their triggering predicate, transport send errors)
 	// into its bounded ring.
 	Tracer *obs.Tracer
+
+	// OnError, if non-nil, receives asynchronous runtime errors that have
+	// no caller to return to: transport send failures from a node
+	// goroutine and checkpoint-store write failures. It may be called
+	// concurrently from several goroutines and must not block. Nil means
+	// the errors are still counted and traced, just not delivered.
+	OnError func(error)
 }
 
 // ErrStopped is returned by operations on a stopped cluster.
@@ -72,6 +80,7 @@ type Cluster struct {
 	builder  *model.Builder
 	payloads map[int][]byte
 	stopped  bool
+	crashed  map[int]bool
 
 	outstanding *pending
 	ins         *instruments // nil when observability is off
@@ -91,6 +100,7 @@ func New(cfg Config) (*Cluster, error) {
 		store:       cfg.Store,
 		builder:     model.NewBuilder(cfg.N),
 		outstanding: newPending(),
+		crashed:     make(map[int]bool),
 	}
 	if c.trans == nil {
 		c.trans = transport.NewLocal(transport.DefaultLocalDelay)
@@ -148,26 +158,33 @@ func (c *Cluster) Quiesce() {
 	c.ins.quiesceWait.Observe(time.Since(start).Seconds())
 }
 
+// QuiesceCtx is Quiesce with a deadline: it returns nil once nothing is
+// outstanding, or the context's error when it expires first. Under fault
+// injection without a reliable transport, dropped frames leak outstanding
+// counts — QuiesceCtx turns what would be a hang into a diagnosable
+// timeout.
+func (c *Cluster) QuiesceCtx(ctx context.Context) error {
+	if c.ins == nil {
+		return c.outstanding.waitCtx(ctx)
+	}
+	start := time.Now()
+	err := c.outstanding.waitCtx(ctx)
+	c.ins.quiesceWait.Observe(time.Since(start).Seconds())
+	return err
+}
+
 // Stop quiesces the cluster, shuts down the nodes and the transport, and
 // returns the recorded pattern, finalized. Stop is idempotent; subsequent
 // calls return ErrStopped.
 func (c *Cluster) Stop() (*model.Pattern, error) {
-	c.mu.Lock()
-	if c.stopped {
-		c.mu.Unlock()
-		return nil, ErrStopped
+	if err := c.beginStop(); err != nil {
+		return nil, err
 	}
-	c.stopped = true
-	c.mu.Unlock()
 	// New operations are rejected from here on; wait for the in-flight
 	// ones (and their cascades) to drain before tearing down.
 	c.Quiesce()
-
-	for _, node := range c.nodes {
-		node.stop()
-	}
-	if err := c.trans.Close(); err != nil {
-		return nil, fmt.Errorf("cluster: close transport: %w", err)
+	if err := c.teardown(); err != nil {
+		return nil, err
 	}
 
 	c.mu.Lock()
@@ -179,11 +196,96 @@ func (c *Cluster) Stop() (*model.Pattern, error) {
 	return p, nil
 }
 
+// StopLossy stops the cluster like Stop, but tolerates loss: it waits for
+// quiescence only until the context expires, and messages still in flight
+// at teardown (dropped by faults or dead with a crashed process) are
+// returned as lost messages instead of failing finalization. It is the
+// shutdown path for runs with crashes or a lossy transport.
+func (c *Cluster) StopLossy(ctx context.Context) (*model.Pattern, []model.LostMessage, error) {
+	if err := c.beginStop(); err != nil {
+		return nil, nil, err
+	}
+	// Best-effort drain: a timeout here just means more messages land in
+	// the lost set.
+	_ = c.QuiesceCtx(ctx)
+	if err := c.teardown(); err != nil {
+		return nil, nil, err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, lost, err := c.builder.FinalizeLossy()
+	if err != nil {
+		return nil, nil, fmt.Errorf("cluster: %w", err)
+	}
+	return p, lost, nil
+}
+
+// beginStop atomically marks the cluster stopped.
+func (c *Cluster) beginStop() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stopped {
+		return ErrStopped
+	}
+	c.stopped = true
+	return nil
+}
+
+// teardown stops the node goroutines and closes the transport.
+func (c *Cluster) teardown() error {
+	for _, node := range c.nodes {
+		node.stop()
+	}
+	if err := c.trans.Close(); err != nil {
+		return fmt.Errorf("cluster: close transport: %w", err)
+	}
+	return nil
+}
+
 // isStopped reports whether Stop has begun.
 func (c *Cluster) isStopped() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.stopped
+}
+
+// reportError delivers an asynchronous runtime error to the configured
+// sink, if any.
+func (c *Cluster) reportError(err error) {
+	if c.cfg.OnError != nil {
+		c.cfg.OnError(err)
+	}
+}
+
+// noteCrash records that a process fail-stopped.
+func (c *Cluster) noteCrash(proc, droppedOps int) {
+	c.mu.Lock()
+	c.crashed[proc] = true
+	c.mu.Unlock()
+	c.ins.crash(proc, droppedOps)
+}
+
+// noteRestart records that a crashed process came back.
+func (c *Cluster) noteRestart(proc int) {
+	c.mu.Lock()
+	delete(c.crashed, proc)
+	c.mu.Unlock()
+	c.ins.restart(proc)
+}
+
+// Crashed returns the processes currently fail-stopped, in ascending
+// order.
+func (c *Cluster) Crashed() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var procs []int
+	for p := 0; p < c.cfg.N; p++ {
+		if c.crashed[p] {
+			procs = append(procs, p)
+		}
+	}
+	return procs
 }
 
 // recordSend registers a send event in the trace (and, when payload
@@ -231,17 +333,20 @@ func (c *Cluster) recordCheckpoint(rec core.CheckpointRecord) {
 	if c.cfg.Snapshot != nil {
 		state = c.cfg.Snapshot(rec.Proc)
 	}
-	// Persisting is best-effort bookkeeping for the recovery manager; a
-	// full implementation would propagate the error to the caller, but a
-	// memory store cannot fail and a file store failing here is surfaced
-	// at recovery time.
-	_ = c.store.Put(storage.Checkpoint{
+	// The protocol cannot roll a checkpoint back, so a failed write has no
+	// caller to return to — count it, trace it, and hand it to the error
+	// sink so the application learns its stable storage is degraded before
+	// a recovery needs it.
+	if err := c.store.Put(storage.Checkpoint{
 		Proc:  rec.Proc,
 		Index: rec.Index,
 		Kind:  rec.Kind,
 		TDV:   rec.TDV,
 		State: state,
-	})
+	}); err != nil {
+		c.ins.storeError(rec.Proc, err)
+		c.reportError(fmt.Errorf("cluster: persist checkpoint (%d,%d): %w", rec.Proc, rec.Index, err))
+	}
 }
 
 // Metrics is an aggregate snapshot of a cluster's activity.

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -11,6 +12,10 @@ import (
 	"github.com/rdt-go/rdt/internal/vclock"
 )
 
+// ErrCrashed is returned by operations on a process that has fail-stopped
+// (Node.Crash) and has not been restarted.
+var ErrCrashed = errors.New("process has crashed")
+
 // Node is the handle of one process of a cluster. Its exported methods are
 // safe for concurrent use: they enqueue operations that the node's
 // goroutine executes in order, preserving the sequential-process model.
@@ -19,6 +24,10 @@ type Node struct {
 	proc int
 	inst core.Instance
 
+	// mu guards the crash/restart lifecycle: mailbox and done are
+	// replaced on restart, crashed gates the operation entry points.
+	mu      sync.Mutex
+	crashed bool
 	mailbox *mailbox
 	done    chan struct{}
 }
@@ -70,12 +79,18 @@ func newNode(c *Cluster, proc int) (*Node, error) {
 }
 
 func (n *Node) start() {
-	go n.loop()
+	n.mu.Lock()
+	mb, done := n.mailbox, n.done
+	n.mu.Unlock()
+	go n.loop(mb, done)
 }
 
 func (n *Node) stop() {
-	n.mailbox.close()
-	<-n.done
+	n.mu.Lock()
+	mb, done := n.mailbox, n.done
+	n.mu.Unlock()
+	mb.close()
+	<-done
 }
 
 // Proc returns the node's process identifier.
@@ -101,15 +116,79 @@ func (n *Node) Status() (Status, error) {
 	if err := n.enqueue(op{kind: opQuery, query: reply}); err != nil {
 		return Status{}, err
 	}
-	return <-reply, nil
+	st, ok := <-reply
+	if !ok {
+		// The node crashed with the query still queued.
+		return Status{}, ErrCrashed
+	}
+	return st, nil
+}
+
+// Crash fail-stops the process: its goroutine exits, queued operations
+// are discarded, and frames addressed to it are dropped until Restart.
+// The protocol instance and everything already persisted survive —
+// exactly the state a real process recovers from stable storage. Crash
+// is the failure half of the crash/recovery loop; Cluster.Restart and
+// Cluster.Recover are the repair halves.
+func (n *Node) Crash() error {
+	if n.c.isStopped() {
+		return ErrStopped
+	}
+	n.mu.Lock()
+	if n.crashed {
+		n.mu.Unlock()
+		return ErrCrashed
+	}
+	n.crashed = true
+	mb, done := n.mailbox, n.done
+	n.mu.Unlock()
+
+	dropped := mb.crash()
+	<-done
+	for _, o := range dropped {
+		// Every queued item held one outstanding count; a dropped query
+		// also has a caller blocked on its reply channel.
+		n.c.outstanding.done()
+		if o.query != nil {
+			close(o.query)
+		}
+	}
+	n.c.noteCrash(n.proc, len(dropped))
+	return nil
+}
+
+// restart brings a crashed node back with a fresh mailbox; the protocol
+// state resumes where the instance left off.
+func (n *Node) restart() {
+	n.mu.Lock()
+	n.crashed = false
+	n.mailbox = newMailbox(n.c.ins.queueDepth(n.proc))
+	n.done = make(chan struct{})
+	mb, done := n.mailbox, n.done
+	n.mu.Unlock()
+	go n.loop(mb, done)
+}
+
+// isCrashed reports whether the node is currently fail-stopped.
+func (n *Node) isCrashed() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.crashed
 }
 
 func (n *Node) enqueue(o op) error {
 	if n.c.isStopped() {
 		return ErrStopped
 	}
+	n.mu.Lock()
+	if n.crashed {
+		n.mu.Unlock()
+		return ErrCrashed
+	}
+	mb := n.mailbox
+	n.mu.Unlock()
 	n.c.outstanding.add(1)
-	if !n.mailbox.put(o) {
+	if !mb.put(o) {
 		n.c.outstanding.done()
 		return ErrStopped
 	}
@@ -117,22 +196,27 @@ func (n *Node) enqueue(o op) error {
 }
 
 // onFrame is the transport handler: it hands the frame to the node
-// goroutine. It must not block.
+// goroutine. It must not block. Frames for a crashed node are dropped —
+// they died with the process; the message log replays them if the
+// recovery line needs them.
 func (n *Node) onFrame(f transport.Frame) {
 	o := op{kind: opFrame, frame: f.Data}
 	if n.c.ins != nil {
 		o.arrived = time.Now()
 	}
+	n.mu.Lock()
+	mb := n.mailbox
+	n.mu.Unlock()
 	// The sender already accounted for this frame in outstanding.
-	if !n.mailbox.put(o) {
-		n.c.outstanding.done() // dropped during shutdown
+	if !mb.put(o) {
+		n.c.outstanding.done() // dropped: crash or shutdown
 	}
 }
 
-func (n *Node) loop() {
-	defer close(n.done)
+func (n *Node) loop(mb *mailbox, done chan struct{}) {
+	defer close(done)
 	for {
-		o, ok := n.mailbox.take()
+		o, ok := mb.take()
 		if !ok {
 			return
 		}
@@ -184,8 +268,11 @@ func (n *Node) doSend(to int, payload []byte) {
 	}
 	n.c.outstanding.add(1) // the in-flight frame
 	if err := n.c.trans.Send(transport.Frame{From: n.proc, To: to, Data: data}); err != nil {
+		// The frame never left: release its accounting and surface the
+		// error. The send stays in the trace as a lost message, exactly
+		// what happened on the wire.
 		n.c.outstanding.done()
-		panic(fmt.Sprintf("cluster: transport send: %v", err))
+		n.c.reportError(fmt.Errorf("transport send P%d->P%d: %w", n.proc, to, err))
 	}
 }
 
@@ -257,10 +344,24 @@ func (m *mailbox) take() (op, bool) {
 	return o, true
 }
 
-// close marks the mailbox closed and wakes the consumer.
+// close marks the mailbox closed and wakes the consumer; queued items
+// are still drained.
 func (m *mailbox) close() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.closed = true
 	m.cond.Broadcast()
+}
+
+// crash closes the mailbox and discards the backlog, returning the
+// dropped items so the caller can release their accounting.
+func (m *mailbox) crash() []op {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	dropped := m.items
+	m.items = nil
+	m.depth.Set(0)
+	m.cond.Broadcast()
+	return dropped
 }

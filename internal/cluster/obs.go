@@ -22,6 +22,10 @@ type instruments struct {
 	piggybackBytes *obs.Counter
 	basic          *obs.Counter
 	forced         *obs.Counter
+	storeErrors    *obs.Counter
+	crashes        *obs.Counter
+	restarts       *obs.Counter
+	recoveries     *obs.Counter
 
 	// deliveryLatency is the mailbox wait: frame arrival at the node to
 	// execution in the node goroutine.
@@ -42,9 +46,54 @@ func newInstruments(reg *obs.Registry, tr *obs.Tracer, protocol core.Kind) *inst
 		piggybackBytes:  reg.Counter("rdt_cluster_piggyback_bytes_total", "protocol", proto),
 		basic:           reg.Counter("rdt_checkpoints_total", "protocol", proto, "kind", "basic"),
 		forced:          reg.Counter("rdt_checkpoints_total", "protocol", proto, "kind", "forced"),
+		storeErrors:     reg.Counter("rdt_store_errors_total", "protocol", proto),
+		crashes:         reg.Counter("rdt_cluster_crashes_total", "protocol", proto),
+		restarts:        reg.Counter("rdt_cluster_restarts_total", "protocol", proto),
+		recoveries:      reg.Counter("rdt_recoveries_e2e_total", "protocol", proto),
 		deliveryLatency: reg.Histogram("rdt_cluster_delivery_latency_seconds", obs.LatencyBuckets, "protocol", proto),
 		quiesceWait:     reg.Histogram("rdt_cluster_quiesce_wait_seconds", obs.LatencyBuckets, "protocol", proto),
 	}
+}
+
+// storeError accounts for one failed checkpoint persist.
+func (ins *instruments) storeError(proc int, err error) {
+	if ins == nil {
+		return
+	}
+	ins.storeErrors.Inc()
+	ins.tracer.Record(obs.Event{
+		Type: obs.EventStoreError, Proc: proc, Detail: err.Error(),
+	})
+}
+
+// crash accounts for one fail-stop; droppedOps is the discarded backlog.
+func (ins *instruments) crash(proc, droppedOps int) {
+	if ins == nil {
+		return
+	}
+	ins.crashes.Inc()
+	ins.tracer.Record(obs.Event{
+		Type: obs.EventCrash, Proc: proc, Value: droppedOps,
+	})
+}
+
+// restart accounts for one crashed process coming back.
+func (ins *instruments) restart(proc int) {
+	if ins == nil {
+		return
+	}
+	ins.restarts.Inc()
+	ins.tracer.Record(obs.Event{Type: obs.EventRestart, Proc: proc})
+}
+
+// recovery accounts for one completed end-to-end recovery; replayed is
+// the number of messages re-injected.
+func (ins *instruments) recovery(replayed int) {
+	if ins == nil {
+		return
+	}
+	ins.recoveries.Inc()
+	ins.tracer.Record(obs.Event{Type: obs.EventRecovery, Value: replayed})
 }
 
 // queueDepth returns the mailbox-depth gauge of one node.

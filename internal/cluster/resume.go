@@ -1,9 +1,9 @@
-package recovery
+package cluster
 
 import (
 	"fmt"
 
-	"github.com/rdt-go/rdt/internal/cluster"
+	"github.com/rdt-go/rdt/internal/recovery"
 )
 
 // Resume starts the next incarnation of a computation after a rollback:
@@ -21,8 +21,12 @@ import (
 // is the in-transit messages, which are replayed here as the first sends
 // of the new incarnation. The caller should give the new cluster its own
 // checkpoint store (or GC the old one to the line first).
-func Resume(cfg cluster.Config, replay []ReplayMessage) (*cluster.Cluster, error) {
-	c, err := cluster.New(cfg)
+//
+// Cluster.Recover packages the whole crash → line → restore → Resume
+// sequence; Resume remains the building block for applications that need
+// to drive the steps themselves.
+func Resume(cfg Config, replay []recovery.ReplayMessage) (*Cluster, error) {
+	c, err := New(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("recovery: resume: %w", err)
 	}

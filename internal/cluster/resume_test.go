@@ -1,4 +1,4 @@
-package recovery
+package cluster_test
 
 import (
 	"encoding/binary"
@@ -7,6 +7,7 @@ import (
 
 	"github.com/rdt-go/rdt/internal/cluster"
 	"github.com/rdt-go/rdt/internal/core"
+	"github.com/rdt-go/rdt/internal/recovery"
 	"github.com/rdt-go/rdt/internal/rgraph"
 	"github.com/rdt-go/rdt/internal/storage"
 )
@@ -91,7 +92,7 @@ func TestFullCrashRecoveryCycle(t *testing.T) {
 	}
 
 	// ---- Crash of process 2. ----
-	mgr, err := NewManager(store1, n)
+	mgr, err := recovery.NewManager(store1, n)
 	if err != nil {
 		t.Fatalf("manager: %v", err)
 	}
@@ -106,14 +107,14 @@ func TestFullCrashRecoveryCycle(t *testing.T) {
 	for _, cp := range states {
 		app.install(cp.Proc, cp.State)
 	}
-	replay, err := ReplaySet(pattern1, plan.Line, c1.Payload)
+	replay, err := recovery.ReplaySet(pattern1, plan.Line, c1.Payload)
 	if err != nil {
 		t.Fatalf("replay set: %v", err)
 	}
 
 	// ---- Incarnation 2. ----
 	store2 := storage.NewMemory()
-	c2, err := Resume(cluster.Config{
+	c2, err := cluster.Resume(cluster.Config{
 		N:           n,
 		Protocol:    core.KindBHMR,
 		Store:       store2,
@@ -151,7 +152,7 @@ func TestFullCrashRecoveryCycle(t *testing.T) {
 		t.Fatalf("TDVs: %v", err)
 	}
 	// And it persisted fresh checkpoints of its own (initials at least).
-	mgr2, err := NewManager(store2, n)
+	mgr2, err := recovery.NewManager(store2, n)
 	if err != nil {
 		t.Fatalf("manager 2: %v", err)
 	}
@@ -175,12 +176,12 @@ func TestFullCrashRecoveryCycle(t *testing.T) {
 }
 
 func TestResumeRejectsBadReplay(t *testing.T) {
-	_, err := Resume(cluster.Config{N: 2, Protocol: core.KindBHMR},
-		[]ReplayMessage{{ID: 0, From: 0, To: 9}})
+	_, err := cluster.Resume(cluster.Config{N: 2, Protocol: core.KindBHMR},
+		[]recovery.ReplayMessage{{ID: 0, From: 0, To: 9}})
 	if err == nil {
 		t.Fatal("out-of-range replay destination accepted")
 	}
-	if _, err := Resume(cluster.Config{N: 1}, nil); err == nil {
+	if _, err := cluster.Resume(cluster.Config{N: 1}, nil); err == nil {
 		t.Fatal("invalid cluster config accepted")
 	}
 }

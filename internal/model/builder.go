@@ -150,6 +150,41 @@ func (b *Builder) Finalize() (*Pattern, error) {
 	return p, nil
 }
 
+// LostMessage records a send whose delivery never happened — a frame
+// that died with a crashed process or a lossy link. Lost messages cannot
+// appear in a Pattern (patterns model complete executions); they are
+// reported alongside it by FinalizeLossy so recovery can replay the ones
+// sent at or before the recovery line.
+type LostMessage struct {
+	ID           int
+	From, To     ProcID
+	SendInterval int
+}
+
+// FinalizeLossy closes the pattern like Finalize, but tolerates messages
+// still in flight: they are dropped from the pattern and returned as
+// lost messages. It is the finalization path for crashed or chaotic
+// runs, where "channels are reliable" no longer holds at the instant the
+// run is cut.
+func (b *Builder) FinalizeLossy() (*Pattern, []LostMessage, error) {
+	var lost []LostMessage
+	for id, ps := range b.sent {
+		lost = append(lost, LostMessage{
+			ID:           id,
+			From:         ps.from,
+			To:           ps.to,
+			SendInterval: ps.sendInterval,
+		})
+	}
+	sort.Slice(lost, func(a, c int) bool { return lost[a].ID < lost[c].ID })
+	b.sent = make(map[int]*pendingSend)
+	p, err := b.Finalize()
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, lost, nil
+}
+
 func (b *Builder) nextSeq(i ProcID) int {
 	s := b.seq[i]
 	b.seq[i]++

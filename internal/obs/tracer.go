@@ -26,6 +26,25 @@ const (
 	// EventSendError is a transport-level send failure; Detail carries
 	// the error text.
 	EventSendError
+	// EventFault is an injected transport fault; Detail names the kind
+	// (drop, duplicate, reorder, delay, send-error, partition).
+	EventFault
+	// EventRetry is a reliable-transport retransmission (Proc → Peer);
+	// Value is the attempt number.
+	EventRetry
+	// EventGiveUp is a frame the reliable transport abandoned after
+	// exhausting its retries.
+	EventGiveUp
+	// EventCrash is a process fail-stop (Node.Crash).
+	EventCrash
+	// EventRestart is a crashed process resuming (Cluster.Restart).
+	EventRestart
+	// EventRecovery is one end-to-end crash recovery (Cluster.Recover);
+	// Value is the number of replayed in-transit messages.
+	EventRecovery
+	// EventStoreError is a checkpoint-store write failure; Detail
+	// carries the error text.
+	EventStoreError
 )
 
 // String returns the event type's wire name.
@@ -43,6 +62,20 @@ func (t EventType) String() string {
 		return "rollback"
 	case EventSendError:
 		return "send-error"
+	case EventFault:
+		return "fault"
+	case EventRetry:
+		return "retry"
+	case EventGiveUp:
+		return "give-up"
+	case EventCrash:
+		return "crash"
+	case EventRestart:
+		return "restart"
+	case EventRecovery:
+		return "recovery"
+	case EventStoreError:
+		return "store-error"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(t))
 	}
@@ -57,7 +90,7 @@ func (t *EventType) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &name); err != nil {
 		return err
 	}
-	for ev := EventSend; ev <= EventSendError; ev++ {
+	for ev := EventSend; ev <= EventStoreError; ev++ {
 		if ev.String() == name {
 			*t = ev
 			return nil

@@ -24,9 +24,24 @@ type File struct {
 var _ Store = (*File)(nil)
 
 // NewFile creates (if needed) the directory and returns a store over it.
+// Leftover .tmp files — a Put interrupted by a crash between write and
+// rename — are removed: the checkpoint they held was never committed, so
+// the store must not resurrect it.
 func NewFile(dir string) (*File, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("checkpoint dir: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint dir: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, "ckpt_") && strings.HasSuffix(name, ".tmp") {
+			if err := os.Remove(filepath.Join(dir, name)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+				return nil, fmt.Errorf("remove stale %s: %w", name, err)
+			}
+		}
 	}
 	return &File{dir: dir}, nil
 }

@@ -295,3 +295,59 @@ func ExampleGCBelow() {
 	fmt.Println(removed)
 	// Output: 3
 }
+
+// TestFileStoreIgnoresTmpFiles: a Put interrupted between write and
+// rename leaves a .tmp file behind; it must never surface as a
+// checkpoint.
+func TestFileStoreIgnoresTmpFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFile(dir)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	if err := s.Put(Checkpoint{Proc: 0, Index: 0, TDV: []int{0}}); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	// A torn write of the would-be next checkpoint.
+	torn := filepath.Join(dir, "ckpt_0_1.json.tmp")
+	if err := os.WriteFile(torn, []byte("{torn"), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	idxs, err := s.Indexes(0)
+	if err != nil {
+		t.Fatalf("indexes: %v", err)
+	}
+	if len(idxs) != 1 || idxs[0] != 0 {
+		t.Errorf("indexes = %v, want [0]", idxs)
+	}
+	if cp, err := s.Latest(0); err != nil || cp.Index != 0 {
+		t.Errorf("latest = (%v, %v), want index 0", cp, err)
+	}
+}
+
+// TestFileStoreCleansTmpOnReopen: reopening the directory (a process
+// restart) removes stale .tmp files and leaves committed checkpoints.
+func TestFileStoreCleansTmpOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewFile(dir)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	if err := s1.Put(Checkpoint{Proc: 2, Index: 3, TDV: []int{0, 0, 3}}); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	torn := filepath.Join(dir, "ckpt_2_4.json.tmp")
+	if err := os.WriteFile(torn, []byte("{torn"), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	s2, err := NewFile(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if _, err := os.Stat(torn); !os.IsNotExist(err) {
+		t.Errorf("stale tmp file survived reopen: %v", err)
+	}
+	if cp, err := s2.Latest(2); err != nil || cp.Index != 3 {
+		t.Errorf("latest = (%v, %v), want index 3", cp, err)
+	}
+}

@@ -1,0 +1,314 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/rdt-go/rdt/internal/obs"
+)
+
+// ErrGiveUp is surfaced (through ReliableConfig.OnGiveUp) when the
+// reliable transport abandons a frame after exhausting its retries —
+// the receiver is unreachable for longer than the retry budget covers.
+var ErrGiveUp = errors.New("transport: gave up delivering frame")
+
+// ReliableConfig parameterizes Reliable.
+type ReliableConfig struct {
+	// MaxRetries bounds the retransmissions per frame (the first
+	// transmission is free). Default 10.
+	MaxRetries int
+	// Backoff is the initial ack-wait; it doubles per retry up to
+	// MaxBackoff, with up to 50% random jitter. Defaults 2ms / 100ms.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// Seed makes the jitter schedule reproducible. Zero seeds from 1.
+	Seed int64
+	// OnGiveUp, if non-nil, is called once per abandoned frame with the
+	// original frame and ErrGiveUp. It runs on the retry goroutine and
+	// must not block.
+	OnGiveUp func(f Frame, err error)
+
+	// Obs, if non-nil, receives rdt_send_retries_total,
+	// rdt_reliable_giveups_total, and rdt_reliable_dups_suppressed_total.
+	Obs *obs.Registry
+	// Tracer, if non-nil, records EventRetry and EventGiveUp.
+	Tracer *obs.Tracer
+}
+
+// ReliableTransport decorates any Transport with exactly-once delivery
+// over a lossy, duplicating, reordering wire: every frame carries a
+// per-(sender,receiver) sequence number, the receiver acknowledges and
+// deduplicates, and the sender retransmits unacknowledged frames with
+// exponential backoff and jitter until acked or the retry budget is
+// spent (ErrGiveUp). Send errors from the wrapped transport are treated
+// as transient and retried — safe, because the receiver-side dedup makes
+// a double transmission deliver once.
+//
+// Acks travel as extra frames through the wrapped transport from the
+// receiver's process id back to the sender's, so every process that
+// sends must also be registered (the cluster runtime always is).
+type ReliableTransport struct {
+	inner Transport
+	cfg   ReliableConfig
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	nextSeq map[Link]uint64
+	pending map[pendingKey]*pendingFrame
+	seen    map[Link]*dedupWindow
+	closed  bool
+	stop    chan struct{}
+	wg      sync.WaitGroup
+
+	retries *obs.Counter
+	giveups *obs.Counter
+	dups    *obs.Counter
+}
+
+var _ Transport = (*ReliableTransport)(nil)
+
+type pendingKey struct {
+	link Link
+	seq  uint64
+}
+
+type pendingFrame struct {
+	frame Frame // the framed (headered) wire frame
+	acked chan struct{}
+}
+
+// Reliable wraps a transport with the retry/dedup layer.
+func Reliable(inner Transport, cfg ReliableConfig) *ReliableTransport {
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 10
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 2 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 100 * time.Millisecond
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &ReliableTransport{
+		inner:   inner,
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(seed)),
+		nextSeq: make(map[Link]uint64),
+		pending: make(map[pendingKey]*pendingFrame),
+		seen:    make(map[Link]*dedupWindow),
+		stop:    make(chan struct{}),
+		retries: cfg.Obs.Counter("rdt_send_retries_total"),
+		giveups: cfg.Obs.Counter("rdt_reliable_giveups_total"),
+		dups:    cfg.Obs.Counter("rdt_reliable_dups_suppressed_total"),
+	}
+}
+
+// Name identifies the transport in metric labels.
+func (t *ReliableTransport) Name() string {
+	if n, ok := t.inner.(interface{ Name() string }); ok {
+		return "reliable+" + n.Name()
+	}
+	return "reliable"
+}
+
+// Wire framing: one type byte, 8 sequence bytes, then the payload (data
+// frames only).
+const (
+	relHeaderLen       = 9
+	relData      uint8 = 0xD1
+	relAck       uint8 = 0xA1
+)
+
+func relFrame(typ uint8, seq uint64, payload []byte) []byte {
+	buf := make([]byte, relHeaderLen+len(payload))
+	buf[0] = typ
+	binary.BigEndian.PutUint64(buf[1:relHeaderLen], seq)
+	copy(buf[relHeaderLen:], payload)
+	return buf
+}
+
+// Register implements Transport: the handler is wrapped to consume acks,
+// acknowledge and deduplicate data frames, and deliver each sequence
+// number at most once. Frames without the reliable header (from an
+// unwrapped sender) pass through untouched.
+func (t *ReliableTransport) Register(proc int, h Handler) error {
+	return t.inner.Register(proc, func(f Frame) {
+		if len(f.Data) < relHeaderLen || (f.Data[0] != relData && f.Data[0] != relAck) {
+			h(f)
+			return
+		}
+		seq := binary.BigEndian.Uint64(f.Data[1:relHeaderLen])
+		if f.Data[0] == relAck {
+			// The ack frame goes receiver→sender, so the acked link is
+			// the reverse of the ack's own addressing.
+			t.onAck(Link{From: f.To, To: f.From}, seq)
+			return
+		}
+		link := Link{From: f.From, To: f.To}
+		// Ack first: even a duplicate must be re-acked, because the
+		// duplicate usually means the first ack was lost.
+		ack := Frame{From: f.To, To: f.From, Data: relFrame(relAck, seq, nil)}
+		_ = t.inner.Send(ack) // a lost ack is retried via the data path
+		t.mu.Lock()
+		w := t.seen[link]
+		if w == nil {
+			w = &dedupWindow{delivered: make(map[uint64]struct{})}
+			t.seen[link] = w
+		}
+		fresh := w.admit(seq)
+		t.mu.Unlock()
+		if !fresh {
+			t.dups.Inc()
+			return
+		}
+		h(Frame{From: f.From, To: f.To, Data: f.Data[relHeaderLen:]})
+	})
+}
+
+func (t *ReliableTransport) onAck(link Link, seq uint64) {
+	t.mu.Lock()
+	pf, ok := t.pending[pendingKey{link, seq}]
+	if ok {
+		delete(t.pending, pendingKey{link, seq})
+	}
+	t.mu.Unlock()
+	if ok {
+		close(pf.acked)
+	}
+}
+
+// Send implements Transport: it assigns the frame's sequence number,
+// transmits, and leaves a retry goroutine behind until the ack arrives.
+// Transient errors of the first transmission are absorbed (the retry
+// path covers them); only ErrClosed is returned.
+func (t *ReliableTransport) Send(f Frame) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	link := Link{From: f.From, To: f.To}
+	t.nextSeq[link]++
+	seq := t.nextSeq[link]
+	wire := Frame{From: f.From, To: f.To, Data: relFrame(relData, seq, f.Data)}
+	pf := &pendingFrame{frame: wire, acked: make(chan struct{})}
+	t.pending[pendingKey{link, seq}] = pf
+	t.wg.Add(1)
+	t.mu.Unlock()
+
+	err := t.inner.Send(wire)
+	if errors.Is(err, ErrClosed) {
+		t.forget(link, seq)
+		t.wg.Done()
+		return err
+	}
+	go t.retryLoop(f, link, seq, pf)
+	return nil
+}
+
+// retryLoop retransmits until acked, stopped, or out of budget.
+func (t *ReliableTransport) retryLoop(orig Frame, link Link, seq uint64, pf *pendingFrame) {
+	defer t.wg.Done()
+	backoff := t.cfg.Backoff
+	for attempt := 1; ; attempt++ {
+		timer := time.NewTimer(t.jitter(backoff))
+		select {
+		case <-pf.acked:
+			timer.Stop()
+			return
+		case <-t.stop:
+			timer.Stop()
+			t.forget(link, seq)
+			return
+		case <-timer.C:
+		}
+		if attempt > t.cfg.MaxRetries {
+			break
+		}
+		t.retries.Inc()
+		t.cfg.Tracer.Record(obs.Event{
+			Type: obs.EventRetry, Proc: orig.From, Peer: orig.To, Value: attempt,
+		})
+		if err := t.inner.Send(pf.frame); errors.Is(err, ErrClosed) {
+			t.forget(link, seq)
+			return
+		}
+		if backoff < t.cfg.MaxBackoff {
+			backoff *= 2
+			if backoff > t.cfg.MaxBackoff {
+				backoff = t.cfg.MaxBackoff
+			}
+		}
+	}
+	t.forget(link, seq)
+	t.giveups.Inc()
+	t.cfg.Tracer.Record(obs.Event{
+		Type: obs.EventGiveUp, Proc: orig.From, Peer: orig.To, Value: int(seq),
+	})
+	if t.cfg.OnGiveUp != nil {
+		t.cfg.OnGiveUp(orig, ErrGiveUp)
+	}
+}
+
+// jitter returns d plus up to 50% random extra.
+func (t *ReliableTransport) jitter(d time.Duration) time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return d + time.Duration(t.rng.Int63n(int64(d)/2+1))
+}
+
+func (t *ReliableTransport) forget(link Link, seq uint64) {
+	t.mu.Lock()
+	delete(t.pending, pendingKey{link, seq})
+	t.mu.Unlock()
+}
+
+// Close implements Transport: it stops the retry goroutines, waits for
+// them, and closes the inner transport. Frames still unacked at close
+// are dropped without a give-up callback — shutdown is not a delivery
+// failure.
+func (t *ReliableTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	close(t.stop)
+	t.mu.Unlock()
+	t.wg.Wait()
+	return t.inner.Close()
+}
+
+// dedupWindow tracks the delivered sequence numbers of one link with a
+// contiguous low-water mark plus a sparse set above it, so memory stays
+// proportional to the reorder window, not the run length.
+type dedupWindow struct {
+	low       uint64 // every seq <= low has been delivered
+	delivered map[uint64]struct{}
+}
+
+// admit reports whether seq is new, recording it if so.
+func (w *dedupWindow) admit(seq uint64) bool {
+	if seq <= w.low {
+		return false
+	}
+	if _, dup := w.delivered[seq]; dup {
+		return false
+	}
+	w.delivered[seq] = struct{}{}
+	for {
+		if _, ok := w.delivered[w.low+1]; !ok {
+			break
+		}
+		delete(w.delivered, w.low+1)
+		w.low++
+	}
+	return true
+}

@@ -1,0 +1,228 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/rdt-go/rdt/internal/obs"
+)
+
+func TestReliableOverPerfectLink(t *testing.T) {
+	testTransport(t, func(n int) Transport {
+		return Reliable(NewLocal(0), ReliableConfig{Seed: 5})
+	})
+}
+
+// TestReliableExactlyOnceUnderChaos is the core property: with drops,
+// duplicates, reorders, and transient send errors all enabled, every
+// frame is delivered exactly once.
+func TestReliableExactlyOnceUnderChaos(t *testing.T) {
+	reg := obs.NewRegistry()
+	faulty := WithFaults(NewLocal(time.Millisecond), FaultConfig{
+		Seed: 11,
+		Default: FaultProbs{
+			Drop: 0.25, Duplicate: 0.25, Reorder: 0.25, SendError: 0.1,
+			MaxExtraDelay: 2 * time.Millisecond,
+		},
+		Obs: reg,
+	})
+	tr := Reliable(faulty, ReliableConfig{
+		Seed: 11, Backoff: time.Millisecond, MaxRetries: 30, Obs: reg,
+	})
+
+	var mu sync.Mutex
+	got := make(map[byte]int)
+	if err := tr.Register(1, func(f Frame) {
+		mu.Lock()
+		got[f.Data[0]]++
+		mu.Unlock()
+	}); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if err := tr.Register(0, func(Frame) {}); err != nil { // ack path home
+		t.Fatalf("register: %v", err)
+	}
+
+	const frames = 150
+	for i := 0; i < frames; i++ {
+		if err := tr.Send(Frame{From: 0, To: 1, Data: []byte{byte(i)}}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n == frames {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d distinct frames arrived", n, frames)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for b, n := range got {
+		if n != 1 {
+			t.Errorf("frame %d delivered %d times", b, n)
+		}
+	}
+	if reg.Counter("rdt_send_retries_total").Value() == 0 {
+		t.Error("no retries recorded under a 25% drop link")
+	}
+}
+
+func TestReliableGivesUpAcrossDeadLink(t *testing.T) {
+	faulty := WithFaults(NewLocal(0), FaultConfig{
+		Seed:    1,
+		Default: FaultProbs{Drop: 1},
+	})
+	reg := obs.NewRegistry()
+	var mu sync.Mutex
+	var gaveUp []Frame
+	var gotErr error
+	tr := Reliable(faulty, ReliableConfig{
+		Seed:       1,
+		MaxRetries: 3,
+		Backoff:    500 * time.Microsecond,
+		Obs:        reg,
+		OnGiveUp: func(f Frame, err error) {
+			mu.Lock()
+			gaveUp = append(gaveUp, f)
+			gotErr = err
+			mu.Unlock()
+		},
+	})
+	if err := tr.Register(0, func(Frame) {}); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if err := tr.Register(1, func(Frame) {}); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if err := tr.Send(Frame{From: 0, To: 1, Data: []byte("doomed")}); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(gaveUp)
+		mu.Unlock()
+		if n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("OnGiveUp never fired on a 100% drop link")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !errors.Is(gotErr, ErrGiveUp) {
+		t.Errorf("give-up error = %v, want ErrGiveUp", gotErr)
+	}
+	if string(gaveUp[0].Data) != "doomed" {
+		t.Errorf("give-up frame carries %q, want original payload", gaveUp[0].Data)
+	}
+	if reg.Counter("rdt_reliable_giveups_total").Value() != 1 {
+		t.Error("giveups counter not bumped")
+	}
+	_ = tr.Close()
+}
+
+// TestReliableRidesOutPartition: frames sent into a partition are
+// delivered after it heals, by the retry path.
+func TestReliableRidesOutPartition(t *testing.T) {
+	faulty := WithFaults(NewLocal(0), FaultConfig{Seed: 1})
+	tr := Reliable(faulty, ReliableConfig{
+		Seed: 1, Backoff: time.Millisecond, MaxRetries: 50,
+	})
+	var sink collector
+	if err := tr.Register(1, sink.handler); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if err := tr.Register(0, func(Frame) {}); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	faulty.Partition(0, 1)
+	for i := 0; i < 5; i++ {
+		if err := tr.Send(Frame{From: 0, To: 1, Data: []byte{byte(i)}}); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	time.Sleep(3 * time.Millisecond)
+	if sink.count() != 0 {
+		t.Fatal("frame crossed the partition")
+	}
+	faulty.Heal(0, 1)
+	sink.waitFor(t, 5)
+	_ = tr.Close()
+}
+
+func TestReliablePassesUnframedTraffic(t *testing.T) {
+	local := NewLocal(0)
+	tr := Reliable(local, ReliableConfig{Seed: 1})
+	var sink collector
+	if err := tr.Register(1, sink.handler); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	// A frame injected under the decorator (no reliable header) must
+	// still reach the handler untouched.
+	if err := local.Send(Frame{From: 0, To: 1, Data: []byte("raw")}); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	sink.waitFor(t, 1)
+	if string(sink.frames[0].Data) != "raw" {
+		t.Errorf("payload = %q, want raw", sink.frames[0].Data)
+	}
+	_ = tr.Close()
+}
+
+func TestReliableSendAfterClose(t *testing.T) {
+	tr := Reliable(NewLocal(0), ReliableConfig{})
+	if err := tr.Register(0, func(Frame) {}); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := tr.Send(Frame{From: 1, To: 0}); !errors.Is(err, ErrClosed) {
+		t.Errorf("send after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestDedupWindow(t *testing.T) {
+	w := &dedupWindow{delivered: make(map[uint64]struct{})}
+	if !w.admit(1) || w.admit(1) {
+		t.Error("seq 1 dedup broken")
+	}
+	if !w.admit(3) || !w.admit(2) {
+		t.Error("out-of-order admit broken")
+	}
+	if w.admit(2) || w.admit(3) {
+		t.Error("re-admitted after compaction")
+	}
+	if w.low != 3 {
+		t.Errorf("low water = %d, want 3", w.low)
+	}
+	if len(w.delivered) != 0 {
+		t.Errorf("window retains %d entries after compaction", len(w.delivered))
+	}
+	if w.admit(1) {
+		t.Error("seq below low water admitted")
+	}
+}
+
+func TestReliableName(t *testing.T) {
+	tr := Reliable(WithFaults(NewLocal(0), FaultConfig{}), ReliableConfig{})
+	if got := tr.Name(); got != "reliable+faulty+local" {
+		t.Errorf("name = %q", got)
+	}
+	_ = tr.Close()
+}

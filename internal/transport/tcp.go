@@ -86,6 +86,15 @@ func (t *TCP) Send(f Frame) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.enc.Encode(f); err != nil {
+		// The stream is poisoned (a dead socket, or a partial write
+		// desynchronizing the gob stream): drop it from the cache so the
+		// next send redials instead of failing forever.
+		_ = c.conn.Close()
+		t.mu.Lock()
+		if t.conns[f.To] == c {
+			delete(t.conns, f.To)
+		}
+		t.mu.Unlock()
 		return fmt.Errorf("encode frame to %d: %w", f.To, err)
 	}
 	return nil

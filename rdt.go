@@ -217,6 +217,55 @@ func NewLocalTransport(maxDelay time.Duration) Transport { return transport.NewL
 // NewTCPTransport returns a loopback TCP transport for n processes.
 func NewTCPTransport(n int) (Transport, error) { return transport.NewTCP(n) }
 
+// Fault injection and reliable delivery: transport decorators for testing
+// and surviving lossy links. The canonical stacking is
+//
+//	rdt.Reliable(rdt.WithFaults(inner, faultCfg), reliableCfg)
+//
+// — retries above the faults they repair; the cluster adds its
+// observability decorator outermost.
+type (
+	// FaultyTransport injects seeded drop/duplicate/reorder/send-error
+	// faults and dynamic pair-wise partitions into any Transport.
+	FaultyTransport = transport.Faulty
+	// FaultConfig parameterizes WithFaults.
+	FaultConfig = transport.FaultConfig
+	// FaultProbs is one link's (or the default) fault mix.
+	FaultProbs = transport.FaultProbs
+	// TransportLink addresses one directed sender→receiver channel.
+	TransportLink = transport.Link
+	// ReliableTransport adds retransmission, acknowledgements, and
+	// receiver-side deduplication over an unreliable Transport, restoring
+	// exactly-once delivery.
+	ReliableTransport = transport.ReliableTransport
+	// ReliableConfig parameterizes Reliable.
+	ReliableConfig = transport.ReliableConfig
+)
+
+// WithFaults wraps a transport with the seeded fault injector.
+func WithFaults(inner Transport, cfg FaultConfig) *FaultyTransport {
+	return transport.WithFaults(inner, cfg)
+}
+
+// Reliable wraps an unreliable transport with retries, acks, and dedup.
+func Reliable(inner Transport, cfg ReliableConfig) *ReliableTransport {
+	return transport.Reliable(inner, cfg)
+}
+
+// Transport error surfaces.
+var (
+	// ErrInjected is the transient send error the fault injector returns.
+	ErrInjected = transport.ErrInjected
+	// ErrGiveUp is reported through ReliableConfig.OnGiveUp when a frame
+	// exhausts its retries.
+	ErrGiveUp = transport.ErrGiveUp
+	// ErrCrashed is returned by operations on a crashed, not yet
+	// restarted process.
+	ErrCrashed = cluster.ErrCrashed
+	// ErrNotCrashed is returned by Cluster.Restart for a running process.
+	ErrNotCrashed = cluster.ErrNotCrashed
+)
+
 // Storage types: checkpoint persistence.
 type (
 	// Store persists checkpoints.
@@ -237,6 +286,13 @@ type (
 	RecoveryManager = recovery.Manager
 	// RecoveryPlan is the outcome of a recovery-line computation.
 	RecoveryPlan = recovery.Plan
+	// RecoverOptions parameterizes Cluster.Recover.
+	RecoverOptions = cluster.RecoverOptions
+	// RecoverResult reports what one Cluster.Recover did.
+	RecoverResult = cluster.RecoverResult
+	// LostMessage is a send that was never delivered (crash or lossy
+	// link), reported by Cluster.StopLossy.
+	LostMessage = model.LostMessage
 )
 
 // NewRecoveryManager creates a recovery manager for n processes over a
@@ -326,9 +382,10 @@ func Explore(p Protocol, scripts [][]ScenarioOp, check func(schedule []ScheduleC
 // Resume starts the next incarnation after a rollback: a fresh cluster
 // into which the in-transit messages of the previous incarnation are
 // replayed from the message log. The application must have reinstalled
-// the recovery line's state snapshots first.
+// the recovery line's state snapshots first. Cluster.Recover packages
+// the whole crash → line → restore → Resume sequence.
 func Resume(cfg ClusterConfig, replay []ReplayMessage) (*Cluster, error) {
-	return recovery.Resume(cfg, replay)
+	return cluster.Resume(cfg, replay)
 }
 
 // Observability types: metrics, structured event tracing, and live
@@ -369,6 +426,13 @@ const (
 	EventForcedCheckpoint = obs.EventForcedCheckpoint
 	EventRollback         = obs.EventRollback
 	EventSendError        = obs.EventSendError
+	EventFault            = obs.EventFault
+	EventRetry            = obs.EventRetry
+	EventGiveUp           = obs.EventGiveUp
+	EventCrash            = obs.EventCrash
+	EventRestart          = obs.EventRestart
+	EventRecovery         = obs.EventRecovery
+	EventStoreError       = obs.EventStoreError
 )
 
 // NewMetricsRegistry returns an empty metrics registry.
