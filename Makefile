@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all test race vet chaos check bench obs-bench clean
+.PHONY: all test race vet chaos chaos-supervise check bench obs-bench clean
 
 all: test
 
@@ -29,8 +29,14 @@ chaos:
 		./internal/transport/ ./internal/cluster/
 	$(GO) test -race -run 'RunChaos' ./cmd/rdtsim/
 
+# Supervised chaos tier: the self-healing suite under the race detector —
+# heartbeat failure detection, autonomous recovery with retries and
+# escalation, and the no-false-positive guarantee under injected delay.
+chaos-supervise:
+	$(GO) test -race -run 'Supervis' ./internal/cluster/ ./cmd/rdtsim/
+
 # Everything a change must pass before review.
-check: test race chaos
+check: test race chaos chaos-supervise
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

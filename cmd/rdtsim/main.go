@@ -14,6 +14,13 @@
 //
 //	rdtsim -protocol bhmr -n 4 -rounds 20 -seed 7 \
 //	       -faults drop=0.1,dup=0.1,reorder=0.15,err=0.05,delay=2ms
+//
+// Adding -supervise puts the cluster under a heartbeat failure detector
+// with autonomous recovery: a seeded victim is crashed mid-run and the
+// supervisor must detect it and bring up the next incarnation on its own:
+//
+//	rdtsim -protocol bhmr -n 4 -rounds 20 -seed 7 -supervise \
+//	       -faults drop=0.1,dup=0.1,reorder=0.15,err=0.05,delay=2ms
 package main
 
 import (
@@ -54,6 +61,7 @@ func run(args []string, out io.Writer) error {
 		events      = fs.Int("events", 0, "print the last N structured events after the run")
 		faults      = fs.String("faults", "", "run the cluster runtime under fault injection with this mix, e.g. drop=0.05,dup=0.05,reorder=0.1,err=0.02,delay=3ms")
 		rounds      = fs.Int("rounds", 10, "send rounds of the -faults chaos mode")
+		supervise   = fs.Bool("supervise", false, "run the cluster runtime under a supervisor: a seeded crash is injected mid-run and must be detected and healed autonomously (combines with -faults)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -78,17 +86,20 @@ func run(args []string, out io.Writer) error {
 	}
 	defer printEvents(out, tracer, *events)
 
-	if *faults != "" {
+	if *faults != "" || *supervise {
 		probs, err := parseFaults(*faults)
 		if err != nil {
 			return err
 		}
 		if *protocol == "all" {
-			return fmt.Errorf("-faults runs one protocol at a time")
+			return fmt.Errorf("-faults and -supervise run one protocol at a time")
 		}
 		kind, err := rdt.ParseProtocol(*protocol)
 		if err != nil {
 			return err
+		}
+		if *supervise {
+			return runSupervised(out, kind, *n, *rounds, probs, *seed, *check, reg, tracer)
 		}
 		return runChaos(out, kind, *n, *rounds, probs, *seed, *check, reg, tracer)
 	}

@@ -149,3 +149,49 @@ func TestRunChaosModeErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestRunChaosSuperviseMode(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-protocol", "bhmr", "-n", "4", "-rounds", "8", "-seed", "7", "-supervise",
+		"-faults", "drop=0.15,dup=0.15,reorder=0.2,err=0.05,delay=2ms",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"supervised run", "injected crash", "self-healed", "incarnation 2",
+		"reason=crash", "recoveries ok", "RDT property", "true",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunChaosSuperviseWithoutFaults(t *testing.T) {
+	// -supervise alone runs the supervised cluster over a clean link.
+	var out bytes.Buffer
+	err := run([]string{"-n", "3", "-rounds", "4", "-seed", "3", "-supervise"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "self-healed") {
+		t.Errorf("output missing %q:\n%s", "self-healed", out.String())
+	}
+}
+
+func TestRunChaosSuperviseErrors(t *testing.T) {
+	tests := [][]string{
+		{"-supervise", "-protocol", "all"},
+		{"-supervise", "-n", "1"},
+		{"-supervise", "-faults", "drop=2"},
+	}
+	for _, args := range tests {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -5,9 +5,12 @@
 // dependency vector) to a file-backed store, and then process 0 crashes
 // mid-run. Cluster.Recover drives the whole loop — recovery line from the
 // stored vectors alone, application states reinstalled, in-transit and
-// lost messages replayed into a second incarnation. A second,
-// uncoordinated run of the same workload in simulation shows the domino
-// effect the protocol prevents.
+// lost messages replayed into a second incarnation. The second
+// incarnation then runs under a Supervisor: when another process
+// fail-stops, nobody calls Recover — the heartbeat failure detector
+// notices and heals the cluster autonomously. A final, uncoordinated run
+// of the same workload in simulation shows the domino effect the
+// protocol prevents.
 package main
 
 import (
@@ -190,8 +193,32 @@ func run() error {
 		fmt.Printf("  replay m%d P%d->P%d (%d bytes)\n", m.ID, m.From, m.To, len(m.Payload))
 	}
 
-	// ---- Incarnation 2 keeps computing, again under chaos. ----
+	// ---- Incarnation 2 keeps computing, again under chaos — and this
+	// time under supervision: a heartbeat failure detector watches every
+	// process and drives the next recovery itself. ----
 	c2 := res.Cluster
+	recovered := make(chan *rdt.RecoverResult, 1)
+	escalated := make(chan error, 1)
+	sup, err := rdt.Supervise(c2, rdt.SupervisorConfig{
+		Interval: 2 * time.Millisecond,
+		Seed:     9,
+		Options: func(incarnation, attempt int) rdt.RecoverOptions {
+			return rdt.RecoverOptions{
+				Store:     rdt.NewMemoryStore(),
+				Transport: chaosStack(900 + int64(incarnation) + int64(attempt)),
+				Install: func(cp rdt.StoredCheckpoint) {
+					app.install(cp.Proc, cp.State)
+				},
+			}
+		},
+		OnRecover:  func(r *rdt.RecoverResult) { recovered <- r },
+		OnEscalate: func(err error) { escalated <- err },
+	})
+	if err != nil {
+		return err
+	}
+	defer sup.Stop()
+
 	for proc := 0; proc < n; proc++ {
 		if err := c2.Node(proc).Send((proc+1)%n, []byte{3, byte(proc)}); err != nil {
 			return err
@@ -200,16 +227,44 @@ func run() error {
 	if err := c2.QuiesceCtx(ctx); err != nil {
 		return fmt.Errorf("quiesce 2: %w", err)
 	}
-	pattern2, err := c2.Stop()
+
+	// P2 fail-stops. Nobody calls Recover this time: the supervisor sees
+	// the heartbeats stop and heals the cluster on its own.
+	if err := c2.Node(2).Crash(); err != nil {
+		return err
+	}
+	var res2 *rdt.RecoverResult
+	select {
+	case res2 = <-recovered:
+	case err := <-escalated:
+		return fmt.Errorf("supervised recovery escalated: %w", err)
+	case <-time.After(time.Minute):
+		return fmt.Errorf("supervisor did not self-heal in time")
+	}
+	c3 := sup.Cluster()
+	fmt.Printf("supervisor self-healed: incarnation %d up, %d messages replayed, rollback depth %v\n",
+		sup.Incarnation()+1, len(res2.Replayed), res2.Plan.Depth)
+
+	// ---- Incarnation 3, brought up autonomously, keeps computing. ----
+	for proc := 0; proc < n; proc++ {
+		if err := c3.Node(proc).Send((proc+2)%n, []byte{5, byte(proc)}); err != nil {
+			return err
+		}
+	}
+	if err := c3.QuiesceCtx(ctx); err != nil {
+		return fmt.Errorf("quiesce 3: %w", err)
+	}
+	sup.Stop()
+	pattern3, err := c3.Stop()
 	if err != nil {
 		return err
 	}
-	report, err := rdt.CheckRDT(pattern2, 1)
+	report, err := rdt.CheckRDT(pattern3, 1)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("incarnation 2: %d deliveries recorded, RDT: %v\n\n",
-		len(pattern2.Messages), report.RDT)
+	fmt.Printf("incarnation 3: %d deliveries recorded, RDT: %v\n\n",
+		len(pattern3.Messages), report.RDT)
 
 	return dominoContrast()
 }

@@ -114,7 +114,7 @@ func TestChaosExactlyOnceAndRDT(t *testing.T) {
 						want[string(payload)] = true
 					}
 				}
-				if err := c.Node(round%n).Checkpoint(); err != nil {
+				if err := c.Node(round % n).Checkpoint(); err != nil {
 					t.Fatalf("checkpoint: %v", err)
 				}
 			}
@@ -396,7 +396,7 @@ func TestChaosCrashRecover(t *testing.T) {
 						t.Fatalf("send: %v", err)
 					}
 				}
-				if err := c1.Node(round%n).Checkpoint(); err != nil {
+				if err := c1.Node(round % n).Checkpoint(); err != nil {
 					t.Fatalf("checkpoint: %v", err)
 				}
 			}
@@ -537,5 +537,204 @@ func TestSendErrorsSurfaced(t *testing.T) {
 	mu.Unlock()
 	if len(lost) != 1 {
 		t.Errorf("lost = %+v, want the failed send", lost)
+	}
+}
+
+// TestRepeatedCrashRecoverReusedStore drives the crash/recovery loop
+// twice over ONE reused checkpoint store with GC on: recovery must purge
+// the old incarnation's history completely (indexes restart at zero), so
+// the second failure computes its line from the new incarnation's
+// checkpoints only — no old-incarnation checkpoint may leak through and
+// shadow them.
+func TestRepeatedCrashRecoverReusedStore(t *testing.T) {
+	const n = 3
+	store := storage.NewMemory()
+	app := newCounterApp(n)
+	c1, err := cluster.New(cluster.Config{
+		N:           n,
+		Protocol:    core.KindBHMR,
+		Store:       store,
+		Snapshot:    app.snapshot,
+		Handler:     app.handler,
+		LogPayloads: true,
+	})
+	if err != nil {
+		t.Fatalf("incarnation 1: %v", err)
+	}
+	drive := func(c *cluster.Cluster, mark byte) {
+		t.Helper()
+		for round := 0; round < 3; round++ {
+			for proc := 0; proc < n; proc++ {
+				if err := c.Node(proc).Send((proc+1)%n, []byte{byte(2*round + 1), mark, byte(proc)}); err != nil {
+					t.Fatalf("send: %v", err)
+				}
+			}
+			c.Quiesce()
+			for proc := 0; proc < n; proc++ {
+				if err := c.Node(proc).Checkpoint(); err != nil {
+					t.Fatalf("checkpoint: %v", err)
+				}
+			}
+		}
+		c.Quiesce()
+	}
+	recoverReusing := func(c *cluster.Cluster, victim int) *cluster.RecoverResult {
+		t.Helper()
+		if err := c.Node(victim).Crash(); err != nil {
+			t.Fatalf("crash P%d: %v", victim, err)
+		}
+		res, err := c.Recover(context.Background(), cluster.RecoverOptions{
+			Store:   store, // same store, reused by the next incarnation
+			GC:      true,
+			Install: func(cp storage.Checkpoint) { app.install(cp.Proc, cp.State) },
+		})
+		if err != nil {
+			t.Fatalf("recover: %v", err)
+		}
+		consistent, err := rgraph.IsConsistent(res.Pattern, res.Plan.Line)
+		if err != nil {
+			t.Fatalf("consistency: %v", err)
+		}
+		if !consistent {
+			t.Fatalf("recovery line %v is not consistent", res.Plan.Line)
+		}
+		// The reused store must hold exactly the new incarnation's initial
+		// checkpoints: one per process, at index 0. Anything else is an
+		// old-incarnation leak that would corrupt the next recovery.
+		for proc := 0; proc < n; proc++ {
+			indexes, err := store.Indexes(proc)
+			if err != nil {
+				t.Fatalf("indexes P%d: %v", proc, err)
+			}
+			if len(indexes) != 1 || indexes[0] != 0 {
+				t.Fatalf("after recovery, store has indexes %v for P%d, want [0]", indexes, proc)
+			}
+		}
+		return res
+	}
+
+	drive(c1, 'a')
+	res1 := recoverReusing(c1, 1)
+	c2 := res1.Cluster
+
+	drive(c2, 'b')
+	res2 := recoverReusing(c2, 2)
+	c3 := res2.Cluster
+
+	// The third incarnation is live and its own trace is clean.
+	for proc := 0; proc < n; proc++ {
+		if err := c3.Node(proc).Send((proc+2)%n, []byte{byte(2*proc + 1), 'c'}); err != nil {
+			t.Fatalf("send in incarnation 3: %v", err)
+		}
+	}
+	c3.Quiesce()
+	pattern3, err := c3.Stop()
+	if err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	if got, want := len(pattern3.Messages), len(res2.Replayed)+n; got < want {
+		t.Errorf("incarnation 3 delivered %d messages, want >= %d", got, want)
+	}
+	rep, err := rgraph.CheckRDT(pattern3, 2)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if !rep.RDT {
+		t.Fatalf("incarnation 3 violated RDT: %v", rep.Violations)
+	}
+}
+
+// TestCrashRestartThenRecover mixes the two repair paths: a crashed
+// process is first brought back with Restart (its pre-crash sends stay
+// lost), and a later crash is repaired with a full Recover — which must
+// still compute a consistent line and replay the channel state across
+// it, restart gap and all.
+func TestCrashRestartThenRecover(t *testing.T) {
+	const n = 3
+	app := newCounterApp(n)
+	c1, err := cluster.New(cluster.Config{
+		N:           n,
+		Protocol:    core.KindBHMR,
+		Snapshot:    app.snapshot,
+		Handler:     app.handler,
+		LogPayloads: true,
+	})
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	for proc := 0; proc < n; proc++ {
+		if err := c1.Node(proc).Send((proc+1)%n, []byte{1, byte(proc)}); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	c1.Quiesce()
+	for proc := 0; proc < n; proc++ {
+		if err := c1.Node(proc).Checkpoint(); err != nil {
+			t.Fatalf("checkpoint: %v", err)
+		}
+	}
+	c1.Quiesce()
+
+	// Crash P1, lose a message into it, and repair with Restart only.
+	if err := c1.Node(1).Crash(); err != nil {
+		t.Fatalf("crash: %v", err)
+	}
+	if err := c1.Node(0).Send(1, []byte{3, 0xaa}); err != nil {
+		t.Fatalf("send into crash: %v", err)
+	}
+	c1.Quiesce()
+	if err := c1.Restart(1); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	for proc := 0; proc < n; proc++ {
+		if err := c1.Node(proc).Send((proc+2)%n, []byte{5, byte(proc)}); err != nil {
+			t.Fatalf("send after restart: %v", err)
+		}
+	}
+	c1.Quiesce()
+	for proc := 0; proc < n; proc++ {
+		if err := c1.Node(proc).Checkpoint(); err != nil {
+			t.Fatalf("checkpoint: %v", err)
+		}
+	}
+	c1.Quiesce()
+
+	// Now a second failure, repaired the heavy way.
+	if err := c1.Node(2).Crash(); err != nil {
+		t.Fatalf("crash 2: %v", err)
+	}
+	res, err := c1.Recover(context.Background(), cluster.RecoverOptions{
+		Install: func(cp storage.Checkpoint) { app.install(cp.Proc, cp.State) },
+	})
+	if err != nil {
+		t.Fatalf("recover after restart: %v", err)
+	}
+	consistent, err := rgraph.IsConsistent(res.Pattern, res.Plan.Line)
+	if err != nil {
+		t.Fatalf("consistency: %v", err)
+	}
+	if !consistent {
+		t.Fatalf("recovery line %v is not consistent", res.Plan.Line)
+	}
+	if len(res.Lost) == 0 {
+		t.Error("the restart-gap message is not reported lost")
+	}
+	c2 := res.Cluster
+	for proc := 0; proc < n; proc++ {
+		if err := c2.Node(proc).Send((proc+1)%n, []byte{7, byte(proc)}); err != nil {
+			t.Fatalf("send in incarnation 2: %v", err)
+		}
+	}
+	c2.Quiesce()
+	pattern2, err := c2.Stop()
+	if err != nil {
+		t.Fatalf("stop 2: %v", err)
+	}
+	rep, err := rgraph.CheckRDT(pattern2, 2)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if !rep.RDT {
+		t.Fatalf("incarnation 2 violated RDT: %v", rep.Violations)
 	}
 }

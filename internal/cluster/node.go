@@ -39,6 +39,7 @@ type op struct {
 	payload []byte // opSend
 	frame   []byte // opFrame
 	query   chan Status
+	beat    func() // opBeat: liveness ack, runs in the node goroutine
 
 	// arrived stamps when an opFrame entered the mailbox; zero when
 	// observability is off.
@@ -52,6 +53,7 @@ const (
 	opCheckpoint
 	opFrame
 	opQuery
+	opBeat
 )
 
 // Status is a point-in-time view of a node's protocol state.
@@ -107,6 +109,15 @@ func (n *Node) Send(to int, payload []byte) error {
 // Checkpoint asynchronously takes a basic local checkpoint.
 func (n *Node) Checkpoint() error {
 	return n.enqueue(op{kind: opCheckpoint})
+}
+
+// ping enqueues a liveness probe: ack runs in the node goroutine once
+// every operation queued before it has executed. A crashed node rejects
+// the probe with ErrCrashed immediately; a stalled node (wedged handler,
+// unbounded backlog) accepts it and never acks — exactly the signal the
+// supervisor's accrual detector consumes.
+func (n *Node) ping(ack func()) error {
+	return n.enqueue(op{kind: opBeat, beat: ack})
 }
 
 // Status returns the node's current protocol state. It synchronizes with
@@ -236,6 +247,8 @@ func (n *Node) execute(o op) {
 			ins.deliveryLatency.Observe(time.Since(o.arrived).Seconds())
 		}
 		n.doDeliver(o.frame)
+	case opBeat:
+		o.beat()
 	case opQuery:
 		o.query <- Status{
 			Proc:     n.proc,

@@ -41,8 +41,12 @@ func (c *Cluster) Restart(proc int) error {
 type RecoverOptions struct {
 	// Store is the checkpoint store of the new incarnation; nil means a
 	// fresh in-memory store. Reusing the old store is allowed only
-	// together with GC (old-incarnation checkpoints above the line would
-	// corrupt later recoveries).
+	// together with GC: the new incarnation restarts its checkpoint
+	// indexes at zero, so with GC on a reused store Recover purges the
+	// entire old history (the recovery line's state survives as the new
+	// incarnation's initial checkpoints) — any leftover old-incarnation
+	// checkpoint would shadow the new history and corrupt a later
+	// recovery.
 	Store storage.Store
 	// Transport is the transport of the new incarnation; nil means a new
 	// default local transport. The old transport is closed by Recover and
@@ -85,19 +89,43 @@ type RecoverResult struct {
 // the drain of in-flight work (a timeout just classifies more messages
 // as lost, it does not fail the recovery).
 func (c *Cluster) Recover(ctx context.Context, opts RecoverOptions) (*RecoverResult, error) {
+	pattern, lost, crashed, err := c.stopForRecovery(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return c.recoverFrom(pattern, lost, crashed, opts)
+}
+
+// stopForRecovery is the irrevocable half of Recover: it validates the
+// configuration, captures the crashed set, and stops the old incarnation
+// tolerating loss. It runs once per recovery; the build half
+// (recoverFrom) can then be retried — by the supervisor, with backoff —
+// without re-stopping a cluster that is already gone.
+func (c *Cluster) stopForRecovery(ctx context.Context) (*model.Pattern, []model.LostMessage, []int, error) {
 	c.mu.Lock()
 	logging := c.payloads != nil
 	c.mu.Unlock()
 	if !logging {
-		return nil, errors.New("cluster: recover requires LogPayloads")
+		return nil, nil, nil, errors.New("cluster: recover requires LogPayloads")
 	}
 	crashed := c.Crashed()
 
 	pattern, lost, err := c.StopLossy(ctx)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
+	return pattern, lost, crashed, nil
+}
 
+// recoverFrom is the retryable half of Recover: recovery line from the
+// stored vectors, state snapshots to Install, replay set, optional GC,
+// and the next incarnation. The steps before GC are read-only over the
+// old store and freshly parameterized per call (the options carry the
+// new incarnation's store and transport), so a failed attempt can be
+// retried with new options — except after a purge (GC with a reused
+// store), which consumes the old history; retries should hand each
+// attempt a fresh store, as the supervisor's default options do.
+func (c *Cluster) recoverFrom(pattern *model.Pattern, lost []model.LostMessage, crashed []int, opts RecoverOptions) (*RecoverResult, error) {
 	mgr, err := recovery.NewManager(c.store, c.cfg.N)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: recover: %w", err)
@@ -138,7 +166,16 @@ func (c *Cluster) Recover(ctx context.Context, opts RecoverOptions) (*RecoverRes
 	}
 
 	if opts.GC {
-		if _, err := mgr.GC(plan.Line); err != nil {
+		if opts.Store == c.store {
+			// The new incarnation reuses the old store and restarts its
+			// indexes at zero: purge the whole old history, or leftovers
+			// at or above the line would shadow the new checkpoints in
+			// the next recovery. (The line's state lives on as the new
+			// incarnation's initial checkpoints.)
+			if _, err := storage.Purge(c.store, c.cfg.N); err != nil {
+				return nil, fmt.Errorf("cluster: recover: purge: %w", err)
+			}
+		} else if _, err := mgr.GC(plan.Line); err != nil {
 			return nil, fmt.Errorf("cluster: recover: gc: %w", err)
 		}
 	}

@@ -1,0 +1,569 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/rdt-go/rdt/internal/obs"
+	"github.com/rdt-go/rdt/internal/storage"
+	"github.com/rdt-go/rdt/internal/transport"
+)
+
+// Suspicion reasons, used as metric label values and event details.
+const (
+	// SuspectCrash: a heartbeat probe was rejected with ErrCrashed — the
+	// process has explicitly fail-stopped.
+	SuspectCrash = "crash"
+	// SuspectTimeout: the accrual detector's suspicion level crossed the
+	// threshold — the process accepts probes but is not executing them
+	// (wedged handler, unbounded backlog).
+	SuspectTimeout = "timeout"
+	// SuspectUnreachable: an external signal (ReportUnreachable, e.g.
+	// wired from transport.ReliableConfig.OnGiveUp) declared the process
+	// unreachable — its links are partitioned beyond the retry budget.
+	SuspectUnreachable = "unreachable"
+)
+
+// SupervisorConfig parameterizes Supervise.
+type SupervisorConfig struct {
+	// Interval is the heartbeat probe period. Each tick, the supervisor
+	// enqueues a liveness probe into every node's mailbox; the node
+	// goroutine acks it in order with its other operations, so the ack
+	// gap measures the event loop's actual responsiveness. Default 10ms.
+	Interval time.Duration
+	// Window is the number of recent heartbeat gaps the accrual detector
+	// keeps per process — the sample the expected-gap distribution is
+	// estimated from. Default 64.
+	Window int
+	// Phi is the suspicion threshold, φ-accrual style: suspicion fires
+	// when the current gap's upper-tail probability under the observed
+	// gap distribution drops below 10^-Phi. Larger is more conservative.
+	// Default 8.
+	Phi float64
+	// MinGap floors the gap below which suspicion never fires, whatever
+	// φ says — the guard against false positives from scheduler hiccups
+	// and load bursts the window has not absorbed yet. Default
+	// 20×Interval.
+	MinGap time.Duration
+	// ConfirmTicks is the number of consecutive over-threshold
+	// evaluations that confirm a timeout suspicion. Crash detection
+	// confirms immediately — ErrCrashed is definitive. Default 2.
+	ConfirmTicks int
+
+	// MaxAttempts bounds the autonomous recovery attempts per detected
+	// failure; when they are exhausted the supervisor escalates and
+	// stops. Default 3.
+	MaxAttempts int
+	// Backoff is the delay before the second attempt; it doubles per
+	// attempt up to MaxBackoff, with up to 50% seeded jitter. Defaults
+	// 25ms / 1s.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// Seed makes the jitter schedule reproducible. Zero seeds from 1.
+	Seed int64
+	// DrainTimeout bounds the lossy stop's quiescence wait when a
+	// failover begins; expiring just classifies more messages as lost.
+	// Default 5s.
+	DrainTimeout time.Duration
+
+	// Options, if non-nil, supplies the RecoverOptions of each recovery
+	// attempt: incarnation is the number of the incarnation being built
+	// (the supervised cluster is incarnation 1, so the first recovery
+	// builds 2), attempt restarts at 1 per failure. Each attempt should
+	// get a fresh store and transport — a transport consumed by a failed
+	// attempt cannot be reused. Nil means every attempt uses a fresh
+	// in-memory store and a default local transport.
+	Options func(incarnation, attempt int) RecoverOptions
+	// OnRecover, if non-nil, is called after every successful autonomous
+	// recovery; the new incarnation is already running and supervised.
+	// It runs on the supervisor goroutine and must not block for long.
+	OnRecover func(*RecoverResult)
+	// OnEscalate, if non-nil, is called once when MaxAttempts recovery
+	// attempts for one failure have all failed, with the last attempt's
+	// error. The supervisor stops after escalating: the cluster is down
+	// and repairing it now needs an operator.
+	OnEscalate func(error)
+}
+
+// withDefaults fills the zero fields.
+func (cfg SupervisorConfig) withDefaults() SupervisorConfig {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 10 * time.Millisecond
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 64
+	}
+	if cfg.Phi <= 0 {
+		cfg.Phi = 8
+	}
+	if cfg.MinGap <= 0 {
+		cfg.MinGap = 20 * cfg.Interval
+	}
+	if cfg.ConfirmTicks <= 0 {
+		cfg.ConfirmTicks = 2
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 25 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 5 * time.Second
+	}
+	return cfg
+}
+
+// Supervisor watches a cluster through periodic heartbeat probes and
+// drives Cluster.Recover autonomously when a process fails. Detection is
+// φ-accrual style: per process, the supervisor keeps a window of
+// observed heartbeat gaps and suspects when the current gap becomes
+// implausible under that distribution — so a uniformly slow (loaded,
+// delay-injected) but live node keeps raising its own expected gap and
+// is never suspected, while a crashed or wedged one is. On confirmation
+// the suspect is fail-stopped (Crash), the incarnation is stopped
+// tolerating loss, and recovery is attempted with bounded retries,
+// exponential backoff, and seeded jitter; exhausted retries escalate.
+//
+// The supervisor owns failover: do not call Stop, Recover, or Restart on
+// a supervised cluster directly — call Supervisor.Stop first, then
+// operate on Supervisor.Cluster().
+type Supervisor struct {
+	cfg  SupervisorConfig
+	rng  *rand.Rand // monitor goroutine only
+	stop chan struct{}
+	done chan struct{}
+
+	mu       sync.Mutex
+	c        *Cluster
+	inc      int // incarnation number of c, starting at 1
+	tracks   []*beatTrack
+	stopOnce sync.Once
+
+	ins supInstruments
+}
+
+// Supervise attaches a supervisor to a running cluster and starts
+// monitoring. The cluster must have been built with LogPayloads (the
+// autonomous recovery replays the message log, exactly like the manual
+// path).
+func Supervise(c *Cluster, cfg SupervisorConfig) (*Supervisor, error) {
+	if c == nil {
+		return nil, errors.New("cluster: supervise: nil cluster")
+	}
+	c.mu.Lock()
+	logging := c.payloads != nil
+	stopped := c.stopped
+	c.mu.Unlock()
+	if stopped {
+		return nil, ErrStopped
+	}
+	if !logging {
+		return nil, errors.New("cluster: supervise requires LogPayloads")
+	}
+	cfg = cfg.withDefaults()
+	s := &Supervisor{
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+		inc:  1,
+		ins: supInstruments{
+			reg:    c.cfg.Obs,
+			tracer: c.cfg.Tracer,
+			heartbeatGap: c.cfg.Obs.Histogram(
+				"rdt_supervisor_heartbeat_gap_seconds", obs.LatencyBuckets),
+		},
+	}
+	s.adopt(c)
+	go s.monitor()
+	return s, nil
+}
+
+// Cluster returns the current incarnation. After an autonomous recovery
+// the returned cluster differs from the one Supervise was given; the
+// supervisor is the stable handle.
+func (s *Supervisor) Cluster() *Cluster {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c
+}
+
+// Incarnation returns the current incarnation number: 1 for the cluster
+// Supervise was given, +1 per completed autonomous recovery.
+func (s *Supervisor) Incarnation() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inc
+}
+
+// Stop halts monitoring and waits for the monitor goroutine to exit. It
+// does not stop the cluster: stop the supervisor first, then drive
+// Cluster() through its normal shutdown. Stop is idempotent.
+func (s *Supervisor) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	<-s.done
+}
+
+// Done is closed when the monitor goroutine has exited — after Stop, an
+// external cluster shutdown, or an escalation.
+func (s *Supervisor) Done() <-chan struct{} { return s.done }
+
+// ReportUnreachable feeds an external unreachability signal for a
+// process of the current incarnation: the next tick confirms it as a
+// suspicion without waiting for the accrual detector. Out-of-range
+// process ids are ignored.
+func (s *Supervisor) ReportUnreachable(proc int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if proc >= 0 && proc < len(s.tracks) {
+		s.tracks[proc].markUnreachable()
+	}
+}
+
+// OnGiveUp adapts the supervisor to transport.ReliableConfig.OnGiveUp: a
+// frame the reliable layer abandoned after its full retry budget means
+// the destination's links are partitioned beyond repair, so the
+// destination is reported unreachable and fail-stopped by the next
+// failover — the classic conversion of an unreachable process into a
+// crashed one.
+func (s *Supervisor) OnGiveUp(f transport.Frame, err error) { s.ReportUnreachable(f.To) }
+
+// adopt installs a (new) incarnation: fresh per-process gap windows,
+// primed with the probe interval so φ is defined from the first tick.
+func (s *Supervisor) adopt(c *Cluster) {
+	tracks := make([]*beatTrack, c.cfg.N)
+	now := time.Now()
+	for i := range tracks {
+		tracks[i] = newBeatTrack(now, s.cfg.Window, s.cfg.Interval)
+	}
+	s.mu.Lock()
+	if s.c != nil {
+		s.inc++
+	}
+	s.c = c
+	s.tracks = tracks
+	s.mu.Unlock()
+}
+
+// monitor is the supervision loop: probe, evaluate, fail over.
+func (s *Supervisor) monitor() {
+	defer close(s.done)
+	ticker := time.NewTicker(s.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+		}
+		suspects, external := s.tick()
+		if external {
+			return // the owner stopped the cluster; nothing to supervise
+		}
+		if len(suspects) > 0 && !s.failover(suspects) {
+			return // escalated, externally stopped, or supervisor stopped
+		}
+	}
+}
+
+// suspect is one confirmed suspicion of the current tick.
+type suspect struct {
+	proc   int
+	reason string
+	gap    time.Duration
+}
+
+// tick probes every node and evaluates the accrual detector, returning
+// the confirmed suspicions. external reports that the cluster was
+// stopped by its owner.
+func (s *Supervisor) tick() (suspects []suspect, external bool) {
+	s.mu.Lock()
+	c, tracks := s.c, s.tracks
+	s.mu.Unlock()
+
+	now := time.Now()
+	for proc := 0; proc < c.cfg.N; proc++ {
+		track := tracks[proc]
+		hist := s.ins.heartbeatGap
+		err := c.nodes[proc].ping(func() { track.beat(time.Now(), hist) })
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrCrashed):
+			gap := track.gapSince(now)
+			s.ins.suspicion(proc, SuspectCrash, gap)
+			suspects = append(suspects, suspect{proc, SuspectCrash, gap})
+			continue
+		case errors.Is(err, ErrStopped):
+			return nil, true
+		}
+		if track.takeUnreachable() {
+			gap := track.gapSince(now)
+			s.ins.suspicion(proc, SuspectUnreachable, gap)
+			suspects = append(suspects, suspect{proc, SuspectUnreachable, gap})
+			continue
+		}
+		if gap, confirmed := track.check(now, s.cfg.MinGap, s.cfg.Phi, s.cfg.ConfirmTicks); confirmed {
+			s.ins.suspicion(proc, SuspectTimeout, gap)
+			suspects = append(suspects, suspect{proc, SuspectTimeout, gap})
+		}
+	}
+	return suspects, false
+}
+
+// failover converts the suspicions into fail-stops and drives the
+// autonomous recovery with bounded, jittered retries. It reports whether
+// supervision continues (a new incarnation is adopted).
+func (s *Supervisor) failover(suspects []suspect) bool {
+	s.mu.Lock()
+	c := s.c
+	incarnation := s.inc
+	s.mu.Unlock()
+
+	// Enforce fail-stop: a suspect that is merely wedged or partitioned
+	// is crashed so the recovery-line computation sees the same fault
+	// model for every failure kind. Crash waits for the node's current
+	// operation to return — a wedged handler must eventually unblock for
+	// the failover to proceed (a forever-stuck goroutine cannot be
+	// reaped in-process).
+	for _, sp := range suspects {
+		err := c.nodes[sp.proc].Crash()
+		if errors.Is(err, ErrStopped) {
+			return false
+		}
+		// ErrCrashed: already down, which is what we want.
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	pattern, lost, crashed, err := c.stopForRecovery(ctx)
+	cancel()
+	if err != nil {
+		if errors.Is(err, ErrStopped) {
+			return false
+		}
+		s.escalate(fmt.Errorf("stop for recovery: %w", err))
+		return false
+	}
+
+	backoff := s.cfg.Backoff
+	var lastErr error
+	for attempt := 1; attempt <= s.cfg.MaxAttempts; attempt++ {
+		res, err := c.recoverFrom(pattern, lost, crashed, s.options(incarnation+1, attempt))
+		if err == nil {
+			s.adopt(res.Cluster)
+			s.ins.recovery("ok")
+			if s.cfg.OnRecover != nil {
+				s.cfg.OnRecover(res)
+			}
+			return true
+		}
+		lastErr = err
+		s.ins.recovery("retry")
+		if attempt == s.cfg.MaxAttempts {
+			break
+		}
+		select {
+		case <-time.After(s.jitter(backoff)):
+		case <-s.stop:
+			return false
+		}
+		if backoff < s.cfg.MaxBackoff {
+			backoff *= 2
+			if backoff > s.cfg.MaxBackoff {
+				backoff = s.cfg.MaxBackoff
+			}
+		}
+	}
+	s.escalate(lastErr)
+	return false
+}
+
+// options builds one attempt's RecoverOptions.
+func (s *Supervisor) options(incarnation, attempt int) RecoverOptions {
+	if s.cfg.Options != nil {
+		return s.cfg.Options(incarnation, attempt)
+	}
+	// Fresh store, default transport: always retryable.
+	return RecoverOptions{Store: storage.NewMemory()}
+}
+
+// escalate records that autonomous recovery is out of attempts and hands
+// the failure to the operator callback.
+func (s *Supervisor) escalate(err error) {
+	s.ins.escalation(err)
+	if s.cfg.OnEscalate != nil {
+		s.cfg.OnEscalate(err)
+	}
+}
+
+// jitter returns d plus up to 50% seeded random extra.
+func (s *Supervisor) jitter(d time.Duration) time.Duration {
+	return d + time.Duration(s.rng.Int63n(int64(d)/2+1))
+}
+
+// beatTrack is the per-process accrual state: the last heartbeat ack and
+// a sliding window of inter-ack gaps with running first and second
+// moments, so the suspicion level φ(gap) is O(1) per evaluation.
+type beatTrack struct {
+	mu          sync.Mutex
+	last        time.Time
+	win         []float64 // seconds
+	n, idx      int
+	sum, sumSq  float64
+	over        int // consecutive over-threshold evaluations
+	unreachable bool
+}
+
+// newBeatTrack primes the window with the probe interval so the
+// distribution is defined before real samples arrive; the prior washes
+// out of the sliding window as beats come in.
+func newBeatTrack(now time.Time, window int, interval time.Duration) *beatTrack {
+	t := &beatTrack{last: now, win: make([]float64, window)}
+	prior := interval.Seconds()
+	for i := 0; i < 4; i++ {
+		t.observe(prior)
+	}
+	return t
+}
+
+// beat records one heartbeat ack; it runs in the node goroutine and must
+// stay cheap. A beat clears any building timeout suspicion.
+func (t *beatTrack) beat(now time.Time, hist *obs.Histogram) {
+	t.mu.Lock()
+	gap := now.Sub(t.last).Seconds()
+	if gap < 0 {
+		gap = 0
+	}
+	t.last = now
+	t.observe(gap)
+	t.over = 0
+	t.mu.Unlock()
+	hist.Observe(gap)
+}
+
+// observe pushes one gap into the sliding window. Callers hold t.mu
+// (construction excepted).
+func (t *beatTrack) observe(gap float64) {
+	if t.n < len(t.win) {
+		t.n++
+	} else {
+		old := t.win[t.idx]
+		t.sum -= old
+		t.sumSq -= old * old
+	}
+	t.win[t.idx] = gap
+	t.idx = (t.idx + 1) % len(t.win)
+	t.sum += gap
+	t.sumSq += gap * gap
+}
+
+// gapSince returns the time since the last ack.
+func (t *beatTrack) gapSince(now time.Time) time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return now.Sub(t.last)
+}
+
+// markUnreachable latches an external unreachability report.
+func (t *beatTrack) markUnreachable() {
+	t.mu.Lock()
+	t.unreachable = true
+	t.mu.Unlock()
+}
+
+// takeUnreachable consumes the latch.
+func (t *beatTrack) takeUnreachable() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	u := t.unreachable
+	t.unreachable = false
+	return u
+}
+
+// check evaluates the detector at one tick: suspicion requires the gap
+// to clear the floor AND φ to clear the threshold on ConfirmTicks
+// consecutive evaluations.
+func (t *beatTrack) check(now time.Time, minGap time.Duration, phi float64, confirm int) (time.Duration, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	gap := now.Sub(t.last)
+	if gap < minGap || t.phiOf(gap.Seconds()) < phi {
+		t.over = 0
+		return gap, false
+	}
+	t.over++
+	return gap, t.over >= confirm
+}
+
+// phiOf is the suspicion level of a gap under the windowed distribution:
+// -log10 of the normal upper-tail probability, with the deviation
+// floored (a too-regular window must not make any hiccup look infinitely
+// unlikely).
+func (t *beatTrack) phiOf(gap float64) float64 {
+	mean := t.sum / float64(t.n)
+	variance := t.sumSq/float64(t.n) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	sd := math.Sqrt(variance)
+	if floor := mean / 4; sd < floor {
+		sd = floor
+	}
+	const minSD = 100e-6 // scheduler-noise floor
+	if sd < minSD {
+		sd = minSD
+	}
+	p := 0.5 * math.Erfc((gap-mean)/(sd*math.Sqrt2))
+	const minP = 1e-300 // Erfc underflows around z≈27
+	if p < minP {
+		p = minP
+	}
+	return -math.Log10(p)
+}
+
+// supInstruments is the supervisor's observability bundle; the obs
+// primitives are nil-safe, so a cluster without a registry costs only
+// the calls.
+type supInstruments struct {
+	reg          *obs.Registry
+	tracer       *obs.Tracer
+	heartbeatGap *obs.Histogram
+}
+
+// suspicion accounts for one confirmed suspicion. Suspicions are rare,
+// so the labeled counter may take the registry lock here.
+func (ins *supInstruments) suspicion(proc int, reason string, gap time.Duration) {
+	ins.reg.Counter("rdt_supervisor_suspicions_total", "reason", reason).Inc()
+	ins.tracer.Record(obs.Event{
+		Type: obs.EventSuspicion, Proc: proc, Detail: reason,
+		Value: int(gap.Microseconds()),
+	})
+}
+
+// recovery accounts for one recovery attempt outcome: "ok" (a new
+// incarnation is running), "retry" (the attempt failed), with
+// "escalated" added by escalate when the budget is spent.
+func (ins *supInstruments) recovery(outcome string) {
+	ins.reg.Counter("rdt_supervisor_recoveries_total", "outcome", outcome).Inc()
+}
+
+// escalation accounts for one exhausted retry budget.
+func (ins *supInstruments) escalation(err error) {
+	ins.reg.Counter("rdt_supervisor_recoveries_total", "outcome", "escalated").Inc()
+	detail := ""
+	if err != nil {
+		detail = err.Error()
+	}
+	ins.tracer.Record(obs.Event{Type: obs.EventEscalation, Detail: detail})
+}

@@ -45,6 +45,16 @@ const (
 	// EventStoreError is a checkpoint-store write failure; Detail
 	// carries the error text.
 	EventStoreError
+	// EventSuspicion is a supervisor suspecting a process of having
+	// failed; Detail names the reason (crash, timeout, unreachable) and
+	// Value carries the observed heartbeat gap in microseconds.
+	EventSuspicion
+	// EventEscalation is a supervisor giving up on autonomous recovery
+	// after exhausting its attempts; Detail carries the last error.
+	EventEscalation
+	// EventQuarantine is a corrupt stored checkpoint moved aside during
+	// recovery-line computation; Value is the quarantined index.
+	EventQuarantine
 )
 
 // String returns the event type's wire name.
@@ -76,6 +86,12 @@ func (t EventType) String() string {
 		return "recovery"
 	case EventStoreError:
 		return "store-error"
+	case EventSuspicion:
+		return "suspicion"
+	case EventEscalation:
+		return "escalation"
+	case EventQuarantine:
+		return "quarantine"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(t))
 	}
@@ -90,7 +106,7 @@ func (t *EventType) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &name); err != nil {
 		return err
 	}
-	for ev := EventSend; ev <= EventStoreError; ev++ {
+	for ev := EventSend; ev <= EventQuarantine; ev++ {
 		if ev.String() == name {
 			*t = ev
 			return nil

@@ -93,17 +93,57 @@ func (m *Manager) observePlan(p *Plan) {
 		Observe(float64(p.TotalRollback()))
 }
 
-// Latest returns the per-process latest stored checkpoint indexes.
+// Latest returns the per-process latest usable stored checkpoint
+// indexes. A corrupt latest checkpoint — typically the one being written
+// when the machine died — is quarantined (moved aside, preserved where
+// the medium allows) and the previous index is used instead, so one torn
+// file degrades the recovery line by one interval instead of failing the
+// whole recovery.
 func (m *Manager) Latest() (model.GlobalCheckpoint, error) {
 	bounds := make(model.GlobalCheckpoint, m.n)
 	for i := 0; i < m.n; i++ {
-		cp, err := m.store.Latest(i)
+		cp, err := m.latestUsable(i)
 		if err != nil {
-			return nil, fmt.Errorf("recovery: process %d: %w", i, ErrNoCheckpoint)
+			return nil, err
 		}
 		bounds[i] = cp.Index
 	}
 	return bounds, nil
+}
+
+// latestUsable walks a process's stored checkpoints from the highest
+// index down, quarantining undecodable ones, until a readable checkpoint
+// is found.
+func (m *Manager) latestUsable(proc int) (storage.Checkpoint, error) {
+	indexes, err := m.store.Indexes(proc)
+	if err != nil {
+		return storage.Checkpoint{}, fmt.Errorf("recovery: process %d: %w", proc, err)
+	}
+	for i := len(indexes) - 1; i >= 0; i-- {
+		cp, err := m.store.Get(proc, indexes[i])
+		switch {
+		case err == nil:
+			return cp, nil
+		case errors.Is(err, storage.ErrCorrupt):
+			if qerr := storage.Quarantine(m.store, proc, indexes[i]); qerr != nil {
+				return storage.Checkpoint{}, fmt.Errorf("recovery: quarantine C{%d,%d}: %w", proc, indexes[i], qerr)
+			}
+			m.noteQuarantine(proc, indexes[i], err)
+		case errors.Is(err, storage.ErrNotFound):
+			// Deleted between the listing and the read; keep walking.
+		default:
+			return storage.Checkpoint{}, fmt.Errorf("recovery: process %d: %w", proc, err)
+		}
+	}
+	return storage.Checkpoint{}, fmt.Errorf("recovery: process %d: %w", proc, ErrNoCheckpoint)
+}
+
+// noteQuarantine accounts for one corrupt checkpoint moved aside.
+func (m *Manager) noteQuarantine(proc, index int, cause error) {
+	m.obs.Counter("rdt_recovery_quarantined_total").Inc()
+	m.tracer.Record(obs.Event{
+		Type: obs.EventQuarantine, Proc: proc, Value: index, Detail: cause.Error(),
+	})
 }
 
 // LineFrom computes the recovery line dominated by the given bounds, using

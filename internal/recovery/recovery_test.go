@@ -2,10 +2,13 @@ package recovery
 
 import (
 	"errors"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"github.com/rdt-go/rdt/internal/core"
 	"github.com/rdt-go/rdt/internal/model"
+	"github.com/rdt-go/rdt/internal/obs"
 	"github.com/rdt-go/rdt/internal/rgraph"
 	"github.com/rdt-go/rdt/internal/sim"
 	"github.com/rdt-go/rdt/internal/storage"
@@ -280,5 +283,65 @@ func TestReplaySet(t *testing.T) {
 	// Bad cut rejected.
 	if _, err := ReplaySet(p, model.GlobalCheckpoint{9, 9}, nil); err == nil {
 		t.Error("bad cut accepted")
+	}
+}
+
+// TestLatestQuarantinesCorruptCheckpoint: a torn latest checkpoint — the
+// classic machine-died-mid-write artifact — is moved aside and the line
+// computation falls back one index instead of failing the recovery.
+func TestLatestQuarantinesCorruptCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	store, err := storage.NewFile(dir)
+	if err != nil {
+		t.Fatalf("file store: %v", err)
+	}
+	const n = 2
+	for proc := 0; proc < n; proc++ {
+		for idx := 0; idx <= 2; idx++ {
+			if err := store.Put(storage.Checkpoint{Proc: proc, Index: idx, TDV: make([]int, n)}); err != nil {
+				t.Fatalf("put: %v", err)
+			}
+		}
+	}
+	// Tear P0's latest checkpoint on disk.
+	if err := os.WriteFile(filepath.Join(dir, "ckpt_0_2.json"), []byte("{torn"), 0o644); err != nil {
+		t.Fatalf("tear: %v", err)
+	}
+
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(16)
+	m, err := NewManager(store, n)
+	if err != nil {
+		t.Fatalf("manager: %v", err)
+	}
+	m.Observe(reg, tracer)
+	plan, err := m.AfterCrash(0)
+	if err != nil {
+		t.Fatalf("after crash with torn checkpoint: %v", err)
+	}
+	if plan.Bounds[0] != 1 {
+		t.Errorf("P0 bound = %d, want fallback to 1", plan.Bounds[0])
+	}
+	if plan.Bounds[1] != 2 {
+		t.Errorf("P1 bound = %d, want 2", plan.Bounds[1])
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ckpt_0_2.json.corrupt")); err != nil {
+		t.Errorf("torn checkpoint not preserved as .corrupt: %v", err)
+	}
+	if got := reg.Counter("rdt_recovery_quarantined_total").Value(); got != 1 {
+		t.Errorf("rdt_recovery_quarantined_total = %d, want 1", got)
+	}
+	var saw bool
+	for _, ev := range tracer.Tail(tracer.Len()) {
+		if ev.Type == obs.EventQuarantine && ev.Proc == 0 && ev.Value == 2 {
+			saw = true
+		}
+	}
+	if !saw {
+		t.Error("trace has no quarantine event for C{0,2}")
+	}
+	// The same recovery still restores: the fallback checkpoint reads.
+	if _, err := m.Restore(plan.Line); err != nil {
+		t.Fatalf("restore after quarantine: %v", err)
 	}
 }

@@ -21,12 +21,24 @@ type File struct {
 	mu  sync.Mutex
 }
 
-var _ Store = (*File)(nil)
+var (
+	_ Store       = (*File)(nil)
+	_ Quarantiner = (*File)(nil)
+)
+
+// fsyncFile and fsyncDir are seams for the durability tests: they flush
+// a written checkpoint file (before the rename) and the directory (after
+// it), and the tests replace them to inject medium failures.
+var (
+	fsyncFile = func(f *os.File) error { return f.Sync() }
+	fsyncDir  = func(d *os.File) error { return d.Sync() }
+)
 
 // NewFile creates (if needed) the directory and returns a store over it.
 // Leftover .tmp files — a Put interrupted by a crash between write and
 // rename — are removed: the checkpoint they held was never committed, so
-// the store must not resurrect it.
+// the store must not resurrect it. Quarantined .corrupt files are kept
+// for forensics; Indexes never reports them.
 func NewFile(dir string) (*File, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("checkpoint dir: %w", err)
@@ -49,7 +61,10 @@ func NewFile(dir string) (*File, error) {
 // Dir returns the backing directory.
 func (f *File) Dir() string { return f.dir }
 
-// Put implements Store.
+// Put implements Store. The checkpoint is committed durably: the temp
+// file is fsynced before the rename and the directory after it, so a
+// checkpoint that Put reported as stored survives a machine crash (power
+// loss), not just a process crash.
 func (f *File) Put(cp Checkpoint) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -58,19 +73,60 @@ func (f *File) Put(cp Checkpoint) error {
 		return fmt.Errorf("encode checkpoint: %w", err)
 	}
 	tmp := f.path(cp.Proc, cp.Index) + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	tf, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return fmt.Errorf("write checkpoint: %w", err)
 	}
+	if _, err := tf.Write(data); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("write checkpoint: %w", err)
+	}
+	// The data must be on the medium before the rename publishes the
+	// name, or a crash could leave a committed name pointing at a torn
+	// file.
+	if err := fsyncFile(tf); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("sync checkpoint: %w", err)
+	}
+	if err := tf.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("close checkpoint: %w", err)
+	}
 	if err := os.Rename(tmp, f.path(cp.Proc, cp.Index)); err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("commit checkpoint: %w", err)
+	}
+	// And the rename itself must be on the medium before Put reports
+	// success, or the crash could forget the commit.
+	return f.syncDir()
+}
+
+// syncDir flushes the directory entry updates (renames, removes) of the
+// backing directory.
+func (f *File) syncDir() error {
+	d, err := os.Open(f.dir)
+	if err != nil {
+		return fmt.Errorf("sync checkpoint dir: %w", err)
+	}
+	defer d.Close()
+	if err := fsyncDir(d); err != nil {
+		return fmt.Errorf("sync checkpoint dir: %w", err)
 	}
 	return nil
 }
 
-// Get implements Store.
+// Get implements Store. An unreadable-but-present checkpoint file is
+// reported with ErrCorrupt wrapped in the error, so recovery can
+// distinguish damage from absence.
 func (f *File) Get(proc, index int) (Checkpoint, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	return f.getLocked(proc, index)
+}
+
+func (f *File) getLocked(proc, index int) (Checkpoint, error) {
 	data, err := os.ReadFile(f.path(proc, index))
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
@@ -80,27 +136,36 @@ func (f *File) Get(proc, index int) (Checkpoint, error) {
 	}
 	var cp Checkpoint
 	if err := json.Unmarshal(data, &cp); err != nil {
-		return Checkpoint{}, fmt.Errorf("decode checkpoint: %w", err)
+		return Checkpoint{}, fmt.Errorf("process %d index %d: %w: %v", proc, index, ErrCorrupt, err)
 	}
 	return cp, nil
 }
 
-// Latest implements Store.
+// Latest implements Store. The scan for the highest index and the read
+// of that checkpoint happen under one critical section, so a concurrent
+// Delete (recovery's GC) can never make Latest spuriously report
+// ErrNotFound for a checkpoint that was listed a moment before.
 func (f *File) Latest(proc int) (Checkpoint, error) {
-	indexes, err := f.Indexes(proc)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	indexes, err := f.indexesLocked(proc)
 	if err != nil {
 		return Checkpoint{}, err
 	}
 	if len(indexes) == 0 {
 		return Checkpoint{}, fmt.Errorf("process %d: %w", proc, ErrNotFound)
 	}
-	return f.Get(proc, indexes[len(indexes)-1])
+	return f.getLocked(proc, indexes[len(indexes)-1])
 }
 
 // Indexes implements Store.
 func (f *File) Indexes(proc int) ([]int, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	return f.indexesLocked(proc)
+}
+
+func (f *File) indexesLocked(proc int) ([]int, error) {
 	entries, err := os.ReadDir(f.dir)
 	if err != nil {
 		return nil, fmt.Errorf("list checkpoints: %w", err)
@@ -129,6 +194,20 @@ func (f *File) Delete(proc, index int) error {
 	err := os.Remove(f.path(proc, index))
 	if err != nil && !errors.Is(err, fs.ErrNotExist) {
 		return fmt.Errorf("delete checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Quarantine implements Quarantiner: the checkpoint file is renamed to
+// <name>.corrupt, taking it out of Indexes/Get/Latest while preserving
+// the bytes for post-mortem inspection. Quarantining an already-missing
+// checkpoint is not an error.
+func (f *File) Quarantine(proc, index int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	path := f.path(proc, index)
+	if err := os.Rename(path, path+".corrupt"); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("quarantine checkpoint: %w", err)
 	}
 	return nil
 }

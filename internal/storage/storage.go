@@ -27,6 +27,12 @@ type Checkpoint struct {
 // ErrNotFound is returned when a requested checkpoint does not exist.
 var ErrNotFound = errors.New("checkpoint not found")
 
+// ErrCorrupt is wrapped by Get when a checkpoint exists but cannot be
+// decoded — typically a file torn by a machine crash. Recovery treats a
+// corrupt checkpoint differently from a missing one: it is quarantined
+// and the previous index is used instead.
+var ErrCorrupt = errors.New("checkpoint is corrupt")
+
 // Store persists checkpoints. Implementations are safe for concurrent use.
 type Store interface {
 	// Put persists a checkpoint, overwriting any previous checkpoint with
@@ -42,6 +48,24 @@ type Store interface {
 	// Delete removes one checkpoint; deleting a missing checkpoint is not
 	// an error.
 	Delete(proc, index int) error
+}
+
+// Quarantiner is implemented by stores that can move a damaged
+// checkpoint aside — out of Indexes and Get, but preserved for forensics
+// where the medium allows it — instead of destroying it. The recovery
+// manager prefers Quarantine over Delete when it encounters ErrCorrupt.
+type Quarantiner interface {
+	Quarantine(proc, index int) error
+}
+
+// Quarantine moves a damaged checkpoint aside through the store's
+// Quarantiner implementation, falling back to Delete for stores without
+// one (in memory there is nothing worth preserving).
+func Quarantine(s Store, proc, index int) error {
+	if q, ok := s.(Quarantiner); ok {
+		return q.Quarantine(proc, index)
+	}
+	return s.Delete(proc, index)
 }
 
 // Memory is an in-memory store.
@@ -117,6 +141,31 @@ func (m *Memory) Delete(proc, index int) error {
 	defer m.mu.Unlock()
 	delete(m.data[proc], index)
 	return nil
+}
+
+// Purge removes every checkpoint of every process in [0, n). A recovery
+// that reuses the old incarnation's store must purge it: the new
+// incarnation restarts its checkpoint indexes at zero, so any leftover
+// old-incarnation checkpoint — below, at, or above the recovery line —
+// would shadow the new history in a later Latest and corrupt the next
+// recovery. The recovery line's state is not lost: it has already been
+// restored and is immediately re-persisted as the new incarnation's
+// initial checkpoints.
+func Purge(s Store, n int) (int, error) {
+	removed := 0
+	for proc := 0; proc < n; proc++ {
+		indexes, err := s.Indexes(proc)
+		if err != nil {
+			return removed, err
+		}
+		for _, idx := range indexes {
+			if err := s.Delete(proc, idx); err != nil {
+				return removed, err
+			}
+			removed++
+		}
+	}
+	return removed, nil
 }
 
 // GCBelow removes, for every process, all checkpoints strictly below the

@@ -351,3 +351,217 @@ func TestFileStoreCleansTmpOnReopen(t *testing.T) {
 		t.Errorf("latest = (%v, %v), want index 3", cp, err)
 	}
 }
+
+// TestFilePutFsyncs: a committed checkpoint is durable — the data file
+// is flushed before the rename publishes it, and the directory after.
+func TestFilePutFsyncs(t *testing.T) {
+	s, err := NewFile(t.TempDir())
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	var fileSyncs, dirSyncs int
+	origFile, origDir := fsyncFile, fsyncDir
+	defer func() { fsyncFile, fsyncDir = origFile, origDir }()
+	fsyncFile = func(f *os.File) error { fileSyncs++; return origFile(f) }
+	fsyncDir = func(d *os.File) error { dirSyncs++; return origDir(d) }
+
+	if err := s.Put(Checkpoint{Proc: 0, Index: 0, TDV: []int{0}}); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if fileSyncs != 1 || dirSyncs != 1 {
+		t.Errorf("put synced file %d times and dir %d times, want 1 and 1", fileSyncs, dirSyncs)
+	}
+}
+
+// TestFilePutFsyncFailure: a sync failure must fail the Put and leave no
+// committed checkpoint behind — a checkpoint the medium did not accept
+// must not become part of a recovery line.
+func TestFilePutFsyncFailure(t *testing.T) {
+	origFile, origDir := fsyncFile, fsyncDir
+	defer func() { fsyncFile, fsyncDir = origFile, origDir }()
+
+	t.Run("file", func(t *testing.T) {
+		dir := t.TempDir()
+		s, err := NewFile(dir)
+		if err != nil {
+			t.Fatalf("new: %v", err)
+		}
+		fsyncFile = func(*os.File) error { return errors.New("medium error") }
+		fsyncDir = origDir
+		if err := s.Put(Checkpoint{Proc: 0, Index: 0, TDV: []int{0}}); err == nil {
+			t.Fatal("put succeeded over a failing fsync")
+		}
+		if _, err := s.Get(0, 0); !errors.Is(err, ErrNotFound) {
+			t.Errorf("get after failed put = %v, want ErrNotFound", err)
+		}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("readdir: %v", err)
+		}
+		if len(entries) != 0 {
+			t.Errorf("failed put left %d files behind", len(entries))
+		}
+	})
+	t.Run("dir", func(t *testing.T) {
+		s, err := NewFile(t.TempDir())
+		if err != nil {
+			t.Fatalf("new: %v", err)
+		}
+		fsyncFile = origFile
+		fsyncDir = func(*os.File) error { return errors.New("medium error") }
+		if err := s.Put(Checkpoint{Proc: 0, Index: 0, TDV: []int{0}}); err == nil {
+			t.Fatal("put succeeded over a failing directory fsync")
+		}
+	})
+}
+
+// TestFileLatestConcurrentDelete: Latest's scan and read are one
+// critical section, so a concurrent Delete of older checkpoints (what
+// recovery GC does) can never make it report ErrNotFound while
+// checkpoints exist.
+func TestFileLatestConcurrentDelete(t *testing.T) {
+	s, err := NewFile(t.TempDir())
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	const rounds = 200
+	if err := s.Put(Checkpoint{Proc: 0, Index: 0, TDV: []int{0}}); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 1; i < rounds; i++ {
+			if err := s.Put(Checkpoint{Proc: 0, Index: i, TDV: []int{i}}); err != nil {
+				t.Errorf("put %d: %v", i, err)
+				return
+			}
+			// Delete everything below the new highest, like GC would.
+			if err := s.Delete(0, i-1); err != nil {
+				t.Errorf("delete %d: %v", i-1, err)
+				return
+			}
+		}
+	}()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		if _, err := s.Latest(0); err != nil {
+			t.Fatalf("latest raced to %v while checkpoints exist", err)
+		}
+	}
+}
+
+// TestFileGetCorrupt: damage is distinguishable from absence.
+func TestFileGetCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFile(dir)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "ckpt_0_0.json"), []byte("{torn"), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := s.Get(0, 0); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("get corrupt = %v, want ErrCorrupt", err)
+	}
+	if _, err := s.Latest(0); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("latest corrupt = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestFileQuarantine: a quarantined checkpoint leaves Indexes/Get/Latest
+// but its bytes survive as <name>.corrupt for the post-mortem.
+func TestFileQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFile(dir)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	if err := s.Put(Checkpoint{Proc: 0, Index: 0, TDV: []int{0}}); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "ckpt_0_1.json"), []byte("{torn"), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := Quarantine(s, 0, 1); err != nil {
+		t.Fatalf("quarantine: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ckpt_0_1.json.corrupt")); err != nil {
+		t.Errorf("quarantined bytes missing: %v", err)
+	}
+	indexes, err := s.Indexes(0)
+	if err != nil {
+		t.Fatalf("indexes: %v", err)
+	}
+	if len(indexes) != 1 || indexes[0] != 0 {
+		t.Errorf("indexes = %v after quarantine, want [0]", indexes)
+	}
+	if _, err := s.Get(0, 1); !errors.Is(err, ErrNotFound) {
+		t.Errorf("get quarantined = %v, want ErrNotFound", err)
+	}
+	// Re-opening the directory still ignores the quarantined file.
+	s2, err := NewFile(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if indexes, err := s2.Indexes(0); err != nil || len(indexes) != 1 {
+		t.Errorf("reopened indexes = %v (%v), want [0]", indexes, err)
+	}
+	// Quarantining something already gone is not an error.
+	if err := Quarantine(s, 0, 9); err != nil {
+		t.Errorf("quarantine missing = %v, want nil", err)
+	}
+}
+
+// TestQuarantineFallback: stores without a rename (memory) fall back to
+// deletion — the corrupt entry still leaves the index space.
+func TestQuarantineFallback(t *testing.T) {
+	s := NewMemory()
+	if err := s.Put(Checkpoint{Proc: 1, Index: 2, TDV: []int{0, 0}}); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if err := Quarantine(s, 1, 2); err != nil {
+		t.Fatalf("quarantine: %v", err)
+	}
+	if _, err := s.Get(1, 2); !errors.Is(err, ErrNotFound) {
+		t.Errorf("get after fallback quarantine = %v, want ErrNotFound", err)
+	}
+}
+
+// TestPurge removes every checkpoint of every process — the reset a
+// reused store needs between incarnations.
+func TestPurge(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			want := 0
+			for proc := 0; proc < 3; proc++ {
+				for idx := 0; idx <= proc; idx++ {
+					if err := s.Put(Checkpoint{Proc: proc, Index: idx, TDV: []int{0, 0, 0}}); err != nil {
+						t.Fatalf("put: %v", err)
+					}
+					want++
+				}
+			}
+			got, err := Purge(s, 3)
+			if err != nil {
+				t.Fatalf("purge: %v", err)
+			}
+			if got != want {
+				t.Errorf("purged %d checkpoints, want %d", got, want)
+			}
+			for proc := 0; proc < 3; proc++ {
+				indexes, err := s.Indexes(proc)
+				if err != nil {
+					t.Fatalf("indexes: %v", err)
+				}
+				if len(indexes) != 0 {
+					t.Errorf("P%d still has indexes %v after purge", proc, indexes)
+				}
+			}
+		})
+	}
+}

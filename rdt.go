@@ -264,6 +264,10 @@ var (
 	ErrCrashed = cluster.ErrCrashed
 	// ErrNotCrashed is returned by Cluster.Restart for a running process.
 	ErrNotCrashed = cluster.ErrNotCrashed
+	// ErrCheckpointCorrupt is wrapped into store read errors for a
+	// present-but-undecodable checkpoint; recovery quarantines such
+	// checkpoints and falls back one index.
+	ErrCheckpointCorrupt = storage.ErrCorrupt
 )
 
 // Storage types: checkpoint persistence.
@@ -379,6 +383,32 @@ func Explore(p Protocol, scripts [][]ScenarioOp, check func(schedule []ScheduleC
 	return explore.Run(p, scripts, check)
 }
 
+// Self-healing: heartbeat failure detection plus autonomous supervised
+// recovery over a running cluster.
+type (
+	// Supervisor watches a cluster through heartbeat probes and drives
+	// Cluster.Recover autonomously when a process crashes, wedges, or
+	// becomes unreachable.
+	Supervisor = cluster.Supervisor
+	// SupervisorConfig parameterizes Supervise.
+	SupervisorConfig = cluster.SupervisorConfig
+)
+
+// The suspicion reasons a supervisor reports (metric label values and
+// event details).
+const (
+	SuspectCrash       = cluster.SuspectCrash
+	SuspectTimeout     = cluster.SuspectTimeout
+	SuspectUnreachable = cluster.SuspectUnreachable
+)
+
+// Supervise attaches a failure detector and autonomous recovery driver
+// to a running cluster (which must log payloads). After a failover,
+// Supervisor.Cluster returns the live incarnation.
+func Supervise(c *Cluster, cfg SupervisorConfig) (*Supervisor, error) {
+	return cluster.Supervise(c, cfg)
+}
+
 // Resume starts the next incarnation after a rollback: a fresh cluster
 // into which the in-transit messages of the previous incarnation are
 // replayed from the message log. The application must have reinstalled
@@ -433,6 +463,9 @@ const (
 	EventRestart          = obs.EventRestart
 	EventRecovery         = obs.EventRecovery
 	EventStoreError       = obs.EventStoreError
+	EventSuspicion        = obs.EventSuspicion
+	EventEscalation       = obs.EventEscalation
+	EventQuarantine       = obs.EventQuarantine
 )
 
 // NewMetricsRegistry returns an empty metrics registry.
