@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all test race vet chaos chaos-supervise check bench obs-bench clean
+.PHONY: all test race vet chaos chaos-supervise check bench bench-baseline obs-bench clean
 
 all: test
 
@@ -38,8 +38,13 @@ chaos-supervise:
 # Everything a change must pass before review.
 check: test race chaos chaos-supervise
 
+# Run the benchmark suite and gate ns/op against the committed baseline
+# (results/BENCH_4.json); bench-baseline rewrites the baseline.
 bench:
-	$(GO) test -bench . -benchtime 1x -run '^$$' .
+	scripts/bench.sh
+
+bench-baseline:
+	BENCH_UPDATE=1 scripts/bench.sh
 
 # Measure observability overhead on the runtime hot path.
 obs-bench:

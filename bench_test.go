@@ -19,6 +19,7 @@ package rdt_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	rdt "github.com/rdt-go/rdt"
@@ -342,6 +343,11 @@ func BenchmarkExhaustiveExploration(b *testing.B) {
 		{rdt.ScenarioSend(1), rdt.ScenarioCheckpoint(), rdt.ScenarioSend(1)},
 		{rdt.ScenarioSend(0)},
 	}
+	// Collect the preceding scaling benchmarks' garbage so this
+	// allocation-heavy loop starts from a clean heap regardless of suite
+	// order.
+	runtime.GC()
+	b.ResetTimer()
 	execs := 0
 	for i := 0; i < b.N; i++ {
 		res, err := rdt.Explore(rdt.BHMR, scripts, func([]rdt.ScheduleChoice, *rdt.Pattern) error { return nil })

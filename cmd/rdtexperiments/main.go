@@ -19,6 +19,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"github.com/rdt-go/rdt/internal/experiments"
 	"github.com/rdt-go/rdt/internal/obs"
@@ -37,6 +38,7 @@ func run(args []string, out io.Writer) error {
 	var (
 		quick       = fs.Bool("quick", false, "use the reduced experiment grid")
 		csvDir      = fs.String("csv", "", "directory to write CSV artifacts into")
+		jobs        = fs.Int("jobs", 0, "worker goroutines for the simulation grid (0 = GOMAXPROCS); output is identical for every value")
 		metricsAddr = fs.String("metrics-addr", "", "serve live Prometheus /metrics for the running grid on this address (:0 picks a port)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -46,8 +48,12 @@ func run(args []string, out io.Writer) error {
 	if *quick {
 		cfg = experiments.Quick()
 	}
+	cfg.Jobs = *jobs
+	// The registry is always on: its rdt_experiment_runs_total counter is
+	// the progress measure reported at the end (incremented atomically, so
+	// the tally is exact under any -jobs value).
+	cfg.Obs = obs.NewRegistry()
 	if *metricsAddr != "" {
-		cfg.Obs = obs.NewRegistry()
 		srv, err := obs.Serve(*metricsAddr, cfg.Obs, nil)
 		if err != nil {
 			return err
@@ -144,5 +150,15 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	return emit("table_guarantees", guarantees)
+	if err := emit("table_guarantees", guarantees); err != nil {
+		return err
+	}
+
+	resolved := cfg.Jobs
+	if resolved <= 0 {
+		resolved = runtime.GOMAXPROCS(0)
+	}
+	fmt.Fprintf(out, "completed %d simulations (jobs=%d)\n",
+		cfg.Obs.Counter("rdt_experiment_runs_total").Value(), resolved)
+	return nil
 }

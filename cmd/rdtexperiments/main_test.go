@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -42,6 +43,45 @@ func TestRunQuickWithCSV(t *testing.T) {
 			t.Errorf("artifact %s malformed", file)
 		}
 	}
+}
+
+// TestRunJobsIdenticalOutput runs the reduced grid sequentially and with
+// a parallel worker pool: the rendered output (and the completed-cell
+// tally) must be identical, per the determinism contract of the grid.
+func TestRunJobsIdenticalOutput(t *testing.T) {
+	var seq, par bytes.Buffer
+	if err := run([]string{"-quick", "-jobs", "1"}, &seq); err != nil {
+		t.Fatalf("run -jobs 1: %v", err)
+	}
+	if err := run([]string{"-quick", "-jobs", "8"}, &par); err != nil {
+		t.Fatalf("run -jobs 8: %v", err)
+	}
+	seqText := strings.ReplaceAll(seq.String(), "(jobs=1)", "(jobs=N)")
+	parText := strings.ReplaceAll(par.String(), "(jobs=8)", "(jobs=N)")
+	if seqText != parText {
+		t.Error("-jobs 1 and -jobs 8 outputs differ")
+	}
+	// The completed-cell count must be the full grid in both runs: cells
+	// finished by concurrent workers may not be lost.
+	seqDone, parDone := completedCount(t, seq.String()), completedCount(t, par.String())
+	if seqDone == 0 || seqDone != parDone {
+		t.Errorf("completed cells: sequential %d, parallel %d", seqDone, parDone)
+	}
+}
+
+// completedCount extracts N from the trailing "completed N simulations"
+// summary line.
+func completedCount(t *testing.T, out string) int {
+	t.Helper()
+	i := strings.LastIndex(out, "completed ")
+	if i < 0 {
+		t.Fatalf("summary line missing in output")
+	}
+	var n int
+	if _, err := fmt.Sscanf(out[i:], "completed %d simulations", &n); err != nil {
+		t.Fatalf("unparsable summary %q: %v", out[i:], err)
+	}
+	return n
 }
 
 func TestRunErrors(t *testing.T) {

@@ -1,63 +1,244 @@
 package cluster
 
 import (
-	"bytes"
-	"encoding/gob"
+	"encoding/binary"
 	"fmt"
+	"math"
+	"sync"
 
 	"github.com/rdt-go/rdt/internal/core"
 	"github.com/rdt-go/rdt/internal/vclock"
 )
 
-// wireMsg is the on-the-wire representation of an application message with
-// its protocol piggyback and the trace handle used to match send and
-// delivery events.
-type wireMsg struct {
-	From    int
-	Handle  int
-	Payload []byte
+// The wire format of an application message with its protocol piggyback
+// and the trace handle used to match send and delivery events. It is a
+// hand-rolled binary layout (the hot path of the cluster runtime used to
+// run through encoding/gob, which dominated the per-message allocation
+// count):
+//
+//	magic 'R', version 0x01
+//	uvarint from          — sending process
+//	uvarint handle        — trace handle
+//	uvarint sn            — BCS checkpoint sequence number
+//	uvarint len(payload)  — application payload, raw bytes
+//	uvarint len(tdv)      — dependency vector, one uvarint per entry
+//	uvarint len(simple)   — simple array, bit-packed LSB-first
+//	uvarint n             — causal-matrix dimension (0 = no matrix),
+//	                        n*n cells bit-packed row-major LSB-first
+//
+// All header fields are non-negative by construction; the decoder
+// validates every length against the bytes actually remaining, so
+// arbitrary input can never provoke a huge allocation or a panic.
+const (
+	wireMagic   = 'R'
+	wireVersion = 0x01
 
-	TDV    []int
-	SN     int
-	Simple []bool
-	Causal []bool // row-major cells of the causal matrix, empty when unused
-	N      int    // matrix dimension
+	// maxWireMatrixDim bounds the causal-matrix dimension a frame may
+	// declare; real systems are orders of magnitude smaller.
+	maxWireMatrixDim = 1 << 16
+)
+
+// encodeBufs pools the scratch buffers frames are built in, so encoding
+// allocates only the final exact-size frame instead of growing a fresh
+// buffer per message.
+var encodeBufs = sync.Pool{
+	New: func() any { b := make([]byte, 0, 512); return &b },
 }
 
 // encodeMsg serializes a message and its piggyback.
 func encodeMsg(from, handle int, payload []byte, pb core.Piggyback) ([]byte, error) {
-	w := wireMsg{
-		From:    from,
-		Handle:  handle,
-		Payload: payload,
-		TDV:     pb.TDV,
-		SN:      pb.SN,
-		Simple:  pb.Simple,
+	if from < 0 || handle < 0 || pb.SN < 0 {
+		return nil, fmt.Errorf("encode message: negative header field (from=%d handle=%d sn=%d)", from, handle, pb.SN)
 	}
+	bp := encodeBufs.Get().(*[]byte)
+	buf := (*bp)[:0]
+	buf = append(buf, wireMagic, wireVersion)
+	buf = binary.AppendUvarint(buf, uint64(from))
+	buf = binary.AppendUvarint(buf, uint64(handle))
+	buf = binary.AppendUvarint(buf, uint64(pb.SN))
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	buf = binary.AppendUvarint(buf, uint64(len(pb.TDV)))
+	for _, x := range pb.TDV {
+		if x < 0 {
+			*bp = buf[:0]
+			encodeBufs.Put(bp)
+			return nil, fmt.Errorf("encode message: negative TDV entry %d", x)
+		}
+		buf = binary.AppendUvarint(buf, uint64(x))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(pb.Simple)))
+	buf = pb.Simple.AppendBits(buf)
 	if pb.Causal != nil {
-		w.Causal = pb.Causal.CloneCells()
-		w.N = pb.Causal.N()
+		buf = binary.AppendUvarint(buf, uint64(pb.Causal.N()))
+		buf = pb.Causal.AppendBits(buf)
+	} else {
+		buf = binary.AppendUvarint(buf, 0)
 	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
-		return nil, fmt.Errorf("encode message: %w", err)
-	}
-	return buf.Bytes(), nil
+	out := make([]byte, len(buf))
+	copy(out, buf)
+	*bp = buf[:0]
+	encodeBufs.Put(bp)
+	return out, nil
 }
 
-// decodeMsg deserializes a wire message back into payload and piggyback.
-func decodeMsg(data []byte) (from, handle int, payload []byte, pb core.Piggyback, err error) {
-	var w wireMsg
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
-		return 0, 0, nil, core.Piggyback{}, fmt.Errorf("decode message: %w", err)
+// pbScratch holds reusable piggyback storage for decodeMsgInto. Each node
+// goroutine owns one, so repeated deliveries stop allocating fresh
+// vectors and matrices per message. The piggyback returned by a decode
+// into a scratch aliases its buffers and is only valid until the next
+// decode into the same scratch.
+type pbScratch struct {
+	tdv    vclock.Vec
+	simple vclock.Bools
+	causal *vclock.Matrix
+}
+
+// wireReader is a bounds-checked cursor over one frame.
+type wireReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *wireReader) remaining() int { return len(r.data) - r.pos }
+
+// uvarint reads one varint-encoded unsigned value that must fit in int.
+func (r *wireReader) uvarint() (int, error) {
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 || v > uint64(math.MaxInt) {
+		return 0, fmt.Errorf("decode message: bad varint at offset %d", r.pos)
 	}
-	pb = core.Piggyback{TDV: w.TDV, SN: w.SN, Simple: w.Simple}
-	if len(w.Causal) > 0 {
-		m, err := vclock.MatrixFromCells(w.N, w.Causal)
+	r.pos += n
+	return int(v), nil
+}
+
+func (r *wireReader) take(n int) ([]byte, error) {
+	if n > r.remaining() {
+		return nil, fmt.Errorf("decode message: truncated (need %d bytes, have %d)", n, r.remaining())
+	}
+	out := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return out, nil
+}
+
+// decodeMsg deserializes a wire message into freshly allocated storage.
+func decodeMsg(data []byte) (from, handle int, payload []byte, pb core.Piggyback, err error) {
+	return decodeMsgInto(data, nil)
+}
+
+// decodeMsgInto is decodeMsg with optional buffer reuse: when s is
+// non-nil the piggyback's vectors and matrix are decoded into the
+// scratch's storage (growing it as needed) instead of fresh allocations.
+// The payload is always a fresh copy: handlers may retain it.
+func decodeMsgInto(data []byte, s *pbScratch) (from, handle int, payload []byte, pb core.Piggyback, err error) {
+	fail := func(e error) (int, int, []byte, core.Piggyback, error) {
+		return 0, 0, nil, core.Piggyback{}, e
+	}
+	if len(data) < 2 || data[0] != wireMagic || data[1] != wireVersion {
+		return fail(fmt.Errorf("decode message: bad magic/version"))
+	}
+	r := &wireReader{data: data, pos: 2}
+	if from, err = r.uvarint(); err != nil {
+		return fail(err)
+	}
+	if handle, err = r.uvarint(); err != nil {
+		return fail(err)
+	}
+	if pb.SN, err = r.uvarint(); err != nil {
+		return fail(err)
+	}
+
+	plen, err := r.uvarint()
+	if err != nil {
+		return fail(err)
+	}
+	raw, err := r.take(plen)
+	if err != nil {
+		return fail(err)
+	}
+	if plen > 0 {
+		payload = make([]byte, plen)
+		copy(payload, raw)
+	}
+
+	tdvLen, err := r.uvarint()
+	if err != nil {
+		return fail(err)
+	}
+	if tdvLen > r.remaining() { // every entry needs at least one byte
+		return fail(fmt.Errorf("decode message: TDV length %d exceeds frame", tdvLen))
+	}
+	if tdvLen > 0 {
+		var tdv vclock.Vec
+		if s != nil {
+			if cap(s.tdv) < tdvLen {
+				s.tdv = make(vclock.Vec, tdvLen)
+			}
+			tdv = s.tdv[:tdvLen]
+		} else {
+			tdv = make(vclock.Vec, tdvLen)
+		}
+		for i := range tdv {
+			if tdv[i], err = r.uvarint(); err != nil {
+				return fail(err)
+			}
+		}
+		pb.TDV = tdv
+	}
+
+	simpleLen, err := r.uvarint()
+	if err != nil {
+		return fail(err)
+	}
+	if vclock.PackedLen(simpleLen) > r.remaining() {
+		return fail(fmt.Errorf("decode message: simple length %d exceeds frame", simpleLen))
+	}
+	if simpleLen > 0 {
+		bits, err := r.take(vclock.PackedLen(simpleLen))
 		if err != nil {
-			return 0, 0, nil, core.Piggyback{}, err
+			return fail(err)
+		}
+		var simple vclock.Bools
+		if s != nil {
+			if cap(s.simple) < simpleLen {
+				s.simple = make(vclock.Bools, simpleLen)
+			}
+			simple = s.simple[:simpleLen]
+		} else {
+			simple = make(vclock.Bools, simpleLen)
+		}
+		if err := simple.LoadBits(bits); err != nil {
+			return fail(err)
+		}
+		pb.Simple = simple
+	}
+
+	dim, err := r.uvarint()
+	if err != nil {
+		return fail(err)
+	}
+	if dim > 0 {
+		if dim > maxWireMatrixDim || vclock.PackedLen(dim*dim) > r.remaining() {
+			return fail(fmt.Errorf("decode message: matrix dimension %d exceeds frame", dim))
+		}
+		bits, err := r.take(vclock.PackedLen(dim * dim))
+		if err != nil {
+			return fail(err)
+		}
+		var m *vclock.Matrix
+		if s != nil {
+			s.causal = s.causal.Reuse(dim)
+			m = s.causal
+		} else {
+			m = vclock.NewMatrix(dim)
+		}
+		if err := m.LoadBits(bits); err != nil {
+			return fail(err)
 		}
 		pb.Causal = m
 	}
-	return w.From, w.Handle, w.Payload, pb, nil
+
+	if r.remaining() != 0 {
+		return fail(fmt.Errorf("decode message: %d trailing bytes", r.remaining()))
+	}
+	return from, handle, payload, pb, nil
 }

@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/rdt-go/rdt/internal/core"
+)
+
+// bhmrPiggyback returns a full BHMR piggyback for an n-process system,
+// after a little traffic so the structures are not all-zero.
+func bhmrPiggyback(t *testing.T, n int) core.Piggyback {
+	t.Helper()
+	sender, err := core.New(core.KindBHMR, 0, n, nil)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	peer, err := core.New(core.KindBHMR, 1, n, nil)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	pb0, _ := peer.OnSend(0)
+	peer.TakeBasicCheckpoint()
+	sender.OnArrival(1, pb0)
+	pb, _ := sender.OnSend(2)
+	return pb
+}
+
+// TestCodecAllocBudget pins the per-message allocation cost of the wire
+// codec at n=8: encoding allocates only the output frame, and decoding
+// into a reused scratch allocates only the payload copy.
+func TestCodecAllocBudget(t *testing.T) {
+	pb := bhmrPiggyback(t, 8)
+	payload := []byte("hello")
+
+	// Warm the encode buffer pool.
+	if _, err := encodeMsg(0, 1, payload, pb); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	encAllocs := testing.AllocsPerRun(200, func() {
+		if _, err := encodeMsg(0, 1, payload, pb); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+	})
+	// One alloc for the exact-size frame; the builder scratch is pooled.
+	// (sync.Pool is emptied by the GC AllocsPerRun forces between runs, so
+	// allow the refill alloc too.)
+	if encAllocs > 2 {
+		t.Errorf("encodeMsg allocs/op = %v, want <= 2", encAllocs)
+	}
+
+	frame, err := encodeMsg(0, 1, payload, pb)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var scratch pbScratch
+	if _, _, _, _, err := decodeMsgInto(frame, &scratch); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	decAllocs := testing.AllocsPerRun(200, func() {
+		if _, _, _, _, err := decodeMsgInto(frame, &scratch); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+	})
+	// Only the payload copy, which handlers may retain.
+	if decAllocs > 1 {
+		t.Errorf("decodeMsgInto allocs/op = %v, want <= 1", decAllocs)
+	}
+}
+
+// TestDecodeMsgIntoMatchesFresh verifies scratch-reusing decodes produce
+// exactly what allocating decodes produce, across differently-shaped
+// frames sharing one scratch.
+func TestDecodeMsgIntoMatchesFresh(t *testing.T) {
+	frames := [][]byte{}
+	for _, build := range []func() core.Piggyback{
+		func() core.Piggyback { return bhmrPiggyback(t, 8) },
+		func() core.Piggyback { return bhmrPiggyback(t, 3) },
+		func() core.Piggyback {
+			inst, err := core.New(core.KindFDAS, 2, 5, nil)
+			if err != nil {
+				t.Fatalf("new: %v", err)
+			}
+			pb, _ := inst.OnSend(0)
+			return pb
+		},
+		func() core.Piggyback {
+			inst, err := core.New(core.KindBCS, 1, 4, nil)
+			if err != nil {
+				t.Fatalf("new: %v", err)
+			}
+			inst.TakeBasicCheckpoint()
+			pb, _ := inst.OnSend(0)
+			return pb
+		},
+	} {
+		frame, err := encodeMsg(3, 9, []byte("xyz"), build())
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		frames = append(frames, frame)
+	}
+
+	var scratch pbScratch
+	for i, frame := range frames {
+		wFrom, wHandle, wPayload, want, wErr := decodeMsg(frame)
+		gFrom, gHandle, gPayload, got, gErr := decodeMsgInto(frame, &scratch)
+		if wErr != nil || gErr != nil {
+			t.Fatalf("frame %d: decode errors %v / %v", i, wErr, gErr)
+		}
+		if wFrom != gFrom || wHandle != gHandle || string(wPayload) != string(gPayload) {
+			t.Errorf("frame %d: header mismatch", i)
+		}
+		if !want.TDV.Equal(got.TDV) || want.SN != got.SN {
+			t.Errorf("frame %d: TDV/SN mismatch: %v/%d vs %v/%d", i, want.TDV, want.SN, got.TDV, got.SN)
+		}
+		if want.Simple.String() != got.Simple.String() {
+			t.Errorf("frame %d: simple mismatch: %v vs %v", i, want.Simple, got.Simple)
+		}
+		switch {
+		case (want.Causal == nil) != (got.Causal == nil):
+			t.Errorf("frame %d: causal presence mismatch", i)
+		case want.Causal != nil && !want.Causal.Equal(got.Causal):
+			t.Errorf("frame %d: causal mismatch", i)
+		}
+	}
+}

@@ -24,6 +24,10 @@ type Node struct {
 	proc int
 	inst core.Instance
 
+	// dec is the piggyback decode scratch: the node goroutine is the only
+	// decoder for this node, so delivered frames reuse one set of buffers.
+	dec pbScratch
+
 	// mu guards the crash/restart lifecycle: mailbox and done are
 	// replaced on restart, crashed gates the operation entry points.
 	mu      sync.Mutex
@@ -290,7 +294,7 @@ func (n *Node) doSend(to int, payload []byte) {
 }
 
 func (n *Node) doDeliver(frame []byte) {
-	from, handle, payload, pb, err := decodeMsg(frame)
+	from, handle, payload, pb, err := decodeMsgInto(frame, &n.dec)
 	if err != nil {
 		panic(fmt.Sprintf("cluster: %v", err))
 	}

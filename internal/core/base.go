@@ -24,6 +24,14 @@ type base struct {
 	// sn is the checkpoint sequence number of the BCS protocol: bumped on
 	// basic checkpoints, adopted from the piggyback on forced ones.
 	sn int
+
+	// pbSnap caches the piggyback snapshot of the current control state.
+	// Sends do not change the piggybacked state (TDV, simple, causal, sn),
+	// so consecutive sends with no intervening checkpoint or delivery can
+	// share one immutable snapshot instead of cloning per message. Any
+	// state mutation (recordPred, OnArrival) invalidates it.
+	pbSnap   Piggyback
+	pbSnapOK bool
 }
 
 func newBase(kind Kind, proc, n int, sink Sink) base {
@@ -60,6 +68,7 @@ func (b *base) record(kind model.CheckpointKind) {
 // names the visible condition that fired (empty for basic and initial
 // checkpoints).
 func (b *base) recordPred(kind model.CheckpointKind, predicate string) {
+	b.invalidateSnapshot()
 	b.sentTo.Reset()
 	b.events = 0
 	switch kind {
@@ -79,6 +88,10 @@ func (b *base) recordPred(kind model.CheckpointKind, predicate string) {
 	}
 	b.tdv[b.proc]++
 }
+
+// invalidateSnapshot drops the cached piggyback snapshot; it must be
+// called before any mutation of the piggybacked control state.
+func (b *base) invalidateSnapshot() { b.pbSnapOK = false }
 
 // newDependency reports whether the piggybacked vector carries a dependency
 // the local vector does not know yet (∃k: m.TDV[k] > TDV[k]).
@@ -116,16 +129,20 @@ func (v *vector) TakeBasicCheckpoint() {
 func (v *vector) OnSend(to int) (Piggyback, bool) {
 	v.sentTo[to] = true
 	v.events++
-	pb := Piggyback{TDV: v.tdv.Clone()}
-	if v.kind == KindBCS {
-		pb.SN = v.sn
+	if !v.pbSnapOK {
+		v.pbSnap = Piggyback{TDV: v.tdv.Clone()}
+		if v.kind == KindBCS {
+			v.pbSnap.SN = v.sn
+		}
+		v.pbSnapOK = true
 	}
-	return pb, v.kind == KindCAS
+	return v.pbSnap, v.kind == KindCAS
 }
 
 func (v *vector) CheckpointAfterSend() { v.recordPred(model.KindForced, "after-send") }
 
 func (v *vector) OnArrival(_ int, pb Piggyback) bool {
+	v.invalidateSnapshot() // the merge below mutates the piggybacked state
 	predicate := v.condition(pb)
 	if predicate != "" {
 		if v.kind == KindBCS {

@@ -71,16 +71,20 @@ func (b *bhmr) TakeBasicCheckpoint() { b.takeCheckpoint(model.KindBasic) }
 func (b *bhmr) OnSend(to int) (Piggyback, bool) {
 	b.sentTo[to] = true
 	b.events++
-	pb := Piggyback{TDV: b.tdv.Clone(), Causal: b.causal.Clone()}
-	if b.simple != nil {
-		pb.Simple = b.simple.Clone()
+	if !b.pbSnapOK {
+		b.pbSnap = Piggyback{TDV: b.tdv.Clone(), Causal: b.causal.Clone()}
+		if b.simple != nil {
+			b.pbSnap.Simple = b.simple.Clone()
+		}
+		b.pbSnapOK = true
 	}
-	return pb, false
+	return b.pbSnap, false
 }
 
 func (b *bhmr) CheckpointAfterSend() { b.takeCheckpointPred(model.KindForced, "after-send") }
 
 func (b *bhmr) OnArrival(from int, pb Piggyback) bool {
+	b.invalidateSnapshot() // merge below mutates the piggybacked state
 	predicate := b.condition(pb)
 	if predicate != "" {
 		b.takeCheckpointPred(model.KindForced, predicate)

@@ -199,6 +199,12 @@ type Instance interface {
 	// requires a forced checkpoint immediately after the send event; the
 	// engine must then call CheckpointAfterSend once the send has been
 	// recorded.
+	//
+	// The returned piggyback is an immutable snapshot of the sender's
+	// control state: callers must not modify it (use Clone first), and
+	// consecutive sends with no intervening checkpoint or delivery may
+	// return the same shared snapshot, since sends do not change the
+	// piggybacked state.
 	OnSend(to int) (pb Piggyback, forceAfter bool)
 
 	// CheckpointAfterSend takes the forced checkpoint requested by OnSend.

@@ -7,6 +7,11 @@
 // cmd/rdtexperiments CLI and the repository's benchmarks drive this
 // package, so figures in EXPERIMENTS.md and benchmark output come from
 // the same code.
+//
+// Every experiment fans its (environment, protocol, mean, seed) grid
+// across the worker pool of runGrid. Cell seeds depend only on the cell's
+// own coordinates and aggregation happens in a fixed order, so results
+// are byte-identical for every Config.Jobs value.
 package experiments
 
 import (
@@ -17,10 +22,8 @@ import (
 	"github.com/rdt-go/rdt/internal/obs"
 	"github.com/rdt-go/rdt/internal/recovery"
 	"github.com/rdt-go/rdt/internal/rgraph"
-	"github.com/rdt-go/rdt/internal/sim"
 	"github.com/rdt-go/rdt/internal/stats"
 	"github.com/rdt-go/rdt/internal/storage"
-	"github.com/rdt-go/rdt/internal/workload"
 )
 
 // Config scales an experiment run.
@@ -36,6 +39,11 @@ type Config struct {
 	BasicMeans []float64
 	// Protocols are the lines of the figures.
 	Protocols []core.Kind
+
+	// Jobs is the number of worker goroutines the grid of simulations is
+	// fanned across; 0 or negative means runtime.GOMAXPROCS(0). Output is
+	// byte-identical for every value (see runGrid).
+	Jobs int
 
 	// Obs, if non-nil, receives the metrics of every simulation of the
 	// grid (protocol-labeled) plus a grid-progress counter
@@ -76,53 +84,45 @@ func Quick() Config {
 // paper's order.
 func Environments() []string { return []string{"random", "groups", "client-server"} }
 
-// runOne executes one simulation of the experiment grid.
-func runOne(cfg Config, kind core.Kind, env string, basicMean float64, seed int64) (*sim.Result, error) {
-	w, err := workload.ByName(env)
-	if err != nil {
-		return nil, err
-	}
-	sc := sim.DefaultConfig(kind, seed)
-	sc.N = cfg.N
-	sc.Duration = cfg.Duration
-	sc.BasicMean = basicMean
-	sc.Obs = cfg.Obs
-	res, err := sim.Run(sc, w)
-	if err == nil {
-		cfg.Obs.Counter("rdt_experiment_runs_total").Inc()
-	}
-	return res, err
-}
+// mid returns the midpoint of the swept basic-checkpoint means, the
+// x-value the summary tables are evaluated at.
+func (cfg Config) mid() float64 { return cfg.BasicMeans[len(cfg.BasicMeans)/2] }
 
-// ratioR averages the paper's overhead measure R = forced/basic over the
-// configured seeds.
-func ratioR(cfg Config, kind core.Kind, env string, basicMean float64) (float64, error) {
-	var sample stats.Sample
-	for seed := 0; seed < cfg.Seeds; seed++ {
-		res, err := runOne(cfg, kind, env, basicMean, int64(1000*seed+7))
-		if err != nil {
-			return 0, err
-		}
-		sample = append(sample, res.Stats.ForcedPerBasic())
-	}
-	return sample.Mean(), nil
-}
+// mean averages one aggregation group of grid results.
+func mean(vals []float64) float64 { return stats.Sample(vals).Mean() }
 
 // FigureR reproduces one "R in <environment>" figure (Figures 7–9 of the
 // companion text): forced checkpoints per basic checkpoint as a function
 // of the basic-checkpoint interval, one line per protocol.
 func FigureR(cfg Config, env string) (*stats.Series, error) {
+	cells := make([]cell, 0, len(cfg.BasicMeans)*len(cfg.Protocols)*cfg.Seeds)
+	for _, mean := range cfg.BasicMeans {
+		for _, kind := range cfg.Protocols {
+			for seed := 0; seed < cfg.Seeds; seed++ {
+				cells = append(cells, cell{env: env, kind: kind, mean: mean, seed: int64(1000*seed + 7)})
+			}
+		}
+	}
+	vals, err := runGrid(cfg, len(cells), func(i int) (float64, error) {
+		res, err := runCell(cfg, cells[i])
+		if err != nil {
+			return 0, err
+		}
+		return res.Stats.ForcedPerBasic(), nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("figure %s: %w", env, err)
+	}
+
 	s := stats.NewSeries(
 		fmt.Sprintf("R = forced/basic in the %s environment (n=%d, %d seeds)", env, cfg.N, cfg.Seeds),
 		"basic-interval", "R")
 	s.X = append(s.X, cfg.BasicMeans...)
-	for _, mean := range cfg.BasicMeans {
+	idx := 0
+	for range cfg.BasicMeans {
 		for _, kind := range cfg.Protocols {
-			r, err := ratioR(cfg, kind, env, mean)
-			if err != nil {
-				return nil, fmt.Errorf("figure %s: %w", env, err)
-			}
-			s.Add(kind.String(), r)
+			s.Add(kind.String(), mean(vals[idx:idx+cfg.Seeds]))
+			idx += cfg.Seeds
 		}
 	}
 	return s, nil
@@ -134,22 +134,38 @@ func FigureR(cfg Config, env string) (*stats.Series, error) {
 // 10%.
 func ReductionVsFDAS(cfg Config) (*stats.Table, error) {
 	variants := []core.Kind{core.KindBHMR, core.KindBHMRNoSimple, core.KindBHMRCausalOnly}
+	kinds := append([]core.Kind{core.KindFDAS}, variants...)
+	cells := make([]cell, 0, len(Environments())*len(kinds)*cfg.Seeds)
+	for _, env := range Environments() {
+		for _, kind := range kinds {
+			for seed := 0; seed < cfg.Seeds; seed++ {
+				cells = append(cells, cell{env: env, kind: kind, mean: cfg.mid(), seed: int64(1000*seed + 7)})
+			}
+		}
+	}
+	vals, err := runGrid(cfg, len(cells), func(i int) (float64, error) {
+		res, err := runCell(cfg, cells[i])
+		if err != nil {
+			return 0, err
+		}
+		return res.Stats.ForcedPerBasic(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	t := &stats.Table{
 		Title:  fmt.Sprintf("Forced-checkpoint reduction vs FDAS (%%), n=%d, %d seeds", cfg.N, cfg.Seeds),
 		Header: append([]string{"environment", "fdas R"}, kindNames(variants)...),
 	}
-	mid := cfg.BasicMeans[len(cfg.BasicMeans)/2]
+	idx := 0
 	for _, env := range Environments() {
-		fdas, err := ratioR(cfg, core.KindFDAS, env, mid)
-		if err != nil {
-			return nil, err
-		}
+		fdas := mean(vals[idx : idx+cfg.Seeds])
+		idx += cfg.Seeds
 		row := []string{env, stats.Format(fdas)}
-		for _, kind := range variants {
-			r, err := ratioR(cfg, kind, env, mid)
-			if err != nil {
-				return nil, err
-			}
+		for range variants {
+			r := mean(vals[idx : idx+cfg.Seeds])
+			idx += cfg.Seeds
 			reduction := 0.0
 			if fdas > 0 {
 				reduction = 100 * (fdas - r) / fdas
@@ -191,27 +207,39 @@ func PiggybackSizes(ns []int) (*stats.Table, error) {
 // communication-induced checkpointing.
 func Domino(cfg Config) (*stats.Table, error) {
 	kinds := []core.Kind{core.KindNone, core.KindBHMR, core.KindFDAS}
+	cells := make([]cell, 0, len(Environments())*len(kinds)*cfg.Seeds)
+	for _, env := range Environments() {
+		for _, kind := range kinds {
+			for seed := 0; seed < cfg.Seeds; seed++ {
+				cells = append(cells, cell{env: env, kind: kind, mean: cfg.mid(), seed: int64(500*seed + 3)})
+			}
+		}
+	}
+	vals, err := runGrid(cfg, len(cells), func(i int) (float64, error) {
+		res, err := runCell(cfg, cells[i])
+		if err != nil {
+			return 0, err
+		}
+		plan, err := crashPlan(res.Pattern)
+		if err != nil {
+			return 0, err
+		}
+		return float64(plan.TotalRollback()), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	t := &stats.Table{
 		Title:  fmt.Sprintf("Total rollback depth after a crash of P0 (n=%d, %d seeds)", cfg.N, cfg.Seeds),
 		Header: append([]string{"environment"}, kindNames(kinds)...),
 	}
-	mid := cfg.BasicMeans[len(cfg.BasicMeans)/2]
+	idx := 0
 	for _, env := range Environments() {
 		row := []string{env}
-		for _, kind := range kinds {
-			var sample stats.Sample
-			for seed := 0; seed < cfg.Seeds; seed++ {
-				res, err := runOne(cfg, kind, env, mid, int64(500*seed+3))
-				if err != nil {
-					return nil, err
-				}
-				plan, err := crashPlan(res.Pattern)
-				if err != nil {
-					return nil, err
-				}
-				sample = append(sample, float64(plan.TotalRollback()))
-			}
-			row = append(row, stats.Format(sample.Mean()))
+		for range kinds {
+			row = append(row, stats.Format(mean(vals[idx:idx+cfg.Seeds])))
+			idx += cfg.Seeds
 		}
 		t.AddRow(row...)
 	}
@@ -224,23 +252,35 @@ func Domino(cfg Config) (*stats.Table, error) {
 // message.
 func Ablation(cfg Config) (*stats.Table, error) {
 	kinds := []core.Kind{core.KindBHMR, core.KindBHMRNoSimple, core.KindBHMRCausalOnly}
+	cells := make([]cell, 0, len(Environments())*len(kinds)*cfg.Seeds)
+	for _, env := range Environments() {
+		for _, kind := range kinds {
+			for seed := 0; seed < cfg.Seeds; seed++ {
+				cells = append(cells, cell{env: env, kind: kind, mean: cfg.mid(), seed: int64(300*seed + 11)})
+			}
+		}
+	}
+	vals, err := runGrid(cfg, len(cells), func(i int) (float64, error) {
+		res, err := runCell(cfg, cells[i])
+		if err != nil {
+			return 0, err
+		}
+		return res.Stats.ForcedPerMessage(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	t := &stats.Table{
 		Title:  fmt.Sprintf("BHMR family ablation: forced checkpoints per message (n=%d, %d seeds)", cfg.N, cfg.Seeds),
 		Header: append([]string{"environment"}, kindNames(kinds)...),
 	}
-	mid := cfg.BasicMeans[len(cfg.BasicMeans)/2]
+	idx := 0
 	for _, env := range Environments() {
 		row := []string{env}
-		for _, kind := range kinds {
-			var sample stats.Sample
-			for seed := 0; seed < cfg.Seeds; seed++ {
-				res, err := runOne(cfg, kind, env, mid, int64(300*seed+11))
-				if err != nil {
-					return nil, err
-				}
-				sample = append(sample, res.Stats.ForcedPerMessage())
-			}
-			row = append(row, stats.Format(sample.Mean()))
+		for range kinds {
+			row = append(row, stats.Format(mean(vals[idx:idx+cfg.Seeds])))
+			idx += cfg.Seeds
 		}
 		t.AddRow(row...)
 	}
@@ -252,21 +292,26 @@ func Ablation(cfg Config) (*stats.Table, error) {
 // brute-force minimum consistent global checkpoint (it must be all of
 // them).
 func MinGlobalAgreement(cfg Config) (*stats.Table, error) {
+	type counts struct{ total, agree int }
+	envs := Environments()
+	vals, err := runGrid(cfg, len(envs), func(i int) (counts, error) {
+		res, err := runCell(cfg, cell{env: envs[i], kind: core.KindBHMR, mean: cfg.mid(), seed: 77})
+		if err != nil {
+			return counts{}, err
+		}
+		total, agree, err := MinGlobalCheck(res.Pattern)
+		return counts{total: total, agree: agree}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	t := &stats.Table{
 		Title:  "Corollary 4.5: on-the-fly TDV vs brute-force minimum consistent global checkpoint",
 		Header: []string{"environment", "checkpoints", "agreeing"},
 	}
-	mid := cfg.BasicMeans[len(cfg.BasicMeans)/2]
-	for _, env := range Environments() {
-		res, err := runOne(cfg, core.KindBHMR, env, mid, 77)
-		if err != nil {
-			return nil, err
-		}
-		total, agree, err := MinGlobalCheck(res.Pattern)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(env, fmt.Sprintf("%d", total), fmt.Sprintf("%d", agree))
+	for i, env := range envs {
+		t.AddRow(env, fmt.Sprintf("%d", vals[i].total), fmt.Sprintf("%d", vals[i].agree))
 	}
 	return t, nil
 }
@@ -336,34 +381,37 @@ func kindNames(kinds []core.Kind) []string {
 func DelaySensitivity(cfg Config) (*stats.Series, error) {
 	delays := []float64{0.2, 1, 3, 8}
 	kinds := []core.Kind{core.KindBHMR, core.KindFDAS}
+	cells := make([]cell, 0, len(delays)*len(kinds)*cfg.Seeds)
+	for _, d := range delays {
+		for _, kind := range kinds {
+			for seed := 0; seed < cfg.Seeds; seed++ {
+				cells = append(cells, cell{
+					env: "random", kind: kind, mean: cfg.mid(), seed: int64(900*seed + 13),
+					delayMin: 0.05, delayMax: d,
+				})
+			}
+		}
+	}
+	vals, err := runGrid(cfg, len(cells), func(i int) (float64, error) {
+		res, err := runCell(cfg, cells[i])
+		if err != nil {
+			return 0, err
+		}
+		return res.Stats.ForcedPerBasic(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	s := stats.NewSeries(
 		fmt.Sprintf("Asynchrony ablation: R vs max channel delay (random, n=%d, %d seeds)", cfg.N, cfg.Seeds),
 		"max-delay", "R")
 	s.X = append(s.X, delays...)
-	mid := cfg.BasicMeans[len(cfg.BasicMeans)/2]
-	for _, d := range delays {
+	idx := 0
+	for range delays {
 		for _, kind := range kinds {
-			var sample stats.Sample
-			for seed := 0; seed < cfg.Seeds; seed++ {
-				w, err := workload.ByName("random")
-				if err != nil {
-					return nil, err
-				}
-				sc := sim.DefaultConfig(kind, int64(900*seed+13))
-				sc.N = cfg.N
-				sc.Duration = cfg.Duration
-				sc.BasicMean = mid
-				sc.DelayMin = 0.05
-				sc.DelayMax = d
-				sc.Obs = cfg.Obs
-				res, err := sim.Run(sc, w)
-				if err != nil {
-					return nil, err
-				}
-				cfg.Obs.Counter("rdt_experiment_runs_total").Inc()
-				sample = append(sample, res.Stats.ForcedPerBasic())
-			}
-			s.Add(kind.String(), sample.Mean())
+			s.Add(kind.String(), mean(vals[idx:idx+cfg.Seeds]))
+			idx += cfg.Seeds
 		}
 	}
 	return s, nil
@@ -381,51 +429,67 @@ type conditionEvaluator interface {
 // interval) — and how many arrivals FDAS would have broken although
 // C1 ∨ C2 proves no checkpoint is needed (the "saved" column).
 func ConditionAttribution(cfg Config) (*stats.Table, error) {
+	type attribution struct{ arrivals, c1, c2, c2Only, saved int }
+	envs := Environments()
+	cells := make([]cell, 0, len(envs)*cfg.Seeds)
+	for _, env := range envs {
+		for seed := 0; seed < cfg.Seeds; seed++ {
+			cells = append(cells, cell{env: env, kind: core.KindBHMR, mean: cfg.mid(), seed: int64(700*seed + 29)})
+		}
+	}
+	vals, err := runGrid(cfg, len(cells), func(i int) (attribution, error) {
+		// The monitor mutates the cell-local counters; the simulation is
+		// single-threaded, so no synchronization is needed.
+		var att attribution
+		c := cells[i]
+		c.monitor = func(inst core.Instance, _ int, pb core.Piggyback) {
+			ev, ok := inst.(conditionEvaluator)
+			if !ok {
+				return
+			}
+			pred := ev.Evaluate(pb)
+			att.arrivals++
+			if pred.C1 {
+				att.c1++
+			}
+			if pred.C2 {
+				att.c2++
+			}
+			if pred.C2 && !pred.C1 {
+				att.c2Only++
+			}
+			if pred.FDAS && !pred.C1 && !pred.C2 {
+				att.saved++
+			}
+		}
+		if _, err := runCell(cfg, c); err != nil {
+			return attribution{}, err
+		}
+		return att, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	t := &stats.Table{
 		Title:  fmt.Sprintf("BHMR condition attribution per arrival (n=%d, %d seeds)", cfg.N, cfg.Seeds),
 		Header: []string{"environment", "arrivals", "c1", "c2", "c2-only", "saved-vs-fdas"},
 	}
-	mid := cfg.BasicMeans[len(cfg.BasicMeans)/2]
-	for _, env := range Environments() {
-		var arrivals, c1, c2, c2Only, saved int
-		for seed := 0; seed < cfg.Seeds; seed++ {
-			w, err := workload.ByName(env)
-			if err != nil {
-				return nil, err
-			}
-			sc := sim.DefaultConfig(core.KindBHMR, int64(700*seed+29))
-			sc.N = cfg.N
-			sc.Duration = cfg.Duration
-			sc.BasicMean = mid
-			sc.Monitor = func(inst core.Instance, _ int, pb core.Piggyback) {
-				ev, ok := inst.(conditionEvaluator)
-				if !ok {
-					return
-				}
-				pred := ev.Evaluate(pb)
-				arrivals++
-				if pred.C1 {
-					c1++
-				}
-				if pred.C2 {
-					c2++
-				}
-				if pred.C2 && !pred.C1 {
-					c2Only++
-				}
-				if pred.FDAS && !pred.C1 && !pred.C2 {
-					saved++
-				}
-			}
-			sc.Obs = cfg.Obs
-			if _, err := sim.Run(sc, w); err != nil {
-				return nil, err
-			}
-			cfg.Obs.Counter("rdt_experiment_runs_total").Inc()
+	idx := 0
+	for _, env := range envs {
+		var sum attribution
+		for s := 0; s < cfg.Seeds; s++ {
+			v := vals[idx]
+			idx++
+			sum.arrivals += v.arrivals
+			sum.c1 += v.c1
+			sum.c2 += v.c2
+			sum.c2Only += v.c2Only
+			sum.saved += v.saved
 		}
 		t.AddRow(env,
-			fmt.Sprintf("%d", arrivals), fmt.Sprintf("%d", c1), fmt.Sprintf("%d", c2),
-			fmt.Sprintf("%d", c2Only), fmt.Sprintf("%d", saved))
+			fmt.Sprintf("%d", sum.arrivals), fmt.Sprintf("%d", sum.c1), fmt.Sprintf("%d", sum.c2),
+			fmt.Sprintf("%d", sum.c2Only), fmt.Sprintf("%d", sum.saved))
 	}
 	return t, nil
 }
@@ -438,7 +502,58 @@ func ConditionAttribution(cfg Config) (*stats.Table, error) {
 // and FDAS. It runs on a reduced horizon because the useless-checkpoint
 // oracle needs the O(M²) chain closure.
 func Guarantees(cfg Config) (*stats.Table, error) {
+	type outcome struct {
+		forced       float64
+		rdt          bool
+		trackable    float64
+		hasTrackable bool
+		useless      int
+	}
 	kinds := []core.Kind{core.KindNone, core.KindBCS, core.KindBHMR, core.KindFDAS}
+	cells := make([]cell, 0, len(kinds)*cfg.Seeds)
+	for _, kind := range kinds {
+		for seed := 0; seed < cfg.Seeds; seed++ {
+			cells = append(cells, cell{
+				env: "random", kind: kind, mean: cfg.mid(), seed: int64(800*seed + 17),
+				duration: cfg.Duration / 5,
+			})
+		}
+	}
+	vals, err := runGrid(cfg, len(cells), func(i int) (outcome, error) {
+		res, err := runCell(cfg, cells[i])
+		if err != nil {
+			return outcome{}, err
+		}
+		out := outcome{forced: res.Stats.ForcedPerMessage()}
+		a := analyzers.Get().(*rgraph.Analyzer)
+		rep, err := a.CheckRDT(res.Pattern, 1)
+		analyzers.Put(a)
+		if err != nil {
+			return outcome{}, err
+		}
+		out.rdt = rep.RDT
+		if rep.RPathPairs > 0 {
+			out.trackable = 100 * float64(rep.TrackablePairs) / float64(rep.RPathPairs)
+			out.hasTrackable = true
+		}
+		chains, err := rgraph.NewChains(res.Pattern)
+		if err != nil {
+			return outcome{}, err
+		}
+		p := res.Pattern
+		for i := 0; i < p.N; i++ {
+			for x := range p.Checkpoints[i] {
+				if chains.Useless(model.CkptID{Proc: model.ProcID(i), Index: x}) {
+					out.useless++
+				}
+			}
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	t := &stats.Table{
 		Title:  fmt.Sprintf("Guarantee spectrum in the random environment (n=%d)", cfg.N),
 		Header: []string{"protocol", "forced/msg", "rdt", "trackable-%", "useless-ckpts", "guarantee"},
@@ -449,42 +564,23 @@ func Guarantees(cfg Config) (*stats.Table, error) {
 		core.KindBHMR: "RDT",
 		core.KindFDAS: "RDT",
 	}
-	mid := cfg.BasicMeans[len(cfg.BasicMeans)/2]
-	small := cfg
-	small.Duration = cfg.Duration / 5
+	idx := 0
 	for _, kind := range kinds {
 		var (
 			forced    stats.Sample
+			trackable stats.Sample
 			rdtOK     = true
 			useless   int
-			trackable stats.Sample
 		)
-		for seed := 0; seed < cfg.Seeds; seed++ {
-			res, err := runOne(small, kind, "random", mid, int64(800*seed+17))
-			if err != nil {
-				return nil, err
+		for s := 0; s < cfg.Seeds; s++ {
+			v := vals[idx]
+			idx++
+			forced = append(forced, v.forced)
+			rdtOK = rdtOK && v.rdt
+			if v.hasTrackable {
+				trackable = append(trackable, v.trackable)
 			}
-			forced = append(forced, res.Stats.ForcedPerMessage())
-			rep, err := rgraph.CheckRDT(res.Pattern, 1)
-			if err != nil {
-				return nil, err
-			}
-			rdtOK = rdtOK && rep.RDT
-			if rep.RPathPairs > 0 {
-				trackable = append(trackable, 100*float64(rep.TrackablePairs)/float64(rep.RPathPairs))
-			}
-			chains, err := rgraph.NewChains(res.Pattern)
-			if err != nil {
-				return nil, err
-			}
-			p := res.Pattern
-			for i := 0; i < p.N; i++ {
-				for x := range p.Checkpoints[i] {
-					if chains.Useless(model.CkptID{Proc: model.ProcID(i), Index: x}) {
-						useless++
-					}
-				}
-			}
+			useless += v.useless
 		}
 		t.AddRow(kind.String(), stats.Format(forced.Mean()),
 			fmt.Sprintf("%v", rdtOK), stats.Format(trackable.Mean()),

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/rdt-go/rdt/internal/core"
+	"github.com/rdt-go/rdt/internal/rgraph"
+	"github.com/rdt-go/rdt/internal/sim"
+	"github.com/rdt-go/rdt/internal/workload"
+)
+
+// cell identifies one simulation of the experiment grid: an environment,
+// a protocol, a basic-checkpoint mean and a replication seed, plus the
+// optional overrides individual experiments use. Cells are self-contained
+// so the grid can hand them to any worker.
+type cell struct {
+	env  string
+	kind core.Kind
+	mean float64
+	seed int64
+
+	// duration overrides cfg.Duration when positive (Guarantees runs on a
+	// reduced horizon).
+	duration float64
+	// delayMax, with delayMin, overrides the channel-delay window when
+	// positive (the asynchrony ablation).
+	delayMin, delayMax float64
+	// monitor is attached to the simulation when non-nil. It is invoked
+	// only from the cell's own simulation, so it may mutate cell-local
+	// state without synchronization.
+	monitor func(inst core.Instance, from int, pb core.Piggyback)
+}
+
+// runCell executes one simulation of the grid.
+func runCell(cfg Config, c cell) (*sim.Result, error) {
+	w, err := workload.ByName(c.env)
+	if err != nil {
+		return nil, err
+	}
+	sc := sim.DefaultConfig(c.kind, c.seed)
+	sc.N = cfg.N
+	sc.Duration = cfg.Duration
+	if c.duration > 0 {
+		sc.Duration = c.duration
+	}
+	sc.BasicMean = c.mean
+	if c.delayMax > 0 {
+		sc.DelayMin = c.delayMin
+		sc.DelayMax = c.delayMax
+	}
+	sc.Monitor = c.monitor
+	sc.Obs = cfg.Obs
+	return sim.Run(sc, w)
+}
+
+// runGrid evaluates fn for every index 0..n-1 across a pool of cfg.Jobs
+// worker goroutines and returns the results in index order.
+//
+// Determinism contract: every cell derives its seed from its own indices,
+// each result is written into its pre-assigned slot, and callers aggregate
+// the returned slice in a fixed order — so the output is byte-identical
+// whatever the worker count, including the sequential Jobs <= 1 fast path.
+//
+// The grid-progress counter rdt_experiment_runs_total is incremented once
+// per completed cell (the counter is atomic, so concurrent workers cannot
+// lose updates). On error the first failure in index order is returned and
+// workers stop claiming new cells.
+func runGrid[T any](cfg Config, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	runs := cfg.Obs.Counter("rdt_experiment_runs_total")
+
+	workers := cfg.Jobs
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+			runs.Inc()
+		}
+		return out, nil
+	}
+
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+	)
+	errs := make([]error, n)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				v, err := fn(i)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				out[i] = v
+				runs.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// analyzers pools rgraph analyzers so grid cells that run offline checks
+// reuse replay scratch across cells without tying cells to workers.
+var analyzers = sync.Pool{New: func() any { return rgraph.NewAnalyzer() }}

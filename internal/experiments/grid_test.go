@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/rdt-go/rdt/internal/obs"
+)
+
+// TestGridDeterminism is the regression test for the parallel grid's
+// central contract: a sequential run (Jobs=1) and a heavily oversubscribed
+// parallel run (Jobs=8 on any machine) must produce byte-identical
+// artifacts. The rendered CSV is compared, so every formatted digit of
+// every cell is covered.
+func TestGridDeterminism(t *testing.T) {
+	artifacts := func(cfg Config) map[string]string {
+		t.Helper()
+		out := map[string]string{}
+		for _, env := range Environments() {
+			s, err := FigureR(cfg, env)
+			if err != nil {
+				t.Fatalf("jobs=%d: figure %s: %v", cfg.Jobs, env, err)
+			}
+			out["figure_"+env] = s.Table().CSV()
+		}
+		red, err := ReductionVsFDAS(cfg)
+		if err != nil {
+			t.Fatalf("jobs=%d: reduction: %v", cfg.Jobs, err)
+		}
+		out["reduction"] = red.CSV()
+		abl, err := Ablation(cfg)
+		if err != nil {
+			t.Fatalf("jobs=%d: ablation: %v", cfg.Jobs, err)
+		}
+		out["ablation"] = abl.CSV()
+		return out
+	}
+
+	seqCfg := Quick()
+	seqCfg.Jobs = 1
+	parCfg := Quick()
+	parCfg.Jobs = 8
+
+	seq := artifacts(seqCfg)
+	par := artifacts(parCfg)
+	for name, want := range seq {
+		if got := par[name]; got != want {
+			t.Errorf("%s differs between jobs=1 and jobs=8:\n--- jobs=1\n%s\n--- jobs=8\n%s", name, want, got)
+		}
+	}
+}
+
+// TestGridCountsCompletedCells: the progress counter must tally exactly
+// one increment per grid cell even when many workers complete cells
+// concurrently.
+func TestGridCountsCompletedCells(t *testing.T) {
+	cfg := Quick()
+	cfg.Jobs = 8
+	cfg.Obs = obs.NewRegistry()
+	if _, err := FigureR(cfg, "random"); err != nil {
+		t.Fatalf("figure: %v", err)
+	}
+	want := int64(len(cfg.BasicMeans) * len(cfg.Protocols) * cfg.Seeds)
+	if got := cfg.Obs.Counter("rdt_experiment_runs_total").Value(); got != want {
+		t.Errorf("rdt_experiment_runs_total = %d, want %d", got, want)
+	}
+}
+
+// TestGridError: a failing cell aborts the grid with its error, on both
+// the sequential and the parallel path.
+func TestGridError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, jobs := range []int{1, 4} {
+		cfg := Quick()
+		cfg.Jobs = jobs
+		_, err := runGrid(cfg, 16, func(i int) (int, error) {
+			if i == 7 {
+				return 0, fmt.Errorf("cell %d: %w", i, boom)
+			}
+			return i, nil
+		})
+		if !errors.Is(err, boom) {
+			t.Errorf("jobs=%d: error = %v, want boom", jobs, err)
+		}
+	}
+}
+
+// TestGridOrder: results land in their pre-assigned slots whatever the
+// worker count.
+func TestGridOrder(t *testing.T) {
+	for _, jobs := range []int{1, 3, 16} {
+		cfg := Quick()
+		cfg.Jobs = jobs
+		vals, err := runGrid(cfg, 50, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		for i, v := range vals {
+			if v != i*i {
+				t.Fatalf("jobs=%d: slot %d = %d, want %d", jobs, i, v, i*i)
+			}
+		}
+	}
+}

@@ -13,6 +13,7 @@ package rgraph
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"github.com/rdt-go/rdt/internal/model"
@@ -44,10 +45,10 @@ func Build(p *model.Pattern) (*Graph, error) {
 		g.offset[i] = g.nodes
 		g.nodes += len(p.Checkpoints[i])
 	}
-	edges := make(map[[2]int]bool)
+	edges := make([][2]int, 0, g.nodes+len(p.Messages))
 	for i := 0; i < p.N; i++ {
 		for x := 1; x < len(p.Checkpoints[i]); x++ {
-			edges[[2]int{g.id(model.ProcID(i), x-1), g.id(model.ProcID(i), x)}] = true
+			edges = append(edges, [2]int{g.id(model.ProcID(i), x-1), g.id(model.ProcID(i), x)})
 		}
 	}
 	for i := range p.Messages {
@@ -58,11 +59,38 @@ func Build(p *model.Pattern) (*Graph, error) {
 		if m.DeliverInterval > p.LastIndex(m.To) {
 			return nil, fmt.Errorf("rgraph: message %d delivered in open interval %d of process %d", m.ID, m.DeliverInterval, m.To)
 		}
-		edges[[2]int{g.id(m.From, m.SendInterval), g.id(m.To, m.DeliverInterval)}] = true
+		edges = append(edges, [2]int{g.id(m.From, m.SendInterval), g.id(m.To, m.DeliverInterval)})
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a][0] != edges[b][0] {
+			return edges[a][0] < edges[b][0]
+		}
+		return edges[a][1] < edges[b][1]
+	})
+	// Sorted order groups each node's successors and makes duplicates
+	// (parallel messages between one interval pair) adjacent.
+	dedup := edges[:0]
+	var prev [2]int
+	for i, e := range edges {
+		if i > 0 && e == prev {
+			continue
+		}
+		prev = e
+		dedup = append(dedup, e)
+	}
+	// The adjacency lists share one arena, sliced per source node.
+	targets := make([]int, len(dedup))
+	for i, e := range dedup {
+		targets[i] = e[1]
 	}
 	g.adj = make([][]int, g.nodes)
-	for e := range edges {
-		g.adj[e[0]] = append(g.adj[e[0]], e[1])
+	for start := 0; start < len(dedup); {
+		end := start
+		for end < len(dedup) && dedup[end][0] == dedup[start][0] {
+			end++
+		}
+		g.adj[dedup[start][0]] = targets[start:end]
+		start = end
 	}
 	g.computeReach()
 	return g, nil

@@ -161,7 +161,7 @@ func Run(cfg Config, w Workload) (*Result, error) {
 	for e.pq.Len() > 0 {
 		item := heap.Pop(&e.pq).(*eventItem)
 		e.now = item.at
-		item.fn()
+		e.dispatch(item)
 	}
 	pattern, err := e.builder.Finalize()
 	if err != nil {
@@ -183,6 +183,7 @@ type Engine struct {
 	now     float64
 	seq     int64
 	pq      eventHeap
+	free    []*eventItem // recycled event items (hot-path scratch)
 	builder *model.Builder
 	insts   []core.Instance
 	w       Workload
@@ -238,10 +239,47 @@ func (e *Engine) Exp(mean float64) float64 {
 	return -mean * math.Log(1-e.rng.Float64())
 }
 
+// newItem takes an event item from the freelist (or allocates one) and
+// stamps its time and tie-breaking sequence number.
+func (e *Engine) newItem(at float64) *eventItem {
+	var item *eventItem
+	if n := len(e.free); n > 0 {
+		item = e.free[n-1]
+		e.free = e.free[:n-1]
+		*item = eventItem{}
+	} else {
+		item = &eventItem{}
+	}
+	e.seq++
+	item.at, item.seq = at, e.seq
+	return item
+}
+
+// dispatch runs a popped event and recycles its item. The item's fields
+// are read before the action runs, so the action can freely schedule new
+// events (which may reuse the item).
+func (e *Engine) dispatch(item *eventItem) {
+	kind, fn := item.kind, item.fn
+	handle, from, to := item.handle, item.from, item.to
+	pb, payload := item.pb, item.payload
+	item.fn, item.pb, item.payload = nil, core.Piggyback{}, nil
+	e.free = append(e.free, item)
+	switch kind {
+	case itemFn:
+		fn()
+	case itemArrive:
+		e.arrive(handle, from, to, pb, payload)
+	case itemBasic:
+		e.basicTick(from)
+	}
+}
+
 // At schedules fn to run after the given delay.
 func (e *Engine) At(delay float64, fn func()) {
-	e.seq++
-	heap.Push(&e.pq, &eventItem{at: e.now + delay, seq: e.seq, fn: fn})
+	item := e.newItem(e.now + delay)
+	item.kind = itemFn
+	item.fn = fn
+	heap.Push(&e.pq, item)
 }
 
 // Send emits an application message from one process to another: the
@@ -261,7 +299,13 @@ func (e *Engine) Send(from, to int, payload any) {
 		inst.CheckpointAfterSend()
 	}
 	delay := e.Uniform(e.cfg.DelayMin, e.cfg.DelayMax)
-	e.At(delay, func() { e.arrive(handle, from, to, pb, payload) })
+	// The arrival is a typed event rather than a closure: with one message
+	// per event this is the hottest allocation site of a run.
+	item := e.newItem(e.now + delay)
+	item.kind = itemArrive
+	item.handle, item.from, item.to = handle, from, to
+	item.pb, item.payload = pb, payload
+	heap.Push(&e.pq, item)
 }
 
 func (e *Engine) arrive(handle, from, to int, pb core.Piggyback, payload any) {
@@ -316,22 +360,46 @@ func (e *Engine) sink(rec core.CheckpointRecord) {
 
 func (e *Engine) scheduleBasic(proc int) {
 	gap := e.Uniform(e.cfg.BasicMean*(1-e.cfg.BasicSpread), e.cfg.BasicMean*(1+e.cfg.BasicSpread))
-	e.At(gap, func() {
-		if !e.Active() {
-			return
-		}
-		if e.cfg.KeepEmptyBasic || e.builder.EventsSinceCheckpoint(model.ProcID(proc)) > 0 {
-			e.insts[proc].TakeBasicCheckpoint()
-		}
-		e.scheduleBasic(proc)
-	})
+	item := e.newItem(e.now + gap)
+	item.kind = itemBasic
+	item.from = proc
+	heap.Push(&e.pq, item)
 }
+
+// basicTick is one basic-checkpoint attempt of a process.
+func (e *Engine) basicTick(proc int) {
+	if !e.Active() {
+		return
+	}
+	if e.cfg.KeepEmptyBasic || e.builder.EventsSinceCheckpoint(model.ProcID(proc)) > 0 {
+		e.insts[proc].TakeBasicCheckpoint()
+	}
+	e.scheduleBasic(proc)
+}
+
+// itemKind selects the action of a scheduled event. Message arrivals and
+// basic-checkpoint ticks — the two per-event hot paths — are typed so
+// they need no closure allocation; everything a workload schedules via At
+// remains a generic function event.
+type itemKind int8
+
+const (
+	itemFn itemKind = iota
+	itemArrive
+	itemBasic
+)
 
 // eventItem is one scheduled action; seq breaks time ties deterministically.
 type eventItem struct {
-	at  float64
-	seq int64
-	fn  func()
+	at   float64
+	seq  int64
+	kind itemKind
+	fn   func() // itemFn
+
+	// itemArrive payload (from doubles as the process of an itemBasic).
+	handle, from, to int
+	pb               core.Piggyback
+	payload          any
 }
 
 type eventHeap []*eventItem

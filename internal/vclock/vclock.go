@@ -266,3 +266,79 @@ func MatrixFromCells(n int, cells []bool) (*Matrix, error) {
 	copy(m.cells, cells)
 	return m, nil
 }
+
+// Reuse reinitializes the matrix in place to an n x n all-false matrix,
+// growing its cell buffer only when needed, and returns it; a nil receiver
+// yields a fresh matrix. It is the allocation-free counterpart of
+// NewMatrix for decode scratch that is reused across messages.
+func (m *Matrix) Reuse(n int) *Matrix {
+	if m == nil {
+		return NewMatrix(n)
+	}
+	need := n * n
+	if cap(m.cells) < need {
+		m.cells = make([]bool, need)
+	} else {
+		m.cells = m.cells[:need]
+		for i := range m.cells {
+			m.cells[i] = false
+		}
+	}
+	m.n = n
+	return m
+}
+
+// AppendBits appends the matrix cells to buf, bit-packed in row-major
+// order (LSB-first within each byte), and returns the extended buffer.
+func (m *Matrix) AppendBits(buf []byte) []byte {
+	return appendPackedBools(buf, m.cells)
+}
+
+// LoadBits fills the matrix cells from bit-packed row-major data produced
+// by AppendBits; bits must hold at least ceil(n*n/8) bytes.
+func (m *Matrix) LoadBits(bits []byte) error {
+	return loadPackedBools(m.cells, bits)
+}
+
+// AppendBits appends the boolean vector to buf, bit-packed LSB-first, and
+// returns the extended buffer.
+func (b Bools) AppendBits(buf []byte) []byte {
+	return appendPackedBools(buf, b)
+}
+
+// LoadBits fills the vector from bit-packed data produced by AppendBits;
+// bits must hold at least ceil(len(b)/8) bytes.
+func (b Bools) LoadBits(bits []byte) error {
+	return loadPackedBools(b, bits)
+}
+
+// PackedLen returns the number of bytes a bit-packed vector of n booleans
+// occupies on the wire.
+func PackedLen(n int) int { return (n + 7) / 8 }
+
+func appendPackedBools(buf []byte, cells []bool) []byte {
+	var cur byte
+	for i, v := range cells {
+		if v {
+			cur |= 1 << (uint(i) & 7)
+		}
+		if i&7 == 7 {
+			buf = append(buf, cur)
+			cur = 0
+		}
+	}
+	if len(cells)&7 != 0 {
+		buf = append(buf, cur)
+	}
+	return buf
+}
+
+func loadPackedBools(cells []bool, bits []byte) error {
+	if len(bits) < PackedLen(len(cells)) {
+		return fmt.Errorf("packed bools: got %d bytes, need %d", len(bits), PackedLen(len(cells)))
+	}
+	for i := range cells {
+		cells[i] = bits[i>>3]&(1<<(uint(i)&7)) != 0
+	}
+	return nil
+}
