@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all test race vet chaos chaos-supervise check bench bench-baseline obs-bench clean
+.PHONY: all test race vet chaos chaos-supervise serve-smoke fuzz-smoke check bench bench-baseline obs-bench clean
 
 all: test
 
@@ -34,6 +34,19 @@ chaos:
 # escalation, and the no-false-positive guarantee under injected delay.
 chaos-supervise:
 	$(GO) test -race -run 'Supervis' ./internal/cluster/ ./cmd/rdtsim/
+
+# Service smoke: boot a real rdtserved daemon and drive it end to end
+# over HTTP under the race detector — including 20 concurrent sessions
+# with per-session batch/verdict parity against the batch analyzer.
+serve-smoke:
+	$(GO) test -race -count=1 -run 'TestServeSmoke' ./cmd/rdtserved/
+
+# Fuzz smoke: a short bounded run of every fuzz target over untrusted
+# decoder surfaces (cluster wire messages, trace JSON, service events).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz 'FuzzDecodeMsg' -fuzztime 10s ./internal/cluster/
+	$(GO) test -run '^$$' -fuzz 'FuzzLoad' -fuzztime 10s ./internal/trace/
+	$(GO) test -run '^$$' -fuzz 'FuzzDecodeEvents' -fuzztime 10s ./internal/service/
 
 # Everything a change must pass before review.
 check: test race chaos chaos-supervise

@@ -10,15 +10,18 @@
 //	rdtcheck -line 3,4,2,5 trace.json
 //	rdtcheck -dot trace.json > pattern.dot
 //	rdtcheck -figure1         # analyze the paper's Figure 1 fixture
+//	rdtcheck - < trace.json   # read the trace from stdin
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	rdt "github.com/rdt-go/rdt"
 )
@@ -33,6 +36,9 @@ func main() {
 // metricsServed is a test seam: it runs after all output is printed and
 // before the observability server shuts down, with the server's address.
 var metricsServed = func(addr string) {}
+
+// stdin is where the "-" trace argument reads from; swapped in tests.
+var stdin io.Reader = os.Stdin
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("rdtcheck", flag.ContinueOnError)
@@ -60,10 +66,12 @@ func run(args []string, out io.Writer) error {
 	switch {
 	case *fig1:
 		p, err = rdt.Figure1()
+	case fs.NArg() == 1 && fs.Arg(0) == "-":
+		p, err = rdt.LoadTrace(stdin)
 	case fs.NArg() == 1:
 		p, err = rdt.LoadTraceFile(fs.Arg(0))
 	default:
-		return fmt.Errorf("expected exactly one trace file (or -figure1), got %d args", fs.NArg())
+		return fmt.Errorf("expected exactly one trace file, \"-\" for stdin, or -figure1; got %d args", fs.NArg())
 	}
 	if err != nil {
 		return err
@@ -103,7 +111,11 @@ func run(args []string, out io.Writer) error {
 			if err != nil {
 				return err
 			}
-			defer srv.Close()
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				defer cancel()
+				_ = srv.Shutdown(ctx)
+			}()
 			fmt.Fprintf(out, "metrics: http://%s/metrics events: http://%s/debug/events\n", srv.Addr(), srv.Addr())
 			defer func() { metricsServed(srv.Addr()) }()
 		}

@@ -35,6 +35,37 @@ func TestCheckFigure1Fixture(t *testing.T) {
 	}
 }
 
+// TestCheckStdin feeds the trace through the "-" argument instead of a
+// file and expects the identical analysis.
+func TestCheckStdin(t *testing.T) {
+	p, err := rdt.Figure1()
+	if err != nil {
+		t.Fatalf("figure1: %v", err)
+	}
+	var trace bytes.Buffer
+	if err := rdt.SaveTrace(&trace, p); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	oldStdin := stdin
+	stdin = &trace
+	defer func() { stdin = oldStdin }()
+
+	var out bytes.Buffer
+	if err := run([]string{"-"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"RDT property: false", "C{2,1} ~> C{0,2}"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// A second "-" read on exhausted stdin fails loudly, not silently.
+	if err := run([]string{"-"}, &out); err == nil {
+		t.Error("empty stdin accepted")
+	}
+}
+
 func TestCheckTraceFileWithQueries(t *testing.T) {
 	path := figureFile(t)
 	var out bytes.Buffer

@@ -14,12 +14,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"runtime"
+	"time"
 
 	"github.com/rdt-go/rdt/internal/experiments"
 	"github.com/rdt-go/rdt/internal/obs"
@@ -58,7 +60,11 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		defer srv.Close()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(ctx)
+		}()
 		fmt.Fprintf(out, "metrics: http://%s/metrics\n", srv.Addr())
 	}
 	if *csvDir != "" {

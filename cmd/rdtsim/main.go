@@ -24,11 +24,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	rdt "github.com/rdt-go/rdt"
 	"github.com/rdt-go/rdt/internal/stats"
@@ -80,7 +82,11 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		defer srv.Close()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(ctx)
+		}()
 		fmt.Fprintf(out, "metrics: http://%s/metrics events: http://%s/debug/events\n", srv.Addr(), srv.Addr())
 		defer func() { metricsServed(srv.Addr()) }()
 	}

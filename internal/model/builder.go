@@ -185,6 +185,37 @@ func (b *Builder) FinalizeLossy() (*Pattern, []LostMessage, error) {
 	return p, lost, nil
 }
 
+// Clone returns a deep copy of the builder: recording further events on
+// either copy leaves the other untouched. It is what lets a long-running
+// session snapshot its pattern-so-far without stopping ingestion.
+func (b *Builder) Clone() *Builder {
+	nb := &Builder{
+		n:      b.n,
+		seq:    append([]int(nil), b.seq...),
+		ckpts:  make([][]Checkpoint, b.n),
+		msgs:   append([]Message(nil), b.msgs...),
+		sent:   make(map[int]*pendingSend, len(b.sent)),
+		nextID: b.nextID,
+	}
+	for i := range b.ckpts {
+		nb.ckpts[i] = append([]Checkpoint(nil), b.ckpts[i]...)
+	}
+	for id, ps := range b.sent {
+		cp := *ps
+		nb.sent[id] = &cp
+	}
+	return nb
+}
+
+// Snapshot finalizes a copy of the builder's current state, leaving the
+// builder itself untouched and open: the returned pattern is the run as
+// if it ended now, with final checkpoints closing every event-bearing
+// interval and in-flight messages reported as lost (FinalizeLossy
+// semantics).
+func (b *Builder) Snapshot() (*Pattern, []LostMessage, error) {
+	return b.Clone().FinalizeLossy()
+}
+
 func (b *Builder) nextSeq(i ProcID) int {
 	s := b.seq[i]
 	b.seq[i]++

@@ -461,3 +461,62 @@ func TestSmallAccessors(t *testing.T) {
 		t.Errorf("message string = %q", got)
 	}
 }
+
+func TestBuilderSnapshotLeavesBuilderOpen(t *testing.T) {
+	b := NewBuilder(2)
+	m1 := b.Send(0, 1)
+	if err := b.Deliver(m1); err != nil {
+		t.Fatal(err)
+	}
+	b.Checkpoint(1, KindBasic, nil)
+	m2 := b.Send(1, 0) // still in flight at the snapshot
+
+	snap, lost, err := b.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	if len(lost) != 1 || lost[0].ID != m2 {
+		t.Fatalf("snapshot lost = %v, want just message %d", lost, m2)
+	}
+	if len(snap.Messages) != 1 {
+		t.Fatalf("snapshot has %d messages, want 1 (the delivered one)", len(snap.Messages))
+	}
+	// The snapshot closed P0's interval (it delivered m1); the live
+	// builder must still be open and able to finish the run.
+	if got := snap.CountKind(KindFinal); got != 2 {
+		t.Fatalf("snapshot has %d final checkpoints, want 2 (both have events)", got)
+	}
+	if err := b.Deliver(m2); err != nil {
+		t.Fatalf("deliver on the live builder after snapshot: %v", err)
+	}
+	p, err := b.Finalize()
+	if err != nil {
+		t.Fatalf("finalize after snapshot: %v", err)
+	}
+	if len(p.Messages) != 2 {
+		t.Fatalf("final pattern has %d messages, want 2", len(p.Messages))
+	}
+	if snap.NumCheckpoints() == p.NumCheckpoints() && len(snap.Messages) == len(p.Messages) {
+		t.Fatal("snapshot aliases the live builder")
+	}
+}
+
+func TestBuilderCloneIsIndependent(t *testing.T) {
+	b := NewBuilder(2)
+	m := b.Send(0, 1)
+	c := b.Clone()
+	if err := c.Deliver(m); err != nil {
+		t.Fatalf("deliver on clone: %v", err)
+	}
+	c.Checkpoint(0, KindBasic, []int{9, 9})
+	// The original must still see m in flight and only initial checkpoints.
+	if b.InFlight() != 1 {
+		t.Fatalf("original in-flight = %d after mutating the clone, want 1", b.InFlight())
+	}
+	if b.NextIndex(0) != 1 {
+		t.Fatalf("original next index = %d after clone checkpointed, want 1", b.NextIndex(0))
+	}
+	if err := b.Deliver(m); err != nil {
+		t.Fatalf("deliver on original: %v", err)
+	}
+}

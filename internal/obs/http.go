@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"fmt"
@@ -122,6 +123,18 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 
 // Close shuts the server down immediately.
 func (s *Server) Close() error { return s.srv.Close() }
+
+// Shutdown drains the server: the listener closes immediately, requests
+// already in flight run to completion or the context deadline, whichever
+// comes first. It falls back to an abrupt Close when the context expires
+// so the listener never outlives the caller.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if err := s.srv.Shutdown(ctx); err != nil {
+		_ = s.srv.Close()
+		return fmt.Errorf("obs: shutdown: %w", err)
+	}
+	return nil
+}
 
 // MetricsHandler serves the registry in Prometheus text format.
 func MetricsHandler(reg *Registry) http.Handler {

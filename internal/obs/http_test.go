@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -153,5 +154,32 @@ func TestEventJSONTypes(t *testing.T) {
 	}
 	if !strings.Contains(string(data), `"type":"send"`) {
 		t.Errorf("event JSON = %s", data)
+	}
+}
+
+// TestServerShutdown drains the server: the listener closes, requests
+// already accepted complete, and a second Shutdown is harmless.
+func TestServerShutdown(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("up_total").Inc()
+	srv, err := Serve(":0", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET before shutdown: %v", err)
+	}
+	resp.Body.Close() //nolint:errcheck // test cleanup
+
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Error("listener still accepting after Shutdown")
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("second shutdown: %v", err)
 	}
 }

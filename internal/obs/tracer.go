@@ -55,6 +55,10 @@ const (
 	// EventQuarantine is a corrupt stored checkpoint moved aside during
 	// recovery-line computation; Value is the quarantined index.
 	EventQuarantine
+	// EventViolation is an untrackable rollback dependency detected by
+	// the on-line checker: Proc/Value name the checkpoint rolled back
+	// past (the R-path source) and Detail renders the full pair.
+	EventViolation
 )
 
 // String returns the event type's wire name.
@@ -92,6 +96,8 @@ func (t EventType) String() string {
 		return "escalation"
 	case EventQuarantine:
 		return "quarantine"
+	case EventViolation:
+		return "violation"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(t))
 	}
@@ -106,7 +112,7 @@ func (t *EventType) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &name); err != nil {
 		return err
 	}
-	for ev := EventSend; ev <= EventQuarantine; ev++ {
+	for ev := EventSend; ev <= EventViolation; ev++ {
 		if ev.String() == name {
 			*t = ev
 			return nil

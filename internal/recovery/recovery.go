@@ -236,7 +236,11 @@ func (m *Manager) Restore(line model.GlobalCheckpoint) ([]storage.Checkpoint, er
 // GC removes every checkpoint strictly below the recovery line; they can
 // never be needed again. It returns the number of checkpoints discarded.
 func (m *Manager) GC(line model.GlobalCheckpoint) (int, error) {
-	return storage.GCBelow(m.store, line)
+	removed, err := storage.GCBelow(m.store, line)
+	if removed > 0 {
+		m.obs.Counter("rdt_recovery_gc_total").Add(int64(removed))
+	}
+	return removed, err
 }
 
 func (m *Manager) vectorAt(proc, index int) ([]int, error) {

@@ -184,6 +184,65 @@ func TestRestoreAndGC(t *testing.T) {
 	}
 }
 
+// TestGCMetricAndSurvivors pins the GC contract on a hand-built store:
+// everything strictly below the line is deleted, the line itself and
+// later checkpoints survive, and the rdt_recovery_gc_total counter
+// advances by exactly the number of checkpoints discarded.
+func TestGCMetricAndSurvivors(t *testing.T) {
+	s := storage.NewMemory()
+	for proc := 0; proc < 2; proc++ {
+		for x := 0; x <= 2; x++ {
+			cp := storage.Checkpoint{Proc: proc, Index: x, TDV: []int{0, 0}}
+			if err := s.Put(cp); err != nil {
+				t.Fatalf("put: %v", err)
+			}
+		}
+	}
+	m, err := NewManager(s, 2)
+	if err != nil {
+		t.Fatalf("manager: %v", err)
+	}
+	reg := obs.NewRegistry()
+	m.Observe(reg, nil)
+
+	removed, err := m.GC(model.GlobalCheckpoint{2, 1})
+	if err != nil {
+		t.Fatalf("gc: %v", err)
+	}
+	if removed != 3 { // proc 0 loses indexes 0,1; proc 1 loses index 0
+		t.Errorf("gc removed %d, want 3", removed)
+	}
+	if got := reg.Snapshot().CounterValue("rdt_recovery_gc_total"); got != 3 {
+		t.Errorf("rdt_recovery_gc_total = %d, want 3", got)
+	}
+
+	wantIdx := [][]int{{2}, {1, 2}}
+	for proc, want := range wantIdx {
+		got, err := s.Indexes(proc)
+		if err != nil {
+			t.Fatalf("indexes %d: %v", proc, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("process %d survivors %v, want %v", proc, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("process %d survivors %v, want %v", proc, got, want)
+			}
+		}
+	}
+
+	// Idempotent: a second pass below the same line finds nothing and
+	// leaves the counter untouched.
+	removed, err = m.GC(model.GlobalCheckpoint{2, 1})
+	if err != nil || removed != 0 {
+		t.Errorf("second gc = (%d, %v), want (0, nil)", removed, err)
+	}
+	if got := reg.Snapshot().CounterValue("rdt_recovery_gc_total"); got != 3 {
+		t.Errorf("counter moved on empty GC: %d", got)
+	}
+}
+
 func TestLineFromValidation(t *testing.T) {
 	p := simulate(t, core.KindBHMR, 3)
 	m := manager(t, p)

@@ -1,0 +1,43 @@
+package service
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeEvents hammers the ingest decoder with arbitrary bodies:
+// it must never panic, and anything it accepts must satisfy the
+// invariants the session apply path assumes (known ops, non-negative
+// identifiers, batch within the limit).
+func FuzzDecodeEvents(f *testing.F) {
+	f.Add(`{"op":"checkpoint","proc":0}`)
+	f.Add(`{"op":"checkpoint","proc":2,"kind":"forced"}`)
+	f.Add(`[{"op":"send","proc":0,"peer":1,"msg":0},{"op":"deliver","msg":0}]`)
+	f.Add(`[]`)
+	f.Add(`[{"op":"send","proc":0,"peer":1,"msg":0}`)
+	f.Add(`{"op":"send","proc":1e9,"peer":-3,"msg":0.5}`)
+	f.Add(`"checkpoint"`)
+	f.Add(`nope`)
+	f.Add("[" + strings.Repeat(`{"op":"checkpoint","proc":0},`, 32) + `{"op":"checkpoint","proc":0}]`)
+
+	const maxBatch = 16
+	f.Fuzz(func(t *testing.T, body string) {
+		events, err := DecodeEvents(strings.NewReader(body), maxBatch)
+		if err != nil {
+			return
+		}
+		if len(events) == 0 || len(events) > maxBatch {
+			t.Fatalf("accepted a batch of %d events (limit %d)", len(events), maxBatch)
+		}
+		for i, ev := range events {
+			if err := ev.validateShape(); err != nil {
+				t.Fatalf("accepted event %d fails shape validation: %v", i, err)
+			}
+			switch ev.Op {
+			case OpCheckpoint, OpSend, OpDeliver:
+			default:
+				t.Fatalf("accepted event %d has unknown op %q", i, ev.Op)
+			}
+		}
+	})
+}

@@ -1,0 +1,295 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"github.com/rdt-go/rdt/internal/obs"
+	"github.com/rdt-go/rdt/internal/trace"
+)
+
+// NewHandler builds the service's HTTP API:
+//
+//	POST   /v1/sessions              create a session      {"n": 3, "id": "optional"}
+//	GET    /v1/sessions              list sessions
+//	POST   /v1/sessions/{id}/events  ingest events         202, or 429 + Retry-After
+//	GET    /v1/sessions/{id}/verdict live RDT verdict      ?flush=1&violations=N
+//	GET    /v1/sessions/{id}/line    recovery-line query
+//	GET    /v1/sessions/{id}/trace   pattern-so-far dump   (rdtcheck - compatible)
+//	POST   /v1/sessions/{id}/seal    finalize the session
+//	DELETE /v1/sessions/{id}         evict the session
+//	GET    /healthz                  liveness (503 while draining)
+//
+// When the service has a Registry/Tracer, /metrics and /debug/events
+// are mounted too, so one listener serves both the API and the
+// introspection endpoints.
+func NewHandler(svc *Service) http.Handler {
+	a := &api{svc: svc}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", a.timed("create", a.createSession))
+	mux.HandleFunc("GET /v1/sessions", a.timed("list", a.listSessions))
+	mux.HandleFunc("POST /v1/sessions/{id}/events", a.timed("ingest", a.ingest))
+	mux.HandleFunc("GET /v1/sessions/{id}/verdict", a.timed("verdict", a.verdict))
+	mux.HandleFunc("GET /v1/sessions/{id}/line", a.timed("line", a.line))
+	mux.HandleFunc("GET /v1/sessions/{id}/trace", a.timed("trace", a.trace))
+	mux.HandleFunc("POST /v1/sessions/{id}/seal", a.timed("seal", a.seal))
+	mux.HandleFunc("DELETE /v1/sessions/{id}", a.timed("delete", a.deleteSession))
+	mux.HandleFunc("GET /healthz", a.timed("healthz", a.healthz))
+	if svc.cfg.Registry != nil {
+		mux.Handle("GET /metrics", obs.MetricsHandler(svc.cfg.Registry))
+	}
+	if svc.cfg.Tracer != nil {
+		mux.Handle("GET /debug/events", obs.EventsHandler(svc.cfg.Tracer))
+	}
+	return mux
+}
+
+type api struct {
+	svc *Service
+}
+
+// timed wraps a handler with the per-endpoint latency histogram.
+func (a *api) timed(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	hist := a.svc.cfg.Registry.Histogram(
+		"rdt_service_request_seconds", obs.LatencyBuckets, "endpoint", endpoint)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		hist.Observe(time.Since(start).Seconds())
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// errorBody is the uniform error payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	if code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+// writeSessionError maps session/service sentinel errors to statuses.
+func writeSessionError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrBackpressure):
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrSealed), errors.Is(err, ErrFailed):
+		writeError(w, http.StatusConflict, err)
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusGone, err)
+	case errors.Is(err, ErrNoSession):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrSessionExists):
+		writeError(w, http.StatusConflict, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+func (a *api) session(w http.ResponseWriter, r *http.Request) (*Session, bool) {
+	sess, err := a.svc.Session(r.PathValue("id"))
+	if err != nil {
+		writeSessionError(w, err)
+		return nil, false
+	}
+	return sess, true
+}
+
+type createRequest struct {
+	ID string `json:"id"`
+	N  int    `json:"n"`
+}
+
+type createResponse struct {
+	ID string `json:"id"`
+	N  int    `json:"n"`
+}
+
+func (a *api) createSession(w http.ResponseWriter, r *http.Request) {
+	var req createRequest
+	body := http.MaxBytesReader(w, r.Body, 4096)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	sess, err := a.svc.CreateSession(req.ID, req.N)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrDraining), errors.Is(err, ErrSessionExists):
+			writeSessionError(w, err)
+		default:
+			writeError(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusCreated, createResponse{ID: sess.ID, N: sess.N})
+}
+
+func (a *api) listSessions(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Sessions []Info `json:"sessions"`
+	}{Sessions: a.svc.Sessions()})
+}
+
+type ingestResponse struct {
+	Enqueued int `json:"enqueued"`
+}
+
+func (a *api) ingest(w http.ResponseWriter, r *http.Request) {
+	sess, ok := a.session(w, r)
+	if !ok {
+		return
+	}
+	events, err := DecodeEvents(http.MaxBytesReader(w, r.Body, a.svc.cfg.MaxBody), a.svc.cfg.MaxBatch)
+	if err != nil {
+		a.svc.reject(reasonInvalid, 1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := sess.Enqueue(events); err != nil {
+		writeSessionError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, ingestResponse{Enqueued: len(events)})
+}
+
+func (a *api) verdict(w http.ResponseWriter, r *http.Request) {
+	sess, ok := a.session(w, r)
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	if q.Get("flush") == "1" {
+		// The barrier orders the verdict after every acknowledged batch;
+		// its own failure (a poisoned prefix) still yields a verdict, so
+		// only transport-level errors abort the request.
+		if err := sess.Flush(r.Context()); err != nil && !errors.Is(err, ErrFailed) {
+			writeSessionError(w, err)
+			return
+		}
+	}
+	maxViolations := 0
+	if v := q.Get("violations"); v != "" {
+		if _, err := fmt.Sscanf(v, "%d", &maxViolations); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad violations: %w", err))
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, sess.Verdict(maxViolations))
+}
+
+type lineResponse struct {
+	Line          []int `json:"line"`
+	Bounds        []int `json:"bounds"`
+	Depth         []int `json:"depth"`
+	TotalRollback int   `json:"total_rollback"`
+}
+
+func (a *api) line(w http.ResponseWriter, r *http.Request) {
+	sess, ok := a.session(w, r)
+	if !ok {
+		return
+	}
+	plan, err := sess.Line()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, lineResponse{
+		Line:          plan.Line,
+		Bounds:        plan.Bounds,
+		Depth:         plan.Depth,
+		TotalRollback: plan.TotalRollback(),
+	})
+}
+
+func (a *api) trace(w http.ResponseWriter, r *http.Request) {
+	sess, ok := a.session(w, r)
+	if !ok {
+		return
+	}
+	p, lost, err := sess.Snapshot()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Rdt-Lost-Messages", fmt.Sprint(len(lost)))
+	_ = trace.Save(w, p)
+}
+
+func (a *api) seal(w http.ResponseWriter, r *http.Request) {
+	sess, ok := a.session(w, r)
+	if !ok {
+		return
+	}
+	// A failed prefix still seals: the client gets the verdict of what
+	// was applied, with the failure reported in the verdict state.
+	if err := sess.Seal(r.Context()); err != nil && !errors.Is(err, ErrFailed) {
+		writeSessionError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.Verdict(0))
+}
+
+func (a *api) deleteSession(w http.ResponseWriter, r *http.Request) {
+	if !a.svc.Evict(r.PathValue("id"), "explicit") {
+		writeSessionError(w, fmt.Errorf("%w: %q", ErrNoSession, r.PathValue("id")))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (a *api) healthz(w http.ResponseWriter, _ *http.Request) {
+	status, code := "ok", http.StatusOK
+	if a.svc.Draining() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, struct {
+		Status   string `json:"status"`
+		Sessions int    `json:"sessions"`
+	}{Status: status, Sessions: a.svc.SessionCount()})
+}
+
+// Server is the service bound to a listener.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the HTTP API on addr (":0" for an ephemeral port).
+func Serve(addr string, svc *Service) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("service: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: NewHandler(svc)}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Shutdown drains the HTTP server: the listener closes immediately,
+// in-flight requests run to completion or the context deadline.
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }
+
+// Close shuts the server down immediately.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,352 @@
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/rdt-go/rdt/internal/obs"
+)
+
+// Defaults for the zero Config.
+const (
+	DefaultShards         = 16
+	DefaultQueueDepth     = 256
+	DefaultMaxBatch       = 512
+	DefaultMaxBody        = 1 << 20 // 1 MiB per ingest request
+	DefaultMaxCheckpoints = 1 << 16
+	DefaultMaxViolations  = 16
+	DefaultMaxProcs       = 1024
+	DefaultSweepInterval  = 30 * time.Second
+)
+
+// Config tunes a Service. The zero value is usable: every limit falls
+// back to its default and idle eviction is off.
+type Config struct {
+	// Shards is the number of session-map shards (lock striping).
+	Shards int
+	// QueueDepth bounds each session's ingestion queue, in batches; a
+	// full queue is backpressure.
+	QueueDepth int
+	// MaxBatch bounds the events per ingest request.
+	MaxBatch int
+	// MaxBody bounds the ingest request body, in bytes.
+	MaxBody int64
+	// MaxCheckpoints bounds the closed checkpoints per session; beyond
+	// it, checkpoint events fail and the client must seal.
+	MaxCheckpoints int
+	// MaxViolations is the default number of violations listed in a
+	// verdict.
+	MaxViolations int
+	// MaxProcs bounds the process count of a session.
+	MaxProcs int
+	// IdleTimeout evicts sessions untouched for this long; 0 disables
+	// idle eviction.
+	IdleTimeout time.Duration
+	// SweepInterval is how often the janitor looks for idle sessions.
+	SweepInterval time.Duration
+	// Registry and Tracer receive the service's metrics and violation
+	// events; either may be nil.
+	Registry *obs.Registry
+	Tracer   *obs.Tracer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = DefaultShards
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = DefaultMaxBatch
+	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = DefaultMaxBody
+	}
+	if c.MaxCheckpoints <= 0 {
+		c.MaxCheckpoints = DefaultMaxCheckpoints
+	}
+	if c.MaxViolations <= 0 {
+		c.MaxViolations = DefaultMaxViolations
+	}
+	if c.MaxProcs <= 0 {
+		c.MaxProcs = DefaultMaxProcs
+	}
+	if c.SweepInterval <= 0 {
+		c.SweepInterval = DefaultSweepInterval
+	}
+	return c
+}
+
+// Rejection reasons for the rdt_service_events_rejected_total counter.
+const (
+	reasonBackpressure = "backpressure"
+	reasonInvalid      = "invalid"
+	reasonSealed       = "sealed"
+	reasonFailed       = "failed"
+)
+
+// Service errors the HTTP layer maps to status codes.
+var (
+	// ErrDraining means the service is shutting down.
+	ErrDraining = errors.New("service is draining")
+	// ErrSessionExists means the requested session id is taken.
+	ErrSessionExists = errors.New("session already exists")
+	// ErrNoSession means the session id is unknown.
+	ErrNoSession = errors.New("no such session")
+)
+
+// Service is the multi-session checker: sharded session state, one
+// worker goroutine per session, and a janitor evicting idle sessions.
+type Service struct {
+	cfg      Config
+	shards   []*shard
+	workers  sync.WaitGroup
+	janitor  sync.WaitGroup
+	stop     chan struct{}
+	draining atomic.Bool
+	drainOne sync.Once
+
+	mSessions   *obs.Gauge
+	mCreated    *obs.Counter
+	mIngested   *obs.Counter
+	mViolations *obs.Counter
+}
+
+type shard struct {
+	mu       sync.RWMutex
+	sessions map[string]*Session
+}
+
+// New starts a service. Call Drain to stop it.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:         cfg,
+		shards:      make([]*shard, cfg.Shards),
+		stop:        make(chan struct{}),
+		mSessions:   cfg.Registry.Gauge("rdt_service_sessions"),
+		mCreated:    cfg.Registry.Counter("rdt_service_sessions_created_total"),
+		mIngested:   cfg.Registry.Counter("rdt_service_events_ingested_total"),
+		mViolations: cfg.Registry.Counter("rdt_service_violations_total"),
+	}
+	for i := range s.shards {
+		s.shards[i] = &shard{sessions: make(map[string]*Session)}
+	}
+	if cfg.IdleTimeout > 0 {
+		s.janitor.Add(1)
+		go s.runJanitor()
+	}
+	return s
+}
+
+// Config returns the effective (defaulted) configuration.
+func (s *Service) Config() Config { return s.cfg }
+
+func (s *Service) reject(reason string, n int) {
+	s.cfg.Registry.Counter("rdt_service_events_rejected_total", "reason", reason).Add(int64(n))
+}
+
+func (s *Service) shardFor(id string) *shard {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(id))
+	return s.shards[h.Sum32()%uint32(len(s.shards))]
+}
+
+// validSessionID accepts ids safe to embed in URL paths and file names.
+func validSessionID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func randomID() string {
+	var buf [8]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		// The entropy pool failing is unheard of; fall back to a
+		// time-based id rather than refusing service.
+		return fmt.Sprintf("s-%d", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(buf[:])
+}
+
+// CreateSession registers a session of n processes. An empty id asks
+// the service to generate one.
+func (s *Service) CreateSession(id string, n int) (*Session, error) {
+	if s.draining.Load() {
+		return nil, ErrDraining
+	}
+	if n < 1 || n > s.cfg.MaxProcs {
+		return nil, fmt.Errorf("process count %d out of range [1,%d]", n, s.cfg.MaxProcs)
+	}
+	if id == "" {
+		id = randomID()
+	} else if !validSessionID(id) {
+		return nil, fmt.Errorf("invalid session id %q: want 1-64 characters of [a-zA-Z0-9._-]", id)
+	}
+	sess, err := newSession(s, id, n)
+	if err != nil {
+		return nil, err
+	}
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	if _, ok := sh.sessions[id]; ok {
+		sh.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrSessionExists, id)
+	}
+	sh.sessions[id] = sess
+	sh.mu.Unlock()
+	s.workers.Add(1)
+	go sess.run()
+	s.mCreated.Inc()
+	s.mSessions.Add(1)
+	return sess, nil
+}
+
+// Session looks a session up by id.
+func (s *Service) Session(id string) (*Session, error) {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	sess, ok := sh.sessions[id]
+	sh.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSession, id)
+	}
+	return sess, nil
+}
+
+// Evict removes a session, stopping its ingestion; batches already
+// accepted are still applied before the worker exits. The reason labels
+// the eviction counter ("explicit", "idle").
+func (s *Service) Evict(id, reason string) bool {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	sess, ok := sh.sessions[id]
+	if ok {
+		delete(sh.sessions, id)
+	}
+	sh.mu.Unlock()
+	if !ok {
+		return false
+	}
+	sess.closeQueue()
+	s.mSessions.Add(-1)
+	s.cfg.Registry.Counter("rdt_service_sessions_evicted_total", "reason", reason).Inc()
+	return true
+}
+
+// Sessions lists every live session, sorted by id.
+func (s *Service) Sessions() []Info {
+	var all []*Session
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, sess := range sh.sessions {
+			all = append(all, sess)
+		}
+		sh.mu.RUnlock()
+	}
+	out := make([]Info, 0, len(all))
+	for _, sess := range all {
+		out = append(out, sess.Info())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// SessionCount returns the number of live sessions.
+func (s *Service) SessionCount() int {
+	total := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		total += len(sh.sessions)
+		sh.mu.RUnlock()
+	}
+	return total
+}
+
+// Draining reports whether Drain has begun.
+func (s *Service) Draining() bool { return s.draining.Load() }
+
+func (s *Service) runJanitor() {
+	defer s.janitor.Done()
+	t := time.NewTicker(s.cfg.SweepInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.sweep()
+		}
+	}
+}
+
+// sweep evicts every session untouched for longer than the idle
+// timeout.
+func (s *Service) sweep() {
+	cut := time.Now().Add(-s.cfg.IdleTimeout).UnixNano()
+	var idle []string
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for id, sess := range sh.sessions {
+			if sess.lastActive.Load() < cut {
+				idle = append(idle, id)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	for _, id := range idle {
+		s.Evict(id, "idle")
+	}
+}
+
+// Drain stops the service gracefully: no new sessions or events are
+// accepted, every queue is closed, and Drain waits — up to the context
+// deadline — for the workers to apply what was already acknowledged.
+// Sessions remain queryable afterwards. Idempotent.
+func (s *Service) Drain(ctx context.Context) error {
+	s.drainOne.Do(func() {
+		s.draining.Store(true)
+		close(s.stop)
+	})
+	s.janitor.Wait()
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		sessions := make([]*Session, 0, len(sh.sessions))
+		for _, sess := range sh.sessions {
+			sessions = append(sessions, sess)
+		}
+		sh.mu.RUnlock()
+		for _, sess := range sessions {
+			sess.closeQueue()
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("drain: %w", ctx.Err())
+	}
+}

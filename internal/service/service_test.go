@@ -1,0 +1,638 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/rdt-go/rdt/internal/model"
+	"github.com/rdt-go/rdt/internal/obs"
+	"github.com/rdt-go/rdt/internal/rgraph"
+	"github.com/rdt-go/rdt/internal/trace"
+)
+
+func TestDecodeEvents(t *testing.T) {
+	cases := []struct {
+		name    string
+		body    string
+		want    int
+		wantErr bool
+	}{
+		{"single object", `{"op":"checkpoint","proc":1}`, 1, false},
+		{"single send", `{"op":"send","proc":0,"peer":1,"msg":7}`, 1, false},
+		{"array", `[{"op":"send","proc":0,"peer":1,"msg":0},{"op":"deliver","msg":0,"proc":1}]`, 2, false},
+		{"forced kind", `{"op":"checkpoint","proc":0,"kind":"forced"}`, 1, false},
+		{"empty body", ``, 0, true},
+		{"empty array", `[]`, 0, true},
+		{"trailing garbage", `{"op":"checkpoint","proc":0} {"op":"checkpoint","proc":1}`, 0, true},
+		{"unknown op", `{"op":"rollback","proc":0}`, 0, true},
+		{"bad kind", `{"op":"checkpoint","proc":0,"kind":"initial"}`, 0, true},
+		{"kind on send", `{"op":"send","proc":0,"peer":1,"msg":0,"kind":"basic"}`, 0, true},
+		{"negative proc", `{"op":"checkpoint","proc":-1}`, 0, true},
+		{"negative msg", `{"op":"deliver","msg":-4}`, 0, true},
+		{"not json", `checkpoint please`, 0, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			events, err := DecodeEvents(strings.NewReader(tc.body), 16)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("decoded %v, want error", events)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if len(events) != tc.want {
+				t.Fatalf("decoded %d events, want %d", len(events), tc.want)
+			}
+		})
+	}
+}
+
+func TestDecodeEventsBatchLimit(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i := 0; i < 5; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `{"op":"checkpoint","proc":%d}`, i)
+	}
+	sb.WriteByte(']')
+	if _, err := DecodeEvents(strings.NewReader(sb.String()), 4); !errors.Is(err, ErrBatchTooLarge) {
+		t.Fatalf("got %v, want ErrBatchTooLarge", err)
+	}
+	if _, err := DecodeEvents(strings.NewReader(sb.String()), 5); err != nil {
+		t.Fatalf("batch at the limit rejected: %v", err)
+	}
+}
+
+// testService builds a service whose metrics land in a fresh registry.
+func testService(t *testing.T, cfg Config) (*Service, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	cfg.Registry = reg
+	cfg.Tracer = obs.NewTracer(1024)
+	svc := New(cfg)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := svc.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	})
+	return svc, reg
+}
+
+func mustCreate(t *testing.T, svc *Service, id string, n int) *Session {
+	t.Helper()
+	sess, err := svc.CreateSession(id, n)
+	if err != nil {
+		t.Fatalf("create session: %v", err)
+	}
+	return sess
+}
+
+func flush(t *testing.T, sess *Session) error {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return sess.Flush(ctx)
+}
+
+func TestSessionVerdictMatchesBatch(t *testing.T) {
+	svc, _ := testService(t, Config{})
+	sess := mustCreate(t, svc, "fig", 2)
+
+	// A same-interval zigzag closing an R-graph cycle: P1 sends in
+	// I_{1,1} and receives P0's reply in the same interval, so rolling
+	// back past C_{0,2} forces rolling back past C_{0,1} through P1 —
+	// a dependency no vector witnesses.
+	events := []Event{
+		{Op: OpSend, Proc: 1, Peer: 0, Msg: 0},
+		{Op: OpDeliver, Msg: 0},
+		{Op: OpCheckpoint, Proc: 0},
+		{Op: OpSend, Proc: 0, Peer: 1, Msg: 1},
+		{Op: OpDeliver, Msg: 1},
+		{Op: OpCheckpoint, Proc: 1},
+	}
+	if err := sess.Enqueue(events); err != nil {
+		t.Fatalf("enqueue: %v", err)
+	}
+	if err := flush(t, sess); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	v := sess.Verdict(0)
+	if v.EventsApplied != int64(len(events)) {
+		t.Fatalf("applied %d events, want %d", v.EventsApplied, len(events))
+	}
+
+	p, _, err := sess.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	if err := rgraph.VerifyRecordedTDVs(p); err != nil {
+		t.Fatalf("recorded TDVs: %v", err)
+	}
+	rep, err := rgraph.CheckRDT(p, svc.Config().MaxViolations)
+	if err != nil {
+		t.Fatalf("batch check: %v", err)
+	}
+	compareVerdict(t, v, rep)
+	if v.RDT {
+		t.Fatal("zigzag scenario judged RDT")
+	}
+}
+
+func compareVerdict(t *testing.T, v *Verdict, rep *rgraph.Report) {
+	t.Helper()
+	if v.RDT != rep.RDT || v.RPathPairs != rep.RPathPairs || v.TrackablePairs != rep.TrackablePairs {
+		t.Fatalf("verdict (rdt=%v pairs=%d/%d) != batch (rdt=%v pairs=%d/%d)",
+			v.RDT, v.TrackablePairs, v.RPathPairs, rep.RDT, rep.TrackablePairs, rep.RPathPairs)
+	}
+	if len(v.Violations) != len(rep.Violations) {
+		t.Fatalf("verdict lists %d violations, batch %d", len(v.Violations), len(rep.Violations))
+	}
+	for i, viol := range rep.Violations {
+		if v.Violations[i] != violationInfo(viol) {
+			t.Fatalf("violation %d: %+v != %+v", i, v.Violations[i], violationInfo(viol))
+		}
+	}
+}
+
+func TestSessionFailurePoisons(t *testing.T) {
+	svc, reg := testService(t, Config{})
+	sess := mustCreate(t, svc, "bad", 2)
+	if err := sess.Enqueue([]Event{{Op: OpCheckpoint, Proc: 5}}); err != nil {
+		t.Fatalf("enqueue: %v", err)
+	}
+	if err := flush(t, sess); err != nil {
+		t.Fatalf("flush after poison: %v", err)
+	}
+	v := sess.Verdict(0)
+	if v.State != StateFailed || v.Error == "" {
+		t.Fatalf("state %q error %q, want failed with an error", v.State, v.Error)
+	}
+	if err := sess.Enqueue([]Event{{Op: OpCheckpoint, Proc: 0}}); !errors.Is(err, ErrFailed) {
+		t.Fatalf("ingest into failed session: %v, want ErrFailed", err)
+	}
+	if got := reg.Snapshot().CounterValue("rdt_service_events_rejected_total", "reason", "invalid"); got < 1 {
+		t.Fatalf("rejected{invalid} = %d, want >= 1", got)
+	}
+}
+
+func TestSessionSealIsFinal(t *testing.T) {
+	svc, _ := testService(t, Config{})
+	sess := mustCreate(t, svc, "seal", 2)
+	events := []Event{
+		{Op: OpSend, Proc: 0, Peer: 1, Msg: 0},
+		{Op: OpCheckpoint, Proc: 0},
+	}
+	if err := sess.Enqueue(events); err != nil {
+		t.Fatalf("enqueue: %v", err)
+	}
+	ctx := context.Background()
+	if err := sess.Seal(ctx); err != nil {
+		t.Fatalf("seal: %v", err)
+	}
+	if err := sess.Seal(ctx); err != nil {
+		t.Fatalf("second seal: %v", err)
+	}
+	v := sess.Verdict(0)
+	if v.State != StateSealed {
+		t.Fatalf("state %q, want sealed", v.State)
+	}
+	if v.InFlight != 0 {
+		t.Fatalf("sealed session has %d in-flight messages", v.InFlight)
+	}
+	if err := sess.Enqueue([]Event{{Op: OpCheckpoint, Proc: 0}}); !errors.Is(err, ErrSealed) {
+		t.Fatalf("ingest into sealed session: %v, want ErrSealed", err)
+	}
+}
+
+func TestSessionLine(t *testing.T) {
+	svc, reg := testService(t, Config{})
+	sess := mustCreate(t, svc, "line", 2)
+	// P1's checkpoint depends on P0's open interval 1: an orphan
+	// delivery, so P1 must roll back to its initial checkpoint.
+	events := []Event{
+		{Op: OpSend, Proc: 0, Peer: 1, Msg: 0},
+		{Op: OpDeliver, Msg: 0, Proc: 1},
+		{Op: OpCheckpoint, Proc: 1},
+	}
+	if err := sess.Enqueue(events); err != nil {
+		t.Fatalf("enqueue: %v", err)
+	}
+	if err := flush(t, sess); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	plan, err := sess.Line()
+	if err != nil {
+		t.Fatalf("line: %v", err)
+	}
+	wantLine := model.GlobalCheckpoint{0, 0}
+	wantBounds := model.GlobalCheckpoint{0, 1}
+	for i := range wantLine {
+		if plan.Line[i] != wantLine[i] || plan.Bounds[i] != wantBounds[i] {
+			t.Fatalf("line %v bounds %v, want %v %v", plan.Line, plan.Bounds, wantLine, wantBounds)
+		}
+	}
+	if plan.TotalRollback() != 1 {
+		t.Fatalf("total rollback %d, want 1", plan.TotalRollback())
+	}
+	if got := reg.Snapshot().CounterValue("rdt_recoveries_total"); got != 1 {
+		t.Fatalf("rdt_recoveries_total = %d, want 1", got)
+	}
+}
+
+func TestBackpressure(t *testing.T) {
+	svc, reg := testService(t, Config{QueueDepth: 1})
+	sess := mustCreate(t, svc, "slow", 2)
+
+	// Park the worker on a gate, fill the single queue slot, and watch
+	// the next enqueue bounce.
+	gate := make(chan struct{})
+	if err := sess.enqueue(batch{gate: gate}); err != nil {
+		t.Fatalf("gate batch: %v", err)
+	}
+	waitFor(t, func() bool { return len(sess.queue) == 0 }) // worker picked the gate up
+	if err := sess.Enqueue([]Event{{Op: OpCheckpoint, Proc: 0}}); err != nil {
+		t.Fatalf("first batch should fit: %v", err)
+	}
+	if err := sess.Enqueue([]Event{{Op: OpCheckpoint, Proc: 1}}); !errors.Is(err, ErrBackpressure) {
+		t.Fatalf("second batch: %v, want ErrBackpressure", err)
+	}
+	close(gate)
+	waitFor(t, func() bool { return len(sess.queue) == 0 }) // room for the barrier
+	if err := flush(t, sess); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if v := sess.Verdict(0); v.EventsApplied != 1 {
+		t.Fatalf("applied %d events, want 1", v.EventsApplied)
+	}
+	if got := reg.Snapshot().CounterValue("rdt_service_events_rejected_total", "reason", "backpressure"); got < 1 {
+		t.Fatalf("rejected{backpressure} = %d, want >= 1", got)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestIdleEviction(t *testing.T) {
+	svc, reg := testService(t, Config{IdleTimeout: 20 * time.Millisecond, SweepInterval: 5 * time.Millisecond})
+	mustCreate(t, svc, "idle", 2)
+	waitFor(t, func() bool {
+		_, err := svc.Session("idle")
+		return errors.Is(err, ErrNoSession)
+	})
+	if got := reg.Snapshot().CounterValue("rdt_service_sessions_evicted_total", "reason", "idle"); got != 1 {
+		t.Fatalf("evicted{idle} = %d, want 1", got)
+	}
+	if got := svc.SessionCount(); got != 0 {
+		t.Fatalf("%d sessions left after eviction", got)
+	}
+}
+
+func TestDrainAppliesAcknowledged(t *testing.T) {
+	reg := obs.NewRegistry()
+	svc := New(Config{Registry: reg})
+	sess, err := svc.CreateSession("d", 2)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	const batches = 50
+	for i := 0; i < batches; i++ {
+		if err := sess.Enqueue([]Event{{Op: OpCheckpoint, Proc: i % 2}}); err != nil {
+			t.Fatalf("enqueue %d: %v", i, err)
+		}
+	}
+	if err := svc.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if _, err := svc.CreateSession("late", 2); !errors.Is(err, ErrDraining) {
+		t.Fatalf("create while draining: %v, want ErrDraining", err)
+	}
+	if err := sess.Enqueue([]Event{{Op: OpCheckpoint, Proc: 0}}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("enqueue after drain: %v, want ErrClosed", err)
+	}
+	// Everything acknowledged before the drain must have been applied.
+	if v := sess.Verdict(0); v.EventsApplied != batches {
+		t.Fatalf("applied %d events, want %d", v.EventsApplied, batches)
+	}
+}
+
+func TestSessionIDValidation(t *testing.T) {
+	svc, _ := testService(t, Config{})
+	for _, id := range []string{"ok-id_1.x", "A"} {
+		if _, err := svc.CreateSession(id, 2); err != nil {
+			t.Fatalf("id %q rejected: %v", id, err)
+		}
+	}
+	for _, id := range []string{"has space", "slash/y", strings.Repeat("x", 65), "Ω"} {
+		if _, err := svc.CreateSession(id, 2); err == nil {
+			t.Fatalf("id %q accepted", id)
+		}
+	}
+	if _, err := svc.CreateSession("dup", 2); err != nil {
+		t.Fatalf("create dup: %v", err)
+	}
+	if _, err := svc.CreateSession("dup", 2); !errors.Is(err, ErrSessionExists) {
+		t.Fatalf("duplicate id: %v, want ErrSessionExists", err)
+	}
+	if _, err := svc.CreateSession("", 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	auto, err := svc.CreateSession("", 3)
+	if err != nil || auto.ID == "" {
+		t.Fatalf("auto id: %q, %v", auto.ID, err)
+	}
+}
+
+// --- HTTP layer ---
+
+type client struct {
+	t    *testing.T
+	base string
+	http *http.Client
+}
+
+func newClient(t *testing.T, base string) *client {
+	return &client{t: t, base: base, http: &http.Client{Timeout: 10 * time.Second}}
+}
+
+func (c *client) do(method, path string, body any) (*http.Response, []byte) {
+	c.t.Helper()
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			c.t.Fatalf("marshal body: %v", err)
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		c.t.Fatalf("new request: %v", err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		c.t.Fatalf("%s %s: %v", method, path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		c.t.Fatalf("read response: %v", err)
+	}
+	return resp, data
+}
+
+func (c *client) expect(method, path string, body any, code int, out any) {
+	c.t.Helper()
+	resp, data := c.do(method, path, body)
+	if resp.StatusCode != code {
+		c.t.Fatalf("%s %s: status %d, want %d (body %s)", method, path, resp.StatusCode, code, data)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			c.t.Fatalf("%s %s: decode %q: %v", method, path, data, err)
+		}
+	}
+}
+
+func newTestServer(t *testing.T, cfg Config) (*client, *Service, *obs.Registry) {
+	t.Helper()
+	svc, reg := testService(t, cfg)
+	ts := httptest.NewServer(NewHandler(svc))
+	t.Cleanup(ts.Close)
+	return newClient(t, ts.URL), svc, reg
+}
+
+func TestHTTPLifecycle(t *testing.T) {
+	c, _, reg := newTestServer(t, Config{})
+
+	var created createResponse
+	c.expect("POST", "/v1/sessions", createRequest{ID: "alpha", N: 3}, http.StatusCreated, &created)
+	if created.ID != "alpha" || created.N != 3 {
+		t.Fatalf("created %+v", created)
+	}
+	c.expect("POST", "/v1/sessions", createRequest{ID: "alpha", N: 3}, http.StatusConflict, nil)
+	c.expect("POST", "/v1/sessions", createRequest{N: 0}, http.StatusBadRequest, nil)
+
+	var auto createResponse
+	c.expect("POST", "/v1/sessions", createRequest{N: 2}, http.StatusCreated, &auto)
+
+	var list struct {
+		Sessions []Info `json:"sessions"`
+	}
+	c.expect("GET", "/v1/sessions", nil, http.StatusOK, &list)
+	if len(list.Sessions) != 2 {
+		t.Fatalf("listed %d sessions, want 2", len(list.Sessions))
+	}
+
+	var ing ingestResponse
+	c.expect("POST", "/v1/sessions/alpha/events", []Event{
+		{Op: OpSend, Proc: 0, Peer: 1, Msg: 0},
+		{Op: OpDeliver, Msg: 0, Proc: 1},
+		{Op: OpCheckpoint, Proc: 1},
+	}, http.StatusAccepted, &ing)
+	if ing.Enqueued != 3 {
+		t.Fatalf("enqueued %d, want 3", ing.Enqueued)
+	}
+	// A single bare event object works too.
+	c.expect("POST", "/v1/sessions/alpha/events", Event{Op: OpCheckpoint, Proc: 0}, http.StatusAccepted, nil)
+	c.expect("POST", "/v1/sessions/missing/events", Event{Op: OpCheckpoint, Proc: 0}, http.StatusNotFound, nil)
+
+	var v Verdict
+	c.expect("GET", "/v1/sessions/alpha/verdict?flush=1", nil, http.StatusOK, &v)
+	if v.EventsApplied != 4 || v.State != StateActive {
+		t.Fatalf("verdict %+v", v)
+	}
+
+	var line lineResponse
+	c.expect("GET", "/v1/sessions/alpha/line", nil, http.StatusOK, &line)
+	if len(line.Line) != 3 {
+		t.Fatalf("line %+v", line)
+	}
+
+	resp, data := c.do("GET", "/v1/sessions/alpha/trace", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace: %d (%s)", resp.StatusCode, data)
+	}
+	p, err := trace.Load(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("load trace: %v", err)
+	}
+	if err := rgraph.VerifyRecordedTDVs(p); err != nil {
+		t.Fatalf("trace TDVs: %v", err)
+	}
+
+	var sealed Verdict
+	c.expect("POST", "/v1/sessions/alpha/seal", nil, http.StatusOK, &sealed)
+	if sealed.State != StateSealed {
+		t.Fatalf("seal verdict %+v", sealed)
+	}
+	c.expect("POST", "/v1/sessions/alpha/events", Event{Op: OpCheckpoint, Proc: 0}, http.StatusConflict, nil)
+
+	c.expect("DELETE", "/v1/sessions/alpha", nil, http.StatusNoContent, nil)
+	c.expect("DELETE", "/v1/sessions/alpha", nil, http.StatusNotFound, nil)
+	c.expect("GET", "/v1/sessions/alpha/verdict", nil, http.StatusNotFound, nil)
+
+	var health struct {
+		Status   string `json:"status"`
+		Sessions int    `json:"sessions"`
+	}
+	c.expect("GET", "/healthz", nil, http.StatusOK, &health)
+	if health.Status != "ok" || health.Sessions != 1 {
+		t.Fatalf("health %+v", health)
+	}
+
+	// The latency histograms observed every endpoint touched above.
+	snap := reg.Snapshot()
+	for _, ep := range []string{"create", "list", "ingest", "verdict", "line", "trace", "seal", "delete", "healthz"} {
+		if m, ok := snap.Get("rdt_service_request_seconds", "endpoint", ep); !ok || m.Count == 0 {
+			t.Fatalf("endpoint %q has no latency observations", ep)
+		}
+	}
+
+	// /metrics is mounted on the same mux and includes service series.
+	resp, data = c.do("GET", "/metrics", nil)
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(data, []byte("rdt_service_events_ingested_total")) {
+		t.Fatalf("metrics endpoint: %d (%.120s)", resp.StatusCode, data)
+	}
+}
+
+func TestHTTPBadBodies(t *testing.T) {
+	c, _, _ := newTestServer(t, Config{})
+	c.expect("POST", "/v1/sessions", createRequest{ID: "s", N: 2}, http.StatusCreated, nil)
+
+	for _, body := range []string{``, `{"op":"explode"}`, `[{"op":"send","proc":0,"peer":1,"msg":-1}]`, `{]`, `[]`} {
+		resp, err := http.Post(c.base+"/v1/sessions/s/events", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("post %q: %v", body, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+func TestHTTPBackpressureStatus(t *testing.T) {
+	c, svc, _ := newTestServer(t, Config{QueueDepth: 1})
+	c.expect("POST", "/v1/sessions", createRequest{ID: "bp", N: 2}, http.StatusCreated, nil)
+	sess, err := svc.Session("bp")
+	if err != nil {
+		t.Fatalf("lookup: %v", err)
+	}
+	gate := make(chan struct{})
+	defer close(gate)
+	if err := sess.enqueue(batch{gate: gate}); err != nil {
+		t.Fatalf("gate: %v", err)
+	}
+	waitFor(t, func() bool { return len(sess.queue) == 0 })
+	c.expect("POST", "/v1/sessions/bp/events", Event{Op: OpCheckpoint, Proc: 0}, http.StatusAccepted, nil)
+
+	resp, _ := c.do("POST", "/v1/sessions/bp/events", Event{Op: OpCheckpoint, Proc: 1})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+}
+
+// TestHTTPDifferentialRandom drives a random event stream through the
+// HTTP API while mirroring it into a local Builder, then checks the
+// flushed verdict against the batch checker on the mirrored snapshot —
+// wire-to-verdict parity, complementing the rgraph-level differential
+// test.
+func TestHTTPDifferentialRandom(t *testing.T) {
+	c, _, _ := newTestServer(t, Config{})
+	rng := rand.New(rand.NewSource(0xbead))
+
+	for trial := 0; trial < 8; trial++ {
+		n := 2 + rng.Intn(3)
+		id := fmt.Sprintf("diff-%d", trial)
+		c.expect("POST", "/v1/sessions", createRequest{ID: id, N: n}, http.StatusCreated, nil)
+
+		mirror := model.NewBuilder(n)
+		handles := map[int]int{}
+		nextMsg := 0
+		var pending []Event
+		var inFlight []int
+
+		steps := 30 + rng.Intn(60)
+		for s := 0; s < steps; s++ {
+			switch k := rng.Intn(10); {
+			case k < 4:
+				proc := rng.Intn(n)
+				pending = append(pending, Event{Op: OpCheckpoint, Proc: proc})
+				mirror.Checkpoint(model.ProcID(proc), model.KindBasic, nil)
+			case k < 8 || len(inFlight) == 0:
+				from := rng.Intn(n)
+				to := rng.Intn(n - 1)
+				if to >= from {
+					to++
+				}
+				msg := nextMsg
+				nextMsg++
+				pending = append(pending, Event{Op: OpSend, Proc: from, Peer: to, Msg: msg})
+				handles[msg] = mirror.Send(model.ProcID(from), model.ProcID(to))
+				inFlight = append(inFlight, msg)
+			default:
+				i := rng.Intn(len(inFlight))
+				msg := inFlight[i]
+				inFlight = append(inFlight[:i], inFlight[i+1:]...)
+				pending = append(pending, Event{Op: OpDeliver, Msg: msg})
+				if err := mirror.Deliver(handles[msg]); err != nil {
+					t.Fatalf("mirror deliver: %v", err)
+				}
+			}
+			// Ship in irregular batches, as a real client would.
+			if len(pending) >= 1+rng.Intn(6) {
+				c.expect("POST", "/v1/sessions/"+id+"/events", pending, http.StatusAccepted, nil)
+				pending = nil
+			}
+		}
+		if len(pending) > 0 {
+			c.expect("POST", "/v1/sessions/"+id+"/events", pending, http.StatusAccepted, nil)
+		}
+
+		var v Verdict
+		c.expect("GET", "/v1/sessions/"+id+"/verdict?flush=1", nil, http.StatusOK, &v)
+		p, _, err := mirror.Snapshot()
+		if err != nil {
+			t.Fatalf("mirror snapshot: %v", err)
+		}
+		rep, err := rgraph.CheckRDT(p, DefaultMaxViolations)
+		if err != nil {
+			t.Fatalf("batch check: %v", err)
+		}
+		compareVerdict(t, &v, rep)
+
+		// Sealing must not change the verdict: the seal-now report
+		// already evaluated the finalized pattern.
+		var sealed Verdict
+		c.expect("POST", "/v1/sessions/"+id+"/seal", nil, http.StatusOK, &sealed)
+		compareVerdict(t, &sealed, rep)
+	}
+}

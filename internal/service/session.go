@@ -1,0 +1,483 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/rdt-go/rdt/internal/model"
+	"github.com/rdt-go/rdt/internal/obs"
+	"github.com/rdt-go/rdt/internal/recovery"
+	"github.com/rdt-go/rdt/internal/rgraph"
+	"github.com/rdt-go/rdt/internal/storage"
+)
+
+// Sentinel errors of the session state machine; the HTTP layer maps
+// them to status codes (429, 409, 410).
+var (
+	// ErrBackpressure means the session's ingestion queue is full; the
+	// client should retry after a moment.
+	ErrBackpressure = errors.New("session queue full")
+	// ErrSealed means the session no longer accepts events.
+	ErrSealed = errors.New("session is sealed")
+	// ErrFailed wraps the apply error that poisoned the session.
+	ErrFailed = errors.New("session failed")
+	// ErrClosed means the session was evicted or the service drained.
+	ErrClosed = errors.New("session closed")
+)
+
+// batch is one unit of work on a session queue: a slice of events to
+// apply, a seal request, or a pure barrier (both nil/false). When done
+// is non-nil the worker reports completion on it (buffered, so the
+// worker never blocks on a caller that gave up).
+type batch struct {
+	events []Event
+	seal   bool
+	done   chan error
+	gate   chan struct{} // test hook: the worker parks here before processing
+}
+
+// Session is one tenant's live RDT analysis: a model.Builder and an
+// rgraph.Incremental fed the same events in lockstep, so the service
+// can serve both incremental verdicts and the full pattern-so-far. All
+// mutation flows through the queue and is applied by the single worker
+// goroutine; queries take the mutex directly.
+type Session struct {
+	// ID is the session identifier (immutable).
+	ID string
+	// N is the process count (immutable).
+	N int
+
+	svc     *Service
+	queue   chan batch
+	created time.Time
+
+	lastActive atomic.Int64 // unix nanoseconds of the last API touch
+
+	mu      sync.Mutex
+	closed  bool // queue closed; no further enqueues
+	sealed  bool
+	failErr error // first apply error; poisons further ingestion
+	builder *model.Builder
+	inc     *rgraph.Incremental
+	msgs    map[int]msgRef // client message id -> handles, in flight
+	usedMsg map[int]bool   // every client message id ever sent
+	applied int64          // events applied
+}
+
+// msgRef pairs the two internal handles a client message id maps to.
+// Builder and Incremental assign handles in the same order, but keeping
+// both avoids relying on that coincidence.
+type msgRef struct {
+	builder int
+	inc     int
+}
+
+func newSession(svc *Service, id string, n int) (*Session, error) {
+	inc, err := rgraph.NewIncremental(n)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		ID:      id,
+		N:       n,
+		svc:     svc,
+		queue:   make(chan batch, svc.cfg.QueueDepth),
+		created: time.Now(),
+		builder: model.NewBuilder(n),
+		inc:     inc,
+		msgs:    make(map[int]msgRef),
+		usedMsg: make(map[int]bool),
+	}
+	s.touch()
+	inc.OnViolation(func(v rgraph.Violation) {
+		svc.mViolations.Inc()
+		svc.cfg.Tracer.Record(obs.Event{
+			Type:   obs.EventViolation,
+			Proc:   int(v.From.Proc),
+			Peer:   int(v.To.Proc),
+			Value:  v.From.Index,
+			Detail: v.String(),
+		})
+	})
+	return s, nil
+}
+
+// touch refreshes the idle-eviction clock.
+func (s *Session) touch() { s.lastActive.Store(time.Now().UnixNano()) }
+
+// run is the session worker: it drains the queue until the session is
+// closed, applying every batch in arrival order.
+func (s *Session) run() {
+	defer s.svc.workers.Done()
+	for b := range s.queue {
+		s.process(b)
+	}
+}
+
+func (s *Session) process(b batch) {
+	if b.gate != nil {
+		<-b.gate
+	}
+	var err error
+	s.mu.Lock()
+	for _, ev := range b.events {
+		if err = s.applyLocked(ev); err != nil {
+			break
+		}
+	}
+	if err == nil && b.seal && !s.sealed {
+		s.inc.Seal()
+		s.sealed = true
+	}
+	s.mu.Unlock()
+	if b.done != nil {
+		b.done <- err
+	}
+}
+
+// applyLocked applies one event to both the builder and the incremental
+// checker. The first error poisons the session: events already applied
+// cannot be unwound, so a partially applied stream must not pretend to
+// be a coherent run.
+func (s *Session) applyLocked(ev Event) error {
+	if s.sealed {
+		s.svc.reject(reasonSealed, 1)
+		return ErrSealed
+	}
+	if s.failErr != nil {
+		s.svc.reject(reasonFailed, 1)
+		return fmt.Errorf("%w: %v", ErrFailed, s.failErr)
+	}
+	if err := s.applyOneLocked(ev); err != nil {
+		s.failErr = err
+		s.svc.reject(reasonInvalid, 1)
+		return fmt.Errorf("%w: %v", ErrFailed, err)
+	}
+	s.applied++
+	s.svc.mIngested.Inc()
+	return nil
+}
+
+func (s *Session) applyOneLocked(ev Event) error {
+	switch ev.Op {
+	case OpCheckpoint:
+		kind, err := ev.checkpointKind()
+		if err != nil {
+			return err
+		}
+		if int(ev.Proc) >= s.N {
+			return fmt.Errorf("checkpoint: process %d out of range [0,%d)", ev.Proc, s.N)
+		}
+		if s.inc.NumCheckpoints() >= s.svc.cfg.MaxCheckpoints {
+			return fmt.Errorf("checkpoint limit %d reached; seal the session", s.svc.cfg.MaxCheckpoints)
+		}
+		_, tdv, err := s.inc.Checkpoint(model.ProcID(ev.Proc))
+		if err != nil {
+			return err
+		}
+		s.builder.Checkpoint(model.ProcID(ev.Proc), kind, tdv)
+		return nil
+	case OpSend:
+		if ev.Proc >= s.N || ev.Peer >= s.N {
+			return fmt.Errorf("send %d -> %d: process out of range [0,%d)", ev.Proc, ev.Peer, s.N)
+		}
+		if ev.Proc == ev.Peer {
+			return fmt.Errorf("send %d -> %d: a process cannot message itself", ev.Proc, ev.Peer)
+		}
+		if s.usedMsg[ev.Msg] {
+			return fmt.Errorf("send: message id %d already used", ev.Msg)
+		}
+		ih, err := s.inc.Send(model.ProcID(ev.Proc), model.ProcID(ev.Peer))
+		if err != nil {
+			return err
+		}
+		bh := s.builder.Send(model.ProcID(ev.Proc), model.ProcID(ev.Peer))
+		s.usedMsg[ev.Msg] = true
+		s.msgs[ev.Msg] = msgRef{builder: bh, inc: ih}
+		return nil
+	case OpDeliver:
+		ref, ok := s.msgs[ev.Msg]
+		if !ok {
+			return fmt.Errorf("deliver: message id %d unknown or already delivered", ev.Msg)
+		}
+		if err := s.inc.Deliver(ref.inc); err != nil {
+			return err
+		}
+		delete(s.msgs, ev.Msg)
+		return s.builder.Deliver(ref.builder)
+	default:
+		return fmt.Errorf("unknown op %q", ev.Op)
+	}
+}
+
+// enqueue places a batch on the queue without ever blocking: a full
+// queue is backpressure the caller reports to the client. Holding mu
+// across the non-blocking send makes the close in closeQueue safe.
+func (s *Session) enqueue(b batch) error {
+	s.touch()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if len(b.events) > 0 {
+		if s.sealed {
+			s.svc.reject(reasonSealed, len(b.events))
+			return ErrSealed
+		}
+		if s.failErr != nil {
+			s.svc.reject(reasonFailed, len(b.events))
+			return fmt.Errorf("%w: %v", ErrFailed, s.failErr)
+		}
+	}
+	select {
+	case s.queue <- b:
+		return nil
+	default:
+		s.svc.reject(reasonBackpressure, max(len(b.events), 1))
+		return ErrBackpressure
+	}
+}
+
+// Enqueue submits events for asynchronous application. It returns
+// ErrBackpressure when the queue is full, ErrSealed/ErrFailed/ErrClosed
+// when the session no longer ingests. Acceptance is not application: an
+// event racing a concurrent seal may still be rejected by the worker.
+func (s *Session) Enqueue(events []Event) error {
+	return s.enqueue(batch{events: events})
+}
+
+// Flush waits until every batch enqueued before it has been applied: a
+// read barrier for verdict queries that must observe all acknowledged
+// events. The barrier itself is subject to backpressure.
+func (s *Session) Flush(ctx context.Context) error {
+	done := make(chan error, 1)
+	if err := s.enqueue(batch{done: done}); err != nil {
+		return err
+	}
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Seal finalizes the session the way Builder.FinalizeLossy ends a run:
+// in-flight messages are dropped and event-bearing open intervals get
+// final checkpoints. Sealing is ordered through the queue, so every
+// previously acknowledged batch is applied first. Idempotent.
+func (s *Session) Seal(ctx context.Context) error {
+	s.mu.Lock()
+	sealed := s.sealed
+	s.mu.Unlock()
+	if sealed {
+		return nil
+	}
+	done := make(chan error, 1)
+	if err := s.enqueue(batch{seal: true, done: done}); err != nil {
+		return err
+	}
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// closeQueue stops ingestion permanently (eviction, drain). The worker
+// drains batches already accepted, then exits.
+func (s *Session) closeQueue() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+}
+
+// CkptRef names a checkpoint on the wire.
+type CkptRef struct {
+	Proc  int `json:"proc"`
+	Index int `json:"index"`
+}
+
+// ViolationInfo renders one untrackable R-path on the wire.
+type ViolationInfo struct {
+	From   CkptRef `json:"from"`
+	To     CkptRef `json:"to"`
+	String string  `json:"string"`
+}
+
+func violationInfo(v rgraph.Violation) ViolationInfo {
+	return ViolationInfo{
+		From:   CkptRef{Proc: int(v.From.Proc), Index: v.From.Index},
+		To:     CkptRef{Proc: int(v.To.Proc), Index: v.To.Index},
+		String: v.String(),
+	}
+}
+
+// Session states reported by Verdict and the session list.
+const (
+	StateActive = "active"
+	StateSealed = "sealed"
+	StateFailed = "failed"
+)
+
+// Verdict is the live RDT verdict of a session: the seal-now report of
+// the incremental checker plus session bookkeeping.
+type Verdict struct {
+	Session        string          `json:"session"`
+	N              int             `json:"n"`
+	State          string          `json:"state"`
+	Error          string          `json:"error,omitempty"`
+	EventsApplied  int64           `json:"events_applied"`
+	Checkpoints    int             `json:"checkpoints"`
+	InFlight       int             `json:"in_flight"`
+	RDT            bool            `json:"rdt"`
+	RPathPairs     int             `json:"rpath_pairs"`
+	TrackablePairs int             `json:"trackable_pairs"`
+	Violations     []ViolationInfo `json:"violations,omitempty"`
+	FirstViolation *ViolationInfo  `json:"first_violation,omitempty"`
+}
+
+// Verdict evaluates the seal-now pattern (see Incremental.Report),
+// listing at most maxViolations untrackable pairs (<= 0 for the service
+// default).
+func (s *Session) Verdict(maxViolations int) *Verdict {
+	if maxViolations <= 0 {
+		maxViolations = s.svc.cfg.MaxViolations
+	}
+	s.touch()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep := s.inc.Report(maxViolations)
+	v := &Verdict{
+		Session:        s.ID,
+		N:              s.N,
+		State:          s.stateLocked(),
+		EventsApplied:  s.applied,
+		Checkpoints:    s.inc.NumCheckpoints(),
+		InFlight:       s.inc.InFlight(),
+		RDT:            rep.RDT,
+		RPathPairs:     rep.RPathPairs,
+		TrackablePairs: rep.TrackablePairs,
+	}
+	if s.failErr != nil {
+		v.Error = s.failErr.Error()
+	}
+	for _, viol := range rep.Violations {
+		v.Violations = append(v.Violations, violationInfo(viol))
+	}
+	if len(rep.Violations) > 0 {
+		first := violationInfo(rep.Violations[0])
+		v.FirstViolation = &first
+	}
+	return v
+}
+
+func (s *Session) stateLocked() string {
+	switch {
+	case s.failErr != nil:
+		return StateFailed
+	case s.sealed:
+		return StateSealed
+	default:
+		return StateActive
+	}
+}
+
+// Info is one row of the session list.
+type Info struct {
+	ID            string    `json:"id"`
+	N             int       `json:"n"`
+	State         string    `json:"state"`
+	EventsApplied int64     `json:"events_applied"`
+	Checkpoints   int       `json:"checkpoints"`
+	QueuedBatches int       `json:"queued_batches"`
+	Created       time.Time `json:"created"`
+	LastActive    time.Time `json:"last_active"`
+}
+
+// Info returns the session-list row.
+func (s *Session) Info() Info {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Info{
+		ID:            s.ID,
+		N:             s.N,
+		State:         s.stateLocked(),
+		EventsApplied: s.applied,
+		Checkpoints:   s.inc.NumCheckpoints(),
+		QueuedBatches: len(s.queue),
+		Created:       s.created,
+		LastActive:    time.Unix(0, s.lastActive.Load()),
+	}
+}
+
+// Snapshot finalizes a copy of the pattern-so-far (FinalizeLossy
+// semantics: final checkpoints close event-bearing intervals, in-flight
+// messages are reported as lost), leaving the session ingesting.
+func (s *Session) Snapshot() (*model.Pattern, []model.LostMessage, error) {
+	s.touch()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.builder.Snapshot()
+}
+
+// Line computes the recovery line from the session's closed
+// checkpoints: each process is bounded by its latest taken checkpoint
+// and the stored dependency vectors drive the fixpoint, exactly as
+// recovery.Manager does over a real checkpoint store.
+func (s *Session) Line() (*recovery.Plan, error) {
+	s.touch()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	mgr, err := recovery.NewManager(incStore{inc: s.inc}, s.N)
+	if err != nil {
+		return nil, err
+	}
+	mgr.Observe(s.svc.cfg.Registry, s.svc.cfg.Tracer)
+	bounds := make(model.GlobalCheckpoint, s.N)
+	for i := range bounds {
+		bounds[i] = s.inc.NextIndex(model.ProcID(i)) - 1
+	}
+	return mgr.LineFrom(bounds)
+}
+
+// incStore adapts the incremental checker's recorded dependency vectors
+// to the storage.Store interface the recovery manager reads (it only
+// calls Get and Indexes; writes are rejected).
+type incStore struct {
+	inc *rgraph.Incremental
+}
+
+var _ storage.Store = incStore{}
+
+func (st incStore) Get(proc, index int) (storage.Checkpoint, error) {
+	tdv := st.inc.TDVAt(model.CkptID{Proc: model.ProcID(proc), Index: index})
+	if tdv == nil {
+		return storage.Checkpoint{}, fmt.Errorf("process %d index %d: %w", proc, index, storage.ErrNotFound)
+	}
+	return storage.Checkpoint{Proc: proc, Index: index, TDV: tdv}, nil
+}
+
+func (st incStore) Latest(proc int) (storage.Checkpoint, error) {
+	return st.Get(proc, st.inc.NextIndex(model.ProcID(proc))-1)
+}
+
+func (st incStore) Indexes(proc int) ([]int, error) {
+	out := make([]int, st.inc.NextIndex(model.ProcID(proc)))
+	for i := range out {
+		out[i] = i
+	}
+	return out, nil
+}
+
+func (st incStore) Put(storage.Checkpoint) error { return errors.New("session store is read-only") }
+func (st incStore) Delete(int, int) error        { return errors.New("session store is read-only") }
