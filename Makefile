@@ -5,9 +5,21 @@
 
 GO ?= go
 
-.PHONY: all test race vet chaos chaos-supervise serve-smoke fuzz-smoke check bench bench-baseline obs-bench clean
+# Version stamping: `make build` binaries report the tag and commit via
+# their -version flag. Plain `go build` keeps the "dev (unknown)"
+# defaults, so test output stays independent of the checkout state.
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+COMMIT  ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
+LDFLAGS  = -X github.com/rdt-go/rdt/internal/version.Version=$(VERSION) \
+           -X github.com/rdt-go/rdt/internal/version.Commit=$(COMMIT)
+
+.PHONY: all build test race vet chaos chaos-supervise serve-smoke trace-smoke fuzz-smoke check bench bench-baseline obs-bench clean
 
 all: test
+
+# Stamped binaries for all CLIs and daemons.
+build:
+	$(GO) build -ldflags "$(LDFLAGS)" -o bin/ ./cmd/...
 
 # Tier-1: build everything and run the full test suite.
 test:
@@ -40,6 +52,20 @@ chaos-supervise:
 # with per-session batch/verdict parity against the batch analyzer.
 serve-smoke:
 	$(GO) test -race -count=1 -run 'TestServeSmoke' ./cmd/rdtserved/
+
+# Trace smoke: exercise the observability surface end to end under the
+# race detector (flight recorder, causal spans, witness explain, golden
+# timelines), then drive the real binaries: a simulation run writes a
+# Chrome trace-event timeline and the checker explains the Figure 1
+# violation with a highlighted witness.
+trace-smoke:
+	$(GO) test -race -count=1 -run 'Trace|Explain|Timeline|Witness|Flight|Span' \
+		./internal/obs/ ./internal/cluster/ ./internal/trace/ \
+		./internal/rgraph/ ./internal/service/ ./cmd/rdtsim/ ./cmd/rdtcheck/
+	$(GO) run -ldflags "$(LDFLAGS)" ./cmd/rdtsim -protocol bhmr -workload ring \
+		-n 4 -duration 60 -trace-out $(or $(TMPDIR),/tmp)/rdt-timeline.json
+	grep -q '"traceEvents"' $(or $(TMPDIR),/tmp)/rdt-timeline.json
+	$(GO) run -ldflags "$(LDFLAGS)" ./cmd/rdtcheck -figure1 -explain | grep 'witness:' >/dev/null
 
 # Fuzz smoke: a short bounded run of every fuzz target over untrusted
 # decoder surfaces (cluster wire messages, trace JSON, service events).

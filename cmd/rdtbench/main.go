@@ -27,6 +27,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"github.com/rdt-go/rdt/internal/version"
 )
 
 // Result is the parsed record of one benchmark.
@@ -60,9 +62,15 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		tolerance = fs.Float64("tolerance", 0.15, "allowed fractional ns/op regression before failing")
 		minNs     = fs.Float64("min-ns", 100, "baselines faster than this never gate (timer jitter dominates)")
 		note      = fs.String("note", "", "free-form note stored in the JSON record")
+
+		showVersion = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVersion {
+		fmt.Fprintf(out, "rdtbench %s\n", version.String())
+		return nil
 	}
 	if *outPath == "" && *baseline == "" {
 		return fmt.Errorf("nothing to do: pass -out and/or -baseline")

@@ -9,6 +9,8 @@
 //	rdtcheck -min 2,5 -max 2,5 trace.json
 //	rdtcheck -line 3,4,2,5 trace.json
 //	rdtcheck -dot trace.json > pattern.dot
+//	rdtcheck -explain trace.json           # minimal witness per violation
+//	rdtcheck -explain -dot trace.json      # diagram with the witness in red
 //	rdtcheck -figure1         # analyze the paper's Figure 1 fixture
 //	rdtcheck - < trace.json   # read the trace from stdin
 package main
@@ -54,9 +56,16 @@ func run(args []string, out io.Writer) error {
 		maxViol     = fs.Int("violations", 10, "maximum RDT violations to list")
 		metricsAddr = fs.String("metrics-addr", "", "serve Prometheus /metrics, /debug/events, and /debug/vars for the analyzed pattern on this address (:0 picks a port)")
 		events      = fs.Int("events", 0, "print the last N replayed events after the analysis")
+		explain     = fs.Bool("explain", false, "derive a minimal witness chain for every RDT violation (with -dot, highlight the first witness in the diagram)")
+		pprof       = fs.Bool("pprof", false, "also mount /debug/pprof and runtime gauges on the -metrics-addr server")
+		showVersion = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVersion {
+		fmt.Fprintf(out, "rdtcheck %s (%s)\n", rdt.BuildVersion, rdt.BuildCommit)
+		return nil
 	}
 
 	var (
@@ -78,6 +87,19 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *dot {
+		if *explain {
+			// Highlight the first violation's witness chain in the diagram;
+			// a trackable pattern degrades to the plain diagram.
+			_, witnesses, err := rdt.ExplainRDT(p, *maxViol)
+			if err != nil {
+				return err
+			}
+			if len(witnesses) > 0 {
+				w := witnesses[0]
+				fmt.Fprint(out, p.DOTWitness(w.MessageIDs(), w.Violation.From, w.Violation.To))
+				return nil
+			}
+		}
 		fmt.Fprint(out, p.DOT())
 		return nil
 	}
@@ -107,7 +129,11 @@ func run(args []string, out io.Writer) error {
 		tracer := rdt.NewEventTracer(rdt.DefaultEventCapacity)
 		replayPattern(reg, tracer, p, len(report.Violations))
 		if *metricsAddr != "" {
-			srv, err := rdt.ServeObs(*metricsAddr, reg, tracer)
+			var opts []rdt.ObsServerOption
+			if *pprof {
+				opts = append(opts, rdt.WithProfiling())
+			}
+			srv, err := rdt.ServeObs(*metricsAddr, reg, tracer, opts...)
 			if err != nil {
 				return err
 			}
@@ -125,6 +151,19 @@ func run(args []string, out io.Writer) error {
 		report.RDT, report.TrackablePairs, report.RPathPairs)
 	for _, v := range report.Violations {
 		fmt.Fprintf(out, "  violation: %v\n", v)
+	}
+	if *explain && len(report.Violations) > 0 {
+		explainer, err := rdt.NewWitnessExplainer(p)
+		if err != nil {
+			return err
+		}
+		witnesses, err := explainer.ExplainAll(report.Violations)
+		if err != nil {
+			return err
+		}
+		for _, w := range witnesses {
+			fmt.Fprintf(out, "  witness: %v\n", w)
+		}
 	}
 
 	if err := rdt.VerifyRecordedTDVs(p); err != nil {

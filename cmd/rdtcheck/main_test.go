@@ -35,6 +35,38 @@ func TestCheckFigure1Fixture(t *testing.T) {
 	}
 }
 
+func TestCheckExplain(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-figure1", "-explain"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	text := out.String()
+	for _, want := range []string{"RDT property: false", "witness:", "~>"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+
+	// -explain -dot renders the diagram with the witness highlighted.
+	out.Reset()
+	if err := run([]string{"-figure1", "-explain", "-dot"}, &out); err != nil {
+		t.Fatalf("run -dot: %v", err)
+	}
+	if !strings.Contains(out.String(), "color=red") {
+		t.Errorf("witness DOT has no highlighting:\n%s", out.String())
+	}
+}
+
+func TestCheckVersionFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-version"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "rdtcheck dev (unknown)") {
+		t.Errorf("unexpected version output %q", out.String())
+	}
+}
+
 // TestCheckStdin feeds the trace through the "-" argument instead of a
 // file and expects the identical analysis.
 func TestCheckStdin(t *testing.T) {

@@ -26,6 +26,7 @@ import (
 	"github.com/rdt-go/rdt/internal/experiments"
 	"github.com/rdt-go/rdt/internal/obs"
 	"github.com/rdt-go/rdt/internal/stats"
+	"github.com/rdt-go/rdt/internal/version"
 )
 
 func main() {
@@ -42,9 +43,15 @@ func run(args []string, out io.Writer) error {
 		csvDir      = fs.String("csv", "", "directory to write CSV artifacts into")
 		jobs        = fs.Int("jobs", 0, "worker goroutines for the simulation grid (0 = GOMAXPROCS); output is identical for every value")
 		metricsAddr = fs.String("metrics-addr", "", "serve live Prometheus /metrics for the running grid on this address (:0 picks a port)")
+		pprof       = fs.Bool("pprof", false, "also mount /debug/pprof and runtime gauges on the -metrics-addr server")
+		showVersion = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVersion {
+		fmt.Fprintf(out, "rdtexperiments %s\n", version.String())
+		return nil
 	}
 	cfg := experiments.Default()
 	if *quick {
@@ -56,7 +63,11 @@ func run(args []string, out io.Writer) error {
 	// the tally is exact under any -jobs value).
 	cfg.Obs = obs.NewRegistry()
 	if *metricsAddr != "" {
-		srv, err := obs.Serve(*metricsAddr, cfg.Obs, nil)
+		var opts []obs.ServerOption
+		if *pprof {
+			opts = append(opts, obs.WithProfiling())
+		}
+		srv, err := obs.Serve(*metricsAddr, cfg.Obs, nil, opts...)
 		if err != nil {
 			return err
 		}

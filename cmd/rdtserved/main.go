@@ -33,6 +33,7 @@ import (
 
 	"github.com/rdt-go/rdt/internal/obs"
 	"github.com/rdt-go/rdt/internal/service"
+	"github.com/rdt-go/rdt/internal/version"
 )
 
 func main() {
@@ -61,10 +62,17 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		sweep    = fs.Duration("sweep-interval", service.DefaultSweepInterval, "idle-eviction sweep period")
 		drain    = fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget")
 		events   = fs.Int("events", obs.DefaultTracerCapacity, "violation/rollback trace ring capacity")
+
+		pprofAddr   = fs.String("pprof-addr", "", "serve /debug/pprof and runtime gauges on this extra address (:0 picks a port; empty disables profiling)")
+		showVersion = fs.Bool("version", false, "print version and exit")
 	)
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVersion {
+		fmt.Fprintf(out, "rdtserved %s\n", version.String())
+		return nil
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
@@ -86,6 +94,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(out, "rdtserved: listening on %s (metrics: http://%s/metrics)\n", srv.Addr(), srv.Addr())
+	if *pprofAddr != "" {
+		// Profiling lives on its own listener so the API address can stay
+		// exposed while pprof stays private.
+		psrv, err := obs.Serve(*pprofAddr, nil, nil, obs.WithProfiling())
+		if err != nil {
+			return err
+		}
+		defer psrv.Close() //nolint:errcheck
+		fmt.Fprintf(out, "rdtserved: profiling on http://%s/debug/pprof/\n", psrv.Addr())
+	}
 	serving(srv.Addr())
 
 	<-ctx.Done()

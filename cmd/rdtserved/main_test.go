@@ -8,6 +8,8 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"regexp"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -285,6 +287,89 @@ func TestServeSmokeConcurrent(t *testing.T) {
 	cancel()
 	if err := wait(); err != nil {
 		t.Fatalf("daemon exit: %v", err)
+	}
+}
+
+// syncBuffer lets the test goroutine read daemon output written from
+// the run goroutine without a data race.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestServeProfilingListener boots the daemon with -pprof-addr and
+// checks that the separate profiling listener serves the pprof index
+// while the API listener does not expose it.
+func TestServeProfilingListener(t *testing.T) {
+	addrCh := make(chan string, 1)
+	prev := serving
+	serving = func(a string) { addrCh <- a }
+	t.Cleanup(func() { serving = prev })
+
+	var out syncBuffer
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(ctx, []string{"-addr", "127.0.0.1:0", "-pprof-addr", "127.0.0.1:0"}, &out)
+	}()
+
+	var apiAddr string
+	select {
+	case apiAddr = <-addrCh:
+	case err := <-errCh:
+		t.Fatalf("daemon exited before binding: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not bind in time")
+	}
+
+	// Both startup lines are printed before the serving seam fires.
+	m := regexp.MustCompile(`profiling on (http://[^/\s]+)/debug/pprof/`).FindStringSubmatch(out.String())
+	if m == nil {
+		t.Fatalf("no profiling line in output:\n%s", out.String())
+	}
+	resp, err := http.Get(m[1] + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("pprof index: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status %d", resp.StatusCode)
+	}
+	resp, err = http.Get("http://" + apiAddr + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("api pprof probe: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("API listener exposes /debug/pprof/; profiling should stay on its own address")
+	}
+
+	cancel()
+	if err := <-errCh; err != nil {
+		t.Fatalf("daemon exit: %v", err)
+	}
+}
+
+func TestServeVersionFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-version"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "rdtserved dev (unknown)") {
+		t.Errorf("unexpected version output %q", out.String())
 	}
 }
 

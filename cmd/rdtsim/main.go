@@ -9,6 +9,11 @@
 //	rdtsim -protocol bhmr -workload client-server -n 8 -duration 1000 \
 //	       -basic 10 -seed 1 -trace out.json
 //
+// -trace-out additionally writes the run's causal timeline as Chrome
+// trace-event JSON, loadable in chrome://tracing or Perfetto:
+//
+//	rdtsim -protocol bhmr -n 4 -trace-out timeline.json
+//
 // With -faults, rdtsim instead drives the concurrent cluster runtime over
 // a fault-injected transport with reliable delivery on top:
 //
@@ -64,9 +69,16 @@ func run(args []string, out io.Writer) error {
 		faults      = fs.String("faults", "", "run the cluster runtime under fault injection with this mix, e.g. drop=0.05,dup=0.05,reorder=0.1,err=0.02,delay=3ms")
 		rounds      = fs.Int("rounds", 10, "send rounds of the -faults chaos mode")
 		supervise   = fs.Bool("supervise", false, "run the cluster runtime under a supervisor: a seeded crash is injected mid-run and must be detected and healed autonomously (combines with -faults)")
+		traceOut    = fs.String("trace-out", "", "write the run's causal timeline as Chrome trace-event JSON to this file (open in chrome://tracing or Perfetto)")
+		pprof       = fs.Bool("pprof", false, "also mount /debug/pprof and runtime gauges on the -metrics-addr server")
+		showVersion = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVersion {
+		fmt.Fprintf(out, "rdtsim %s (%s)\n", rdt.BuildVersion, rdt.BuildCommit)
+		return nil
 	}
 
 	var (
@@ -78,7 +90,11 @@ func run(args []string, out io.Writer) error {
 		tracer = rdt.NewEventTracer(rdt.DefaultEventCapacity)
 	}
 	if *metricsAddr != "" {
-		srv, err := rdt.ServeObs(*metricsAddr, reg, tracer)
+		var opts []rdt.ObsServerOption
+		if *pprof {
+			opts = append(opts, rdt.WithProfiling())
+		}
+		srv, err := rdt.ServeObs(*metricsAddr, reg, tracer, opts...)
 		if err != nil {
 			return err
 		}
@@ -92,6 +108,9 @@ func run(args []string, out io.Writer) error {
 	}
 	defer printEvents(out, tracer, *events)
 
+	if *traceOut != "" && (*faults != "" || *supervise || *protocol == "all" || *seeds > 1) {
+		return fmt.Errorf("-trace-out needs the single recorded pattern of one simulation run")
+	}
 	if *faults != "" || *supervise {
 		probs, err := parseFaults(*faults)
 		if err != nil {
@@ -162,7 +181,27 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "trace written to %s\n", *tracePath)
 	}
+	if *traceOut != "" {
+		if err := writeTimelineFile(*traceOut, res.Pattern); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "timeline written to %s\n", *traceOut)
+	}
 	return nil
+}
+
+// writeTimelineFile renders the pattern's logical causal timeline as
+// Chrome trace-event JSON.
+func writeTimelineFile(path string, p *rdt.Pattern) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rdt.WritePatternTimeline(f, p); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // printEvents writes the tail of the structured event trace, oldest

@@ -35,6 +35,43 @@ func TestRunSimAndWriteTrace(t *testing.T) {
 	}
 }
 
+func TestRunSimTraceOut(t *testing.T) {
+	timelinePath := filepath.Join(t.TempDir(), "timeline.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-protocol", "bhmr", "-workload", "ring", "-n", "4",
+		"-duration", "60", "-trace-out", timelinePath,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "timeline written") {
+		t.Errorf("output missing timeline notice:\n%s", out.String())
+	}
+	data, err := os.ReadFile(timelinePath)
+	if err != nil {
+		t.Fatalf("timeline unreadable: %v", err)
+	}
+	if !bytes.Contains(data, []byte(`"traceEvents"`)) || !bytes.Contains(data, []byte(`"cat":"rdt"`)) {
+		t.Errorf("timeline is not Chrome trace-event JSON:\n%.200s", data)
+	}
+
+	// Modes without a single recorded pattern reject the flag up front.
+	if err := run([]string{"-protocol", "all", "-trace-out", timelinePath}, &out); err == nil {
+		t.Error("-trace-out with -protocol all should fail")
+	}
+}
+
+func TestRunSimVersionFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-version"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "rdtsim dev (unknown)") {
+		t.Errorf("unexpected version output %q", out.String())
+	}
+}
+
 func TestRunSimNoCheck(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-check=false", "-duration", "30", "-n", "3"}, &out); err != nil {

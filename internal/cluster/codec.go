@@ -16,7 +16,7 @@ import (
 // run through encoding/gob, which dominated the per-message allocation
 // count):
 //
-//	magic 'R', version 0x01
+//	magic 'R', version 0x02
 //	uvarint from          — sending process
 //	uvarint handle        — trace handle
 //	uvarint sn            — BCS checkpoint sequence number
@@ -25,13 +25,20 @@ import (
 //	uvarint len(simple)   — simple array, bit-packed LSB-first
 //	uvarint n             — causal-matrix dimension (0 = no matrix),
 //	                        n*n cells bit-packed row-major LSB-first
+//	uvarint trace         — causal trace id (0 = tracing off)
+//	uvarint span          — sender's span id (0 = tracing off)
+//
+// The trailing trace context is what ties a delivery span to the send
+// span that caused it across processes. With tracing off both values
+// are zero — two bytes on the wire and no allocations, keeping the
+// codec inside its AllocsPerRun budgets.
 //
 // All header fields are non-negative by construction; the decoder
 // validates every length against the bytes actually remaining, so
 // arbitrary input can never provoke a huge allocation or a panic.
 const (
 	wireMagic   = 'R'
-	wireVersion = 0x01
+	wireVersion = 0x02
 
 	// maxWireMatrixDim bounds the causal-matrix dimension a frame may
 	// declare; real systems are orders of magnitude smaller.
@@ -45,8 +52,23 @@ var encodeBufs = sync.Pool{
 	New: func() any { b := make([]byte, 0, 512); return &b },
 }
 
-// encodeMsg serializes a message and its piggyback.
+// traceCtx is the causal trace context piggybacked on every frame: the
+// trace the message belongs to and the send span that produced it. The
+// zero value means tracing is off.
+type traceCtx struct {
+	trace uint64
+	span  uint64
+}
+
+// encodeMsg serializes a message and its piggyback without trace
+// context (tracing off).
 func encodeMsg(from, handle int, payload []byte, pb core.Piggyback) ([]byte, error) {
+	return encodeMsgTrace(from, handle, payload, pb, traceCtx{})
+}
+
+// encodeMsgTrace serializes a message, its piggyback, and the causal
+// trace context.
+func encodeMsgTrace(from, handle int, payload []byte, pb core.Piggyback, tc traceCtx) ([]byte, error) {
 	if from < 0 || handle < 0 || pb.SN < 0 {
 		return nil, fmt.Errorf("encode message: negative header field (from=%d handle=%d sn=%d)", from, handle, pb.SN)
 	}
@@ -75,6 +97,8 @@ func encodeMsg(from, handle int, payload []byte, pb core.Piggyback) ([]byte, err
 	} else {
 		buf = binary.AppendUvarint(buf, 0)
 	}
+	buf = binary.AppendUvarint(buf, tc.trace)
+	buf = binary.AppendUvarint(buf, tc.span)
 	out := make([]byte, len(buf))
 	copy(out, buf)
 	*bp = buf[:0]
@@ -91,6 +115,11 @@ type pbScratch struct {
 	tdv    vclock.Vec
 	simple vclock.Bools
 	causal *vclock.Matrix
+
+	// tc is the trace context of the last decoded frame — an output,
+	// not reusable storage; the node goroutine reads it right after
+	// decodeMsgInto returns.
+	tc traceCtx
 }
 
 // wireReader is a bounds-checked cursor over one frame.
@@ -109,6 +138,17 @@ func (r *wireReader) uvarint() (int, error) {
 	}
 	r.pos += n
 	return int(v), nil
+}
+
+// uvarint64 reads one varint-encoded unsigned value at full range (the
+// trace-context ids).
+func (r *wireReader) uvarint64() (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("decode message: bad varint at offset %d", r.pos)
+	}
+	r.pos += n
+	return v, nil
 }
 
 func (r *wireReader) take(n int) ([]byte, error) {
@@ -235,6 +275,17 @@ func decodeMsgInto(data []byte, s *pbScratch) (from, handle int, payload []byte,
 			return fail(err)
 		}
 		pb.Causal = m
+	}
+
+	var tc traceCtx
+	if tc.trace, err = r.uvarint64(); err != nil {
+		return fail(err)
+	}
+	if tc.span, err = r.uvarint64(); err != nil {
+		return fail(err)
+	}
+	if s != nil {
+		s.tc = tc
 	}
 
 	if r.remaining() != 0 {

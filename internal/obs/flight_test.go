@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTracerDropAccounting(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(4)
+	tr.ObserveDrops(reg)
+	for i := 0; i < 4; i++ {
+		tr.Record(Event{Type: EventSend, Proc: i})
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("dropped %d before overflow", tr.Dropped())
+	}
+	for i := 0; i < 10; i++ {
+		tr.Record(Event{Type: EventDeliver, Proc: i})
+	}
+	if got := tr.Dropped(); got != 10 {
+		t.Fatalf("dropped %d events, want 10", got)
+	}
+	if got := reg.Snapshot().CounterValue("rdt_obs_events_dropped_total"); got != 10 {
+		t.Fatalf("rdt_obs_events_dropped_total = %d, want 10", got)
+	}
+	// The ring still holds the newest 4 events, gapless.
+	tail := tr.Tail(0)
+	if len(tail) != 4 || tail[0].Seq != 11 || tail[3].Seq != 14 {
+		t.Fatalf("tail after overflow: %+v", tail)
+	}
+	// Nil tracer: everything is a no-op.
+	var nilTr *Tracer
+	nilTr.ObserveDrops(reg)
+	nilTr.Record(Event{})
+	if nilTr.Dropped() != 0 {
+		t.Fatalf("nil tracer dropped %d", nilTr.Dropped())
+	}
+}
+
+func TestFlightRecorderRing(t *testing.T) {
+	reg := NewRegistry()
+	f := NewFlightRecorder(3)
+	f.ObserveDrops(reg)
+	if f.NextID() != 1 || f.NextID() != 2 {
+		t.Fatalf("NextID must count from 1")
+	}
+	for i := 0; i < 5; i++ {
+		f.Record(Span{ID: uint64(i + 1), Kind: SpanSend, Proc: i, Start: int64(i * 10)})
+	}
+	if got := f.Dropped(); got != 2 {
+		t.Fatalf("dropped %d spans, want 2", got)
+	}
+	if got := reg.Snapshot().CounterValue("rdt_obs_spans_dropped_total"); got != 2 {
+		t.Fatalf("rdt_obs_spans_dropped_total = %d, want 2", got)
+	}
+	spans := f.Spans()
+	if len(spans) != 3 || spans[0].ID != 3 || spans[2].ID != 5 {
+		t.Fatalf("retained spans %+v", spans)
+	}
+	var nilF *FlightRecorder
+	nilF.Record(Span{})
+	if nilF.NextID() != 0 || nilF.Len() != 0 || nilF.Spans() != nil {
+		t.Fatalf("nil flight recorder must no-op")
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	spans := []Span{
+		{TraceID: 7, ID: 1, Kind: SpanSend, Proc: 0, Peer: 1, Start: 10, Dur: 5, Detail: "m0"},
+		{TraceID: 7, ID: 2, Parent: 1, Kind: SpanDeliver, Proc: 1, Peer: 0, Start: 20, Dur: 0},
+	}
+	var b strings.Builder
+	if err := WriteChromeTrace(&b, spans); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	out := b.String()
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Ts   int64  `json:"ts"`
+			Dur  int64  `json:"dur"`
+			Tid  int    `json:"tid"`
+			Args struct {
+				TraceID uint64 `json:"trace_id"`
+				Parent  uint64 `json:"parent_id"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("got %d events", len(doc.TraceEvents))
+	}
+	if doc.TraceEvents[0].Name != "send" || doc.TraceEvents[0].Ph != "X" || doc.TraceEvents[0].Tid != 0 {
+		t.Fatalf("first event: %+v", doc.TraceEvents[0])
+	}
+	if doc.TraceEvents[1].Dur != 1 {
+		t.Fatalf("zero-width span must render with dur 1, got %d", doc.TraceEvents[1].Dur)
+	}
+	if doc.TraceEvents[1].Args.Parent != 1 || doc.TraceEvents[1].Args.TraceID != 7 {
+		t.Fatalf("span linkage lost: %+v", doc.TraceEvents[1].Args)
+	}
+	// Determinism: a second render is byte-identical.
+	var b2 strings.Builder
+	_ = WriteChromeTrace(&b2, spans)
+	if b2.String() != out {
+		t.Fatalf("chrome trace output is not deterministic")
+	}
+}

@@ -91,20 +91,49 @@ func formatFloat(v float64) string {
 
 // Server exposes a Registry and a Tracer over HTTP:
 //
-//	/metrics       — Prometheus text exposition of the registry
-//	/debug/events  — JSON tail of the tracer ring (?n=100)
-//	/debug/vars    — the standard expvar dump (cmdline, memstats)
+//	/metrics         — Prometheus text exposition of the registry
+//	/debug/events    — JSON tail of the tracer ring (?n=100)
+//	/debug/vars      — the standard expvar dump (cmdline, memstats)
+//	/debug/timeline  — Chrome trace-event JSON (with WithFlight)
+//	/debug/pprof/    — live profiling (with WithProfiling)
 //
 // Either the registry or the tracer may be nil; the corresponding
 // endpoint then serves empty output.
 type Server struct {
-	ln  net.Listener
-	srv *http.Server
+	ln   net.Listener
+	srv  *http.Server
+	stop func()
+}
+
+// ServerOption configures optional endpoints of Serve.
+type ServerOption func(*serverConfig)
+
+type serverConfig struct {
+	profiling bool
+	flight    *FlightRecorder
+}
+
+// WithProfiling mounts the net/http/pprof handlers under /debug/pprof/
+// and samples runtime/metrics gauges (goroutines, heap bytes, GC
+// cycles and pause time) into the registry once a second for the
+// server's lifetime.
+func WithProfiling() ServerOption {
+	return func(c *serverConfig) { c.profiling = true }
+}
+
+// WithFlight serves the flight recorder's spans as Chrome trace-event
+// JSON at /debug/timeline.
+func WithFlight(f *FlightRecorder) ServerOption {
+	return func(c *serverConfig) { c.flight = f }
 }
 
 // Serve starts an HTTP introspection server on addr (e.g. ":9090" or
 // ":0" for an ephemeral port).
-func Serve(addr string, reg *Registry, tr *Tracer) (*Server, error) {
+func Serve(addr string, reg *Registry, tr *Tracer, opts ...ServerOption) (*Server, error) {
+	var cfg serverConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
@@ -113,7 +142,14 @@ func Serve(addr string, reg *Registry, tr *Tracer) (*Server, error) {
 	mux.Handle("/metrics", MetricsHandler(reg))
 	mux.Handle("/debug/events", EventsHandler(tr))
 	mux.Handle("/debug/vars", expvar.Handler())
-	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}, stop: func() {}}
+	if cfg.flight != nil {
+		mux.Handle("/debug/timeline", TimelineHandler(cfg.flight))
+	}
+	if cfg.profiling {
+		mountPprof(mux)
+		s.stop = StartRuntimeGauges(reg, 0)
+	}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
 }
@@ -122,13 +158,17 @@ func Serve(addr string, reg *Registry, tr *Tracer) (*Server, error) {
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
 // Close shuts the server down immediately.
-func (s *Server) Close() error { return s.srv.Close() }
+func (s *Server) Close() error {
+	s.stop()
+	return s.srv.Close()
+}
 
 // Shutdown drains the server: the listener closes immediately, requests
 // already in flight run to completion or the context deadline, whichever
 // comes first. It falls back to an abrupt Close when the context expires
 // so the listener never outlives the caller.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.stop()
 	if err := s.srv.Shutdown(ctx); err != nil {
 		_ = s.srv.Close()
 		return fmt.Errorf("obs: shutdown: %w", err)
@@ -141,6 +181,15 @@ func MetricsHandler(reg *Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = reg.WritePrometheus(w)
+	})
+}
+
+// TimelineHandler serves the flight recorder's retained spans as Chrome
+// trace-event JSON, loadable in Perfetto.
+func TimelineHandler(f *FlightRecorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = f.WriteChromeTrace(w)
 	})
 }
 

@@ -135,14 +135,18 @@ type Event struct {
 }
 
 // Tracer is a bounded ring buffer of events. When full, new events
-// overwrite the oldest. All methods are safe for concurrent use and
-// safe on a nil receiver (no-ops).
+// overwrite the oldest; the loss is counted, not silent — Dropped
+// reports how many events were overwritten, and ObserveDrops mirrors
+// the count into a registry counter. All methods are safe for
+// concurrent use and safe on a nil receiver (no-ops).
 type Tracer struct {
-	mu   sync.Mutex
-	seq  uint64
-	buf  []Event
-	next int  // slot the next event goes into
-	full bool // the ring has wrapped at least once
+	mu      sync.Mutex
+	seq     uint64
+	buf     []Event
+	next    int  // slot the next event goes into
+	full    bool // the ring has wrapped at least once
+	dropped uint64
+	drops   *Counter
 }
 
 // DefaultTracerCapacity is the ring size used by the cmd tools.
@@ -166,12 +170,41 @@ func (t *Tracer) Record(ev Event) {
 	t.mu.Lock()
 	t.seq++
 	ev.Seq = t.seq
+	if t.full {
+		// The slot still holds the oldest retained event; writing into
+		// it discards history.
+		t.dropped++
+		t.drops.Inc()
+	}
 	t.buf[t.next] = ev
 	t.next++
 	if t.next == len(t.buf) {
 		t.next = 0
 		t.full = true
 	}
+	t.mu.Unlock()
+}
+
+// Dropped returns how many events were overwritten before they could be
+// read — the ring's total loss. Safe on a nil receiver.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// ObserveDrops mirrors every future overwrite into the registry's
+// rdt_obs_events_dropped_total counter. Safe on nil receivers (either
+// side).
+func (t *Tracer) ObserveDrops(reg *Registry) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.drops = reg.Counter("rdt_obs_events_dropped_total")
 	t.mu.Unlock()
 }
 

@@ -10,7 +10,9 @@ import (
 	"time"
 
 	"github.com/rdt-go/rdt/internal/obs"
+	"github.com/rdt-go/rdt/internal/rgraph"
 	"github.com/rdt-go/rdt/internal/trace"
+	"github.com/rdt-go/rdt/internal/version"
 )
 
 // NewHandler builds the service's HTTP API:
@@ -19,6 +21,8 @@ import (
 //	GET    /v1/sessions              list sessions
 //	POST   /v1/sessions/{id}/events  ingest events         202, or 429 + Retry-After
 //	GET    /v1/sessions/{id}/verdict live RDT verdict      ?flush=1&violations=N
+//	GET    /v1/sessions/{id}/explain violation witnesses   ?violations=N&dot=1
+//	GET    /v1/sessions/{id}/timeline Chrome trace-event timeline of the pattern
 //	GET    /v1/sessions/{id}/line    recovery-line query
 //	GET    /v1/sessions/{id}/trace   pattern-so-far dump   (rdtcheck - compatible)
 //	POST   /v1/sessions/{id}/seal    finalize the session
@@ -35,6 +39,8 @@ func NewHandler(svc *Service) http.Handler {
 	mux.HandleFunc("GET /v1/sessions", a.timed("list", a.listSessions))
 	mux.HandleFunc("POST /v1/sessions/{id}/events", a.timed("ingest", a.ingest))
 	mux.HandleFunc("GET /v1/sessions/{id}/verdict", a.timed("verdict", a.verdict))
+	mux.HandleFunc("GET /v1/sessions/{id}/explain", a.timed("explain", a.explain))
+	mux.HandleFunc("GET /v1/sessions/{id}/timeline", a.timed("timeline", a.timeline))
 	mux.HandleFunc("GET /v1/sessions/{id}/line", a.timed("line", a.line))
 	mux.HandleFunc("GET /v1/sessions/{id}/trace", a.timed("trace", a.trace))
 	mux.HandleFunc("POST /v1/sessions/{id}/seal", a.timed("seal", a.seal))
@@ -194,6 +200,81 @@ func (a *api) verdict(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, sess.Verdict(maxViolations))
 }
 
+// witnessInfo renders one violation witness on the wire: the convicted
+// pair, the minimal zigzag chain hop by hop, and a one-line rendering.
+type witnessInfo struct {
+	Violation ViolationInfo `json:"violation"`
+	Hops      []rgraph.Hop  `json:"hops"`
+	NonCausal int           `json:"non_causal"`
+	String    string        `json:"string"`
+}
+
+type explainResponse struct {
+	Session   string        `json:"session"`
+	RDT       bool          `json:"rdt"`
+	Witnesses []witnessInfo `json:"witnesses"`
+	// DOT, present with ?dot=1, is the space-time diagram with the first
+	// witness highlighted.
+	DOT string `json:"dot,omitempty"`
+}
+
+func (a *api) explain(w http.ResponseWriter, r *http.Request) {
+	sess, ok := a.session(w, r)
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	maxViolations := 0
+	if v := q.Get("violations"); v != "" {
+		if _, err := fmt.Sscanf(v, "%d", &maxViolations); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad violations: %w", err))
+			return
+		}
+	}
+	p, witnesses, err := sess.Explain(maxViolations)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := explainResponse{
+		Session:   sess.ID,
+		RDT:       len(witnesses) == 0,
+		Witnesses: make([]witnessInfo, 0, len(witnesses)),
+	}
+	for _, wit := range witnesses {
+		resp.Witnesses = append(resp.Witnesses, witnessInfo{
+			Violation: violationInfo(wit.Violation),
+			Hops:      wit.Hops,
+			NonCausal: wit.NonCausal,
+			String:    wit.String(),
+		})
+	}
+	if q.Get("dot") == "1" && len(witnesses) > 0 {
+		first := witnesses[0]
+		resp.DOT = p.DOTWitness(first.MessageIDs(),
+			first.Violation.From, first.Violation.To)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// timeline serves the session's pattern-so-far as Chrome trace-event
+// JSON (load it in chrome://tracing or Perfetto): sends, deliveries and
+// checkpoints on one logical-clock track per process.
+func (a *api) timeline(w http.ResponseWriter, r *http.Request) {
+	sess, ok := a.session(w, r)
+	if !ok {
+		return
+	}
+	p, lost, err := sess.Snapshot()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Rdt-Lost-Messages", fmt.Sprint(len(lost)))
+	_ = trace.WriteTimeline(w, p)
+}
+
 type lineResponse struct {
 	Line          []int `json:"line"`
 	Bounds        []int `json:"bounds"`
@@ -264,7 +345,12 @@ func (a *api) healthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, code, struct {
 		Status   string `json:"status"`
 		Sessions int    `json:"sessions"`
-	}{Status: status, Sessions: a.svc.SessionCount()})
+		Version  string `json:"version"`
+		Commit   string `json:"commit"`
+	}{
+		Status: status, Sessions: a.svc.SessionCount(),
+		Version: version.Version, Commit: version.Commit,
+	})
 }
 
 // Server is the service bound to a listener.

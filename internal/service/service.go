@@ -115,10 +115,11 @@ type Service struct {
 	draining atomic.Bool
 	drainOne sync.Once
 
-	mSessions   *obs.Gauge
-	mCreated    *obs.Counter
-	mIngested   *obs.Counter
-	mViolations *obs.Counter
+	mSessions     *obs.Gauge
+	mCreated      *obs.Counter
+	mIngested     *obs.Counter
+	mViolations   *obs.Counter
+	mBackpressure *obs.Counter
 }
 
 type shard struct {
@@ -130,13 +131,14 @@ type shard struct {
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	s := &Service{
-		cfg:         cfg,
-		shards:      make([]*shard, cfg.Shards),
-		stop:        make(chan struct{}),
-		mSessions:   cfg.Registry.Gauge("rdt_service_sessions"),
-		mCreated:    cfg.Registry.Counter("rdt_service_sessions_created_total"),
-		mIngested:   cfg.Registry.Counter("rdt_service_events_ingested_total"),
-		mViolations: cfg.Registry.Counter("rdt_service_violations_total"),
+		cfg:           cfg,
+		shards:        make([]*shard, cfg.Shards),
+		stop:          make(chan struct{}),
+		mSessions:     cfg.Registry.Gauge("rdt_service_sessions"),
+		mCreated:      cfg.Registry.Counter("rdt_service_sessions_created_total"),
+		mIngested:     cfg.Registry.Counter("rdt_service_events_ingested_total"),
+		mViolations:   cfg.Registry.Counter("rdt_service_violations_total"),
+		mBackpressure: cfg.Registry.Counter("rdt_service_backpressure_total"),
 	}
 	for i := range s.shards {
 		s.shards[i] = &shard{sessions: make(map[string]*Session)}

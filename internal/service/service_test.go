@@ -284,6 +284,9 @@ func TestBackpressure(t *testing.T) {
 	if got := reg.Snapshot().CounterValue("rdt_service_events_rejected_total", "reason", "backpressure"); got < 1 {
 		t.Fatalf("rejected{backpressure} = %d, want >= 1", got)
 	}
+	if got := reg.Snapshot().CounterValue("rdt_service_backpressure_total"); got < 1 {
+		t.Fatalf("rdt_service_backpressure_total = %d, want >= 1", got)
+	}
 }
 
 func waitFor(t *testing.T, cond func() bool) {
@@ -517,6 +520,84 @@ func TestHTTPLifecycle(t *testing.T) {
 	resp, data = c.do("GET", "/metrics", nil)
 	if resp.StatusCode != http.StatusOK || !bytes.Contains(data, []byte("rdt_service_events_ingested_total")) {
 		t.Fatalf("metrics endpoint: %d (%.120s)", resp.StatusCode, data)
+	}
+}
+
+// TestHTTPExplainAndTimeline drives the zigzag scenario of
+// TestSessionVerdictMatchesBatch through the HTTP API and checks the two
+// observability endpoints: /explain returns an independently verifiable
+// witness (plus the highlighted DOT), /timeline returns Chrome
+// trace-event JSON of the pattern-so-far.
+func TestHTTPExplainAndTimeline(t *testing.T) {
+	c, _, _ := newTestServer(t, Config{})
+	c.expect("POST", "/v1/sessions", createRequest{ID: "zig", N: 2}, http.StatusCreated, nil)
+	c.expect("POST", "/v1/sessions/zig/events", []Event{
+		{Op: OpSend, Proc: 1, Peer: 0, Msg: 0},
+		{Op: OpDeliver, Msg: 0},
+		{Op: OpCheckpoint, Proc: 0},
+		{Op: OpSend, Proc: 0, Peer: 1, Msg: 1},
+		{Op: OpDeliver, Msg: 1},
+		{Op: OpCheckpoint, Proc: 1},
+	}, http.StatusAccepted, nil)
+	c.expect("GET", "/v1/sessions/zig/verdict?flush=1", nil, http.StatusOK, nil)
+
+	var exp explainResponse
+	c.expect("GET", "/v1/sessions/zig/explain?dot=1", nil, http.StatusOK, &exp)
+	if exp.RDT || len(exp.Witnesses) == 0 {
+		t.Fatalf("explain found no witnesses for the zigzag scenario: %+v", exp)
+	}
+	for _, w := range exp.Witnesses {
+		if len(w.Hops) < 2 {
+			t.Fatalf("witness %q has %d hops, want >= 2", w.String, len(w.Hops))
+		}
+		if w.NonCausal < 1 {
+			t.Fatalf("witness %q has no non-causal continuation", w.String)
+		}
+	}
+	if !strings.Contains(exp.DOT, "color=red") {
+		t.Fatalf("witness DOT does not highlight the witness:\n%s", exp.DOT)
+	}
+
+	// The witness survives independent re-verification against the
+	// pattern the /trace endpoint serves.
+	resp, data := c.do("GET", "/v1/sessions/zig/trace", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace: %d", resp.StatusCode)
+	}
+	p, err := trace.Load(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("load trace: %v", err)
+	}
+	_, witnesses, err := rgraph.Explain(p, 16)
+	if err != nil {
+		t.Fatalf("batch explain: %v", err)
+	}
+	if len(witnesses) != len(exp.Witnesses) {
+		t.Fatalf("batch explain found %d witnesses, endpoint %d", len(witnesses), len(exp.Witnesses))
+	}
+	for i, w := range witnesses {
+		if err := rgraph.VerifyWitness(p, w); err != nil {
+			t.Fatalf("witness %d: %v", i, err)
+		}
+		if w.String() != exp.Witnesses[i].String {
+			t.Fatalf("witness %d: batch %q != endpoint %q", i, w.String(), exp.Witnesses[i].String)
+		}
+	}
+
+	resp, data = c.do("GET", "/v1/sessions/zig/timeline", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("timeline: %d (%s)", resp.StatusCode, data)
+	}
+	var doc struct {
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+		TraceEvents     []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("timeline is not valid JSON: %v\n%s", err, data)
+	}
+	// Two spans per message plus one per non-initial checkpoint.
+	if doc.DisplayTimeUnit != "ms" || len(doc.TraceEvents) < 2*len(p.Messages) {
+		t.Fatalf("timeline has %d events (unit %q), want >= %d", len(doc.TraceEvents), doc.DisplayTimeUnit, 2*len(p.Messages))
 	}
 }
 

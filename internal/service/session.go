@@ -238,6 +238,9 @@ func (s *Session) enqueue(b batch) error {
 	case s.queue <- b:
 		return nil
 	default:
+		// Two series: the per-event rejection breakdown and the plain
+		// request-level backpressure counter alert rules key on.
+		s.svc.mBackpressure.Inc()
 		s.svc.reject(reasonBackpressure, max(len(b.events), 1))
 		return ErrBackpressure
 	}
@@ -428,6 +431,29 @@ func (s *Session) Snapshot() (*model.Pattern, []model.LostMessage, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.builder.Snapshot()
+}
+
+// Explain finalizes a lockstep snapshot of the pattern-so-far and
+// derives a minimal witness — the concrete non-causal zigzag chain —
+// for each of the incremental checker's violations (at most
+// maxViolations of them; <= 0 for the service default). The pattern is
+// returned with the witnesses so callers can render them (DOT, JSON).
+func (s *Session) Explain(maxViolations int) (*model.Pattern, []*rgraph.Witness, error) {
+	if maxViolations <= 0 {
+		maxViolations = s.svc.cfg.MaxViolations
+	}
+	s.touch()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, _, err := s.builder.Snapshot()
+	if err != nil {
+		return nil, nil, err
+	}
+	_, ws, err := s.inc.Explain(p, maxViolations)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, ws, nil
 }
 
 // Line computes the recovery line from the session's closed

@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/rdt-go/rdt/internal/model"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatalf("mkdir: %v", err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s: output differs from golden file (run with -update to rewrite)\ngot:\n%s", name, got)
+	}
+}
+
+// TestTimelineGolden pins the Chrome trace-event export of the Figure 1
+// pattern byte for byte: the logical clock makes the timeline a pure
+// function of the pattern.
+func TestTimelineGolden(t *testing.T) {
+	p, err := Figure1()
+	if err != nil {
+		t.Fatalf("figure 1: %v", err)
+	}
+	var b bytes.Buffer
+	if err := WriteTimeline(&b, p); err != nil {
+		t.Fatalf("write timeline: %v", err)
+	}
+	first := b.Bytes()
+	var b2 bytes.Buffer
+	if err := WriteTimeline(&b2, p); err != nil {
+		t.Fatalf("write timeline: %v", err)
+	}
+	if !bytes.Equal(first, b2.Bytes()) {
+		t.Fatalf("timeline export is not deterministic")
+	}
+	golden(t, "figure1_timeline.json", first)
+}
+
+// TestWitnessDOTGolden pins the space-time diagram of Figure 1 with the
+// paper's own witness — the non-causal chain [m3 m2] convicting the
+// pair (C_{k,1}, C_{i,2}) — highlighted.
+func TestWitnessDOTGolden(t *testing.T) {
+	p, err := Figure1()
+	if err != nil {
+		t.Fatalf("figure 1: %v", err)
+	}
+	out := p.DOTWitness([]int{M3, M2},
+		model.CkptID{Proc: Pk, Index: 1},
+		model.CkptID{Proc: Pi, Index: 2})
+	if out != p.DOTWitness([]int{M3, M2},
+		model.CkptID{Proc: Pk, Index: 1},
+		model.CkptID{Proc: Pi, Index: 2}) {
+		t.Fatalf("witness DOT export is not deterministic")
+	}
+	golden(t, "figure1_witness.dot", []byte(out))
+}

@@ -1,0 +1,20 @@
+// Package version carries the build identity of the rdt binaries. The
+// variables are overridden at link time by the Makefile:
+//
+//	go build -ldflags "-X .../internal/version.Version=v1.2.3 \
+//	                   -X .../internal/version.Commit=abc1234"
+//
+// A plain `go build` leaves the development defaults in place.
+package version
+
+var (
+	// Version is the release tag, or "dev" for unstamped builds.
+	Version = "dev"
+	// Commit is the short git revision the binary was built from.
+	Commit = "unknown"
+)
+
+// String renders the one-line version banner the -version flags print.
+func String() string {
+	return Version + " (" + Commit + ")"
+}

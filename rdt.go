@@ -15,6 +15,7 @@ import (
 	"github.com/rdt-go/rdt/internal/storage"
 	"github.com/rdt-go/rdt/internal/trace"
 	"github.com/rdt-go/rdt/internal/transport"
+	"github.com/rdt-go/rdt/internal/version"
 	"github.com/rdt-go/rdt/internal/workload"
 )
 
@@ -466,6 +467,7 @@ const (
 	EventSuspicion        = obs.EventSuspicion
 	EventEscalation       = obs.EventEscalation
 	EventQuarantine       = obs.EventQuarantine
+	EventViolation        = obs.EventViolation
 )
 
 // NewMetricsRegistry returns an empty metrics registry.
@@ -476,6 +478,100 @@ func NewEventTracer(capacity int) *EventTracer { return obs.NewTracer(capacity) 
 
 // ServeObs starts an HTTP introspection server on addr (":0" picks an
 // ephemeral port; see ObsServer.Addr). Either argument may be nil.
-func ServeObs(addr string, reg *MetricsRegistry, tr *EventTracer) (*ObsServer, error) {
-	return obs.Serve(addr, reg, tr)
+// Options add endpoints: WithProfiling mounts /debug/pprof and runtime
+// gauges, WithFlightRecorder mounts /debug/timeline.
+func ServeObs(addr string, reg *MetricsRegistry, tr *EventTracer, opts ...ObsServerOption) (*ObsServer, error) {
+	return obs.Serve(addr, reg, tr, opts...)
 }
+
+// Violation witnesses: minimal concrete evidence for RDT violations.
+type (
+	// RDTWitness is a minimal message chain realizing one untrackable
+	// R-path: the zigzag a dependency vector cannot track.
+	RDTWitness = rgraph.Witness
+	// WitnessHop is one message of a witness chain.
+	WitnessHop = rgraph.Hop
+	// WitnessExplainer extracts minimal witnesses for the violations of
+	// one pattern (amortizing the chain-continuation precomputation).
+	WitnessExplainer = rgraph.Explainer
+)
+
+// ExplainRDT checks the RDT property and derives a minimal witness for
+// each violation found (up to maxViolations; <= 0 for a default cap).
+func ExplainRDT(p *Pattern, maxViolations int) (*RDTReport, []*RDTWitness, error) {
+	return rgraph.Explain(p, maxViolations)
+}
+
+// NewWitnessExplainer precomputes the chain-continuation relation of a
+// pattern for repeated witness extraction.
+func NewWitnessExplainer(p *Pattern) (*WitnessExplainer, error) { return rgraph.NewExplainer(p) }
+
+// VerifyWitness independently re-checks a witness against a pattern:
+// hops must be real messages forming a chain from the violation's source
+// to its target with at least one non-causal continuation, and the pair
+// must not be causally doubled.
+func VerifyWitness(p *Pattern, w *RDTWitness) error { return rgraph.VerifyWitness(p, w) }
+
+// Causal tracing: spans in a bounded flight recorder, exported as Chrome
+// trace-event JSON (chrome://tracing, Perfetto). A FlightRecorder in
+// ClusterConfig.Flight records one span per send, delivery, checkpoint
+// write, and recovery step, with deliveries parented to the send that
+// caused them across processes.
+type (
+	// FlightRecorder is a bounded ring of spans.
+	FlightRecorder = obs.FlightRecorder
+	// Span is one operation of a causal trace.
+	Span = obs.Span
+	// SpanKind classifies spans.
+	SpanKind = obs.SpanKind
+	// ObsServerOption configures ServeObs.
+	ObsServerOption = obs.ServerOption
+)
+
+// The span kinds a flight recorder holds.
+const (
+	SpanSend       = obs.SpanSend
+	SpanDeliver    = obs.SpanDeliver
+	SpanForced     = obs.SpanForced
+	SpanCheckpoint = obs.SpanCheckpoint
+	SpanRecovery   = obs.SpanRecovery
+	SpanRollback   = obs.SpanRollback
+	SpanSeal       = obs.SpanSeal
+)
+
+// DefaultFlightCapacity is the flight-recorder ring size the cmd tools
+// use.
+const DefaultFlightCapacity = obs.DefaultFlightCapacity
+
+// NewFlightRecorder returns a recorder retaining the last capacity spans
+// (<= 0 for DefaultFlightCapacity).
+func NewFlightRecorder(capacity int) *FlightRecorder { return obs.NewFlightRecorder(capacity) }
+
+// WriteChromeTrace renders spans as Chrome trace-event JSON.
+func WriteChromeTrace(w io.Writer, spans []Span) error { return obs.WriteChromeTrace(w, spans) }
+
+// PatternTimeline converts a recorded pattern into spans on a
+// deterministic logical clock — the offline twin of the live flight
+// recorder.
+func PatternTimeline(p *Pattern) []Span { return trace.Timeline(p) }
+
+// WritePatternTimeline renders a pattern's logical timeline as Chrome
+// trace-event JSON.
+func WritePatternTimeline(w io.Writer, p *Pattern) error { return trace.WriteTimeline(w, p) }
+
+// WithProfiling mounts /debug/pprof and periodic runtime gauges
+// (goroutines, heap, GC) on the observability server.
+func WithProfiling() ObsServerOption { return obs.WithProfiling() }
+
+// WithFlightRecorder mounts /debug/timeline serving the recorder's
+// spans as Chrome trace-event JSON.
+func WithFlightRecorder(f *FlightRecorder) ObsServerOption { return obs.WithFlight(f) }
+
+// Build identity, stamped by the Makefile at link time ("dev"/"unknown"
+// in plain go-build binaries).
+var (
+	// BuildVersion is the release tag of this build.
+	BuildVersion = version.Version
+	// BuildCommit is the git revision of this build.
+	BuildCommit = version.Commit
+)
