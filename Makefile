@@ -13,7 +13,7 @@ COMMIT  ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
 LDFLAGS  = -X github.com/rdt-go/rdt/internal/version.Version=$(VERSION) \
            -X github.com/rdt-go/rdt/internal/version.Commit=$(COMMIT)
 
-.PHONY: all build test race vet chaos chaos-supervise serve-smoke trace-smoke fuzz-smoke check bench bench-baseline obs-bench clean
+.PHONY: all build test race vet chaos chaos-supervise serve-smoke trace-smoke fuzz-smoke durability-smoke check bench bench-baseline obs-bench clean
 
 all: test
 
@@ -68,11 +68,21 @@ trace-smoke:
 	$(GO) run -ldflags "$(LDFLAGS)" ./cmd/rdtcheck -figure1 -explain | grep 'witness:' >/dev/null
 
 # Fuzz smoke: a short bounded run of every fuzz target over untrusted
-# decoder surfaces (cluster wire messages, trace JSON, service events).
+# decoder surfaces (cluster wire messages, trace JSON, service events,
+# WAL files fed back through the scanner).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzDecodeMsg' -fuzztime 10s ./internal/cluster/
 	$(GO) test -run '^$$' -fuzz 'FuzzLoad' -fuzztime 10s ./internal/trace/
 	$(GO) test -run '^$$' -fuzz 'FuzzDecodeEvents' -fuzztime 10s ./internal/service/
+	$(GO) test -run '^$$' -fuzz 'FuzzWALReplay' -fuzztime 10s ./internal/wal/
+
+# Durability smoke: boot rdtserved with -data-dir, ingest a known
+# stream, kill -9, restart on the same directory, and require the
+# recovered verdict to be byte-identical (plus a real WAL replay). The
+# in-process counterpart is the crash-point differential test:
+# TestCrashPointDifferential in internal/service.
+durability-smoke:
+	./scripts/durability_smoke.sh
 
 # Everything a change must pass before review.
 check: test race chaos chaos-supervise

@@ -52,16 +52,18 @@ var serving = func(addr string) {}
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("rdtserved", flag.ContinueOnError)
 	var (
-		addr     = fs.String("addr", ":8080", "HTTP listen address (:0 picks a port)")
-		queue    = fs.Int("queue", service.DefaultQueueDepth, "per-session ingestion queue depth, in batches")
-		shards   = fs.Int("shards", service.DefaultShards, "session-map shards")
-		maxBatch = fs.Int("max-batch", service.DefaultMaxBatch, "maximum events per ingest request")
-		maxCkpts = fs.Int("max-checkpoints", service.DefaultMaxCheckpoints, "maximum checkpoints per session")
-		maxViol  = fs.Int("violations", service.DefaultMaxViolations, "default violations listed per verdict")
-		idle     = fs.Duration("idle-timeout", 30*time.Minute, "evict sessions untouched this long (0 disables)")
-		sweep    = fs.Duration("sweep-interval", service.DefaultSweepInterval, "idle-eviction sweep period")
-		drain    = fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget")
-		events   = fs.Int("events", obs.DefaultTracerCapacity, "violation/rollback trace ring capacity")
+		addr      = fs.String("addr", ":8080", "HTTP listen address (:0 picks a port)")
+		queue     = fs.Int("queue", service.DefaultQueueDepth, "per-session ingestion queue depth, in batches")
+		shards    = fs.Int("shards", service.DefaultShards, "session-map shards")
+		maxBatch  = fs.Int("max-batch", service.DefaultMaxBatch, "maximum events per ingest request")
+		maxCkpts  = fs.Int("max-checkpoints", service.DefaultMaxCheckpoints, "maximum checkpoints per session")
+		maxViol   = fs.Int("violations", service.DefaultMaxViolations, "default violations listed per verdict")
+		idle      = fs.Duration("idle-timeout", 30*time.Minute, "evict sessions untouched this long (0 disables)")
+		sweep     = fs.Duration("sweep-interval", service.DefaultSweepInterval, "idle-eviction sweep period")
+		drain     = fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget")
+		events    = fs.Int("events", obs.DefaultTracerCapacity, "violation/rollback trace ring capacity")
+		dataDir   = fs.String("data-dir", "", "durable session state directory: WAL + snapshots per session, crash recovery on start (empty disables durability)")
+		snapEvery = fs.Int("snapshot-every", service.DefaultSnapshotEvery, "events between session snapshots (with -data-dir)")
 
 		pprofAddr   = fs.String("pprof-addr", "", "serve /debug/pprof and runtime gauges on this extra address (:0 picks a port; empty disables profiling)")
 		showVersion = fs.Bool("version", false, "print version and exit")
@@ -86,9 +88,25 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		MaxViolations:  *maxViol,
 		IdleTimeout:    *idle,
 		SweepInterval:  *sweep,
+		DataDir:        *dataDir,
+		SnapshotEvery:  *snapEvery,
 		Registry:       obs.NewRegistry(),
 		Tracer:         obs.NewTracer(*events),
 	})
+	if *dataDir != "" {
+		// Recovery runs before the listener binds, so the first request
+		// already sees every persisted session.
+		start := time.Now()
+		stats, err := svc.Recover()
+		if err != nil {
+			return fmt.Errorf("recover %s: %w", *dataDir, err)
+		}
+		fmt.Fprintf(out,
+			"rdtserved: recovered %d sessions from %s in %s (%d records / %d events replayed, %d WAL tails truncated, %d snapshots quarantined, %d sessions quarantined)\n",
+			stats.Sessions, *dataDir, time.Since(start).Round(time.Millisecond),
+			stats.Records, stats.Events, stats.Truncations,
+			stats.QuarantinedSnapshots, stats.QuarantinedSessions)
+	}
 	srv, err := service.Serve(*addr, svc)
 	if err != nil {
 		return err

@@ -363,6 +363,113 @@ func TestServeProfilingListener(t *testing.T) {
 	}
 }
 
+// startDaemonOut is startDaemon with captured output, for tests that
+// assert on the daemon's log lines.
+func startDaemonOut(t *testing.T, out io.Writer, args ...string) (string, context.CancelFunc, func() error) {
+	t.Helper()
+	addrCh := make(chan string, 1)
+	prev := serving
+	serving = func(a string) { addrCh <- a }
+	t.Cleanup(func() { serving = prev })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	errCh := make(chan error, 1)
+	go func() { errCh <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), out) }()
+
+	select {
+	case addr := <-addrCh:
+		return "http://" + addr, cancel, func() error { return <-errCh }
+	case err := <-errCh:
+		t.Fatalf("daemon exited before binding: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not bind in time")
+	}
+	panic("unreachable")
+}
+
+// TestServeDurableRestart is the daemon-level drain/restart cycle: a
+// SIGTERM-style drain passivates every session with a final snapshot,
+// so the restarted daemon logs a recovery with zero replayed records
+// and answers identical verdicts — sealed sessions stay sealed, open
+// sessions keep ingesting.
+func TestServeDurableRestart(t *testing.T) {
+	dir := t.TempDir()
+	base, cancel, wait := startDaemon(t, "-data-dir", dir, "-snapshot-every", "8")
+
+	// One sealed session (driveSession seals at the end)...
+	if err := driveSession(base, "sealed", 3, 0xd00d, 90); err != nil {
+		t.Fatal(err)
+	}
+	// ...and one left open mid-run.
+	if _, err := postJSON(base, "/v1/sessions", map[string]any{"id": "open", "n": 2}, nil); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := postJSON(base, "/v1/sessions/open/events", []service.Event{
+		{Op: service.OpSend, Proc: 0, Peer: 1, Msg: 0},
+		{Op: service.OpDeliver, Msg: 0},
+		{Op: service.OpCheckpoint, Proc: 1},
+	}, nil); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	var sealedBefore, openBefore service.Verdict
+	if err := getJSON(base, "/v1/sessions/sealed/verdict?flush=1", &sealedBefore); err != nil {
+		t.Fatalf("verdict: %v", err)
+	}
+	if err := getJSON(base, "/v1/sessions/open/verdict?flush=1", &openBefore); err != nil {
+		t.Fatalf("verdict: %v", err)
+	}
+	cancel()
+	if err := wait(); err != nil {
+		t.Fatalf("daemon exit: %v", err)
+	}
+
+	var out syncBuffer
+	base2, cancel2, wait2 := startDaemonOut(t, &out, "-data-dir", dir, "-snapshot-every", "8")
+	if m := regexp.MustCompile(`recovered 2 sessions .* \(0 records / 0 events replayed`).FindString(out.String()); m == "" {
+		t.Fatalf("recovery line missing or replayed records after a clean drain:\n%s", out.String())
+	}
+	var sealedAfter, openAfter service.Verdict
+	if err := getJSON(base2, "/v1/sessions/sealed/verdict", &sealedAfter); err != nil {
+		t.Fatalf("verdict after restart: %v", err)
+	}
+	if err := getJSON(base2, "/v1/sessions/open/verdict", &openAfter); err != nil {
+		t.Fatalf("verdict after restart: %v", err)
+	}
+	sealedBefore.Session, sealedAfter.Session = "", ""
+	openBefore.Session, openAfter.Session = "", ""
+	for _, pair := range []struct {
+		name          string
+		before, after service.Verdict
+	}{{"sealed", sealedBefore, sealedAfter}, {"open", openBefore, openAfter}} {
+		b, _ := json.Marshal(pair.before)
+		a, _ := json.Marshal(pair.after)
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s verdict changed across restart:\n  before %s\n  after  %s", pair.name, b, a)
+		}
+	}
+	if sealedAfter.State != "sealed" {
+		t.Errorf("sealed session state %q after restart", sealedAfter.State)
+	}
+	// The open session keeps ingesting after the restart.
+	if _, err := postJSON(base2, "/v1/sessions/open/events", []service.Event{
+		{Op: service.OpCheckpoint, Proc: 0},
+	}, nil); err != nil {
+		t.Fatalf("ingest after restart: %v", err)
+	}
+	var openMore service.Verdict
+	if err := getJSON(base2, "/v1/sessions/open/verdict?flush=1", &openMore); err != nil {
+		t.Fatalf("verdict: %v", err)
+	}
+	if openMore.EventsApplied != openAfter.EventsApplied+1 {
+		t.Fatalf("events applied %d, want %d", openMore.EventsApplied, openAfter.EventsApplied+1)
+	}
+	cancel2()
+	if err := wait2(); err != nil {
+		t.Fatalf("second daemon exit: %v", err)
+	}
+}
+
 func TestServeVersionFlag(t *testing.T) {
 	var out bytes.Buffer
 	if err := run(context.Background(), []string{"-version"}, &out); err != nil {

@@ -1,0 +1,152 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/rdt-go/rdt/internal/binenc"
+)
+
+// Deterministic binary state codec for Builder, used by the checking
+// service's session snapshots: AppendBinary serializes every field a
+// later DecodeBuilder needs to continue the event stream with behavior
+// identical to the original builder — same pattern, same handles, same
+// sequence numbers. Encoding the same builder state always yields the
+// same bytes (maps are emitted in sorted key order), so snapshots are
+// reproducible and diffable.
+
+var builderMagic = []byte("RDTBLDR1")
+
+// maxDecodeN bounds the process count a decoded builder or checker will
+// allocate for; it matches the service's hard cap on session size.
+const maxDecodeN = 1 << 20
+
+// AppendBinary appends the builder's complete state to buf and returns
+// the extended slice.
+func (b *Builder) AppendBinary(buf []byte) []byte {
+	buf = append(buf, builderMagic...)
+	buf = binenc.AppendInt(buf, b.n)
+	for _, s := range b.seq {
+		buf = binenc.AppendInt(buf, s)
+	}
+	for i := 0; i < b.n; i++ {
+		buf = binenc.AppendInt(buf, len(b.ckpts[i]))
+		for _, ck := range b.ckpts[i] {
+			// Proc and Index are implied by position.
+			buf = binenc.AppendInt(buf, ck.Seq)
+			buf = append(buf, byte(ck.Kind))
+			if ck.TDV == nil {
+				buf = binenc.AppendBool(buf, false)
+			} else {
+				buf = binenc.AppendBool(buf, true)
+				buf = binenc.AppendInts(buf, ck.TDV)
+			}
+		}
+	}
+	buf = binenc.AppendInt(buf, len(b.msgs))
+	for _, m := range b.msgs {
+		buf = binenc.AppendInt(buf, m.ID)
+		buf = binenc.AppendInt(buf, int(m.From))
+		buf = binenc.AppendInt(buf, int(m.To))
+		buf = binenc.AppendInt(buf, m.SendInterval)
+		buf = binenc.AppendInt(buf, m.SendSeq)
+		buf = binenc.AppendInt(buf, m.DeliverInterval)
+		buf = binenc.AppendInt(buf, m.DeliverSeq)
+	}
+	ids := make([]int, 0, len(b.sent))
+	for id := range b.sent {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	buf = binenc.AppendInt(buf, len(ids))
+	for _, id := range ids {
+		ps := b.sent[id]
+		buf = binenc.AppendInt(buf, id)
+		buf = binenc.AppendInt(buf, int(ps.from))
+		buf = binenc.AppendInt(buf, int(ps.to))
+		buf = binenc.AppendInt(buf, ps.sendInterval)
+		buf = binenc.AppendInt(buf, ps.sendSeq)
+	}
+	buf = binenc.AppendInt(buf, b.nextID)
+	return buf
+}
+
+// DecodeBuilder reconstructs a builder from AppendBinary output. The
+// input is validated structurally (counts, process ranges), so corrupt
+// snapshot bytes fail cleanly instead of yielding a builder that
+// panics later.
+func DecodeBuilder(data []byte) (*Builder, error) {
+	r := binenc.NewReader(data)
+	r.Expect(builderMagic)
+	n := r.IntMax(maxDecodeN)
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("decode builder: %w", err)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("decode builder: process count %d", n)
+	}
+	b := &Builder{
+		n:     n,
+		seq:   make([]int, n),
+		ckpts: make([][]Checkpoint, n),
+		sent:  make(map[int]*pendingSend),
+	}
+	for i := range b.seq {
+		b.seq[i] = r.Int()
+	}
+	for i := 0; i < n; i++ {
+		cnt := r.IntMax(maxDecodeN)
+		if r.Err() != nil {
+			break
+		}
+		if cnt < 1 {
+			return nil, fmt.Errorf("decode builder: process %d has no initial checkpoint", i)
+		}
+		b.ckpts[i] = make([]Checkpoint, cnt)
+		for x := range b.ckpts[i] {
+			ck := &b.ckpts[i][x]
+			ck.Proc, ck.Index = ProcID(i), x
+			ck.Seq = r.Int()
+			ck.Kind = CheckpointKind(r.Byte())
+			if r.Bool() {
+				ck.TDV = r.Ints(maxDecodeN)
+			}
+			if r.Err() == nil && (ck.Kind < KindInitial || ck.Kind > KindFinal) {
+				return nil, fmt.Errorf("decode builder: checkpoint C{%d,%d} has kind %d", i, x, ck.Kind)
+			}
+		}
+	}
+	msgCount := r.IntMax(maxDecodeN)
+	if r.Err() == nil && msgCount > 0 {
+		b.msgs = make([]Message, msgCount)
+		for k := range b.msgs {
+			m := &b.msgs[k]
+			m.ID = r.Int()
+			m.From = ProcID(r.IntMax(n - 1))
+			m.To = ProcID(r.IntMax(n - 1))
+			m.SendInterval = r.Int()
+			m.SendSeq = r.Int()
+			m.DeliverInterval = r.Int()
+			m.DeliverSeq = r.Int()
+		}
+	}
+	sentCount := r.IntMax(maxDecodeN)
+	for k := 0; k < sentCount && r.Err() == nil; k++ {
+		id := r.Int()
+		ps := &pendingSend{
+			from:         ProcID(r.IntMax(n - 1)),
+			to:           ProcID(r.IntMax(n - 1)),
+			sendInterval: r.Int(),
+			sendSeq:      r.Int(),
+		}
+		if _, dup := b.sent[id]; dup {
+			return nil, fmt.Errorf("decode builder: duplicate in-flight message %d", id)
+		}
+		b.sent[id] = ps
+	}
+	b.nextID = r.Int()
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("decode builder: %w", err)
+	}
+	return b, nil
+}

@@ -1,0 +1,196 @@
+package rgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/rdt-go/rdt/internal/binenc"
+	"github.com/rdt-go/rdt/internal/model"
+	"github.com/rdt-go/rdt/internal/vclock"
+)
+
+// Deterministic binary state codec for Incremental, used by the
+// checking service's session snapshots. AppendBinary emits only the
+// primitive state — running vectors, in-flight stamps, interval
+// bookkeeping, node table, and the R-graph edge list (direct
+// predecessors in insertion order). DecodeIncremental re-inserts the
+// edges through addEdge, which rebuilds the transitive closure and,
+// because every node's taken flag and recorded vector are restored
+// first, re-judges every untrackable pair exactly once: the violation
+// count and first violation come out identical to the original
+// checker's without being stored. A decoded checker is behaviorally
+// indistinguishable from one that consumed the original event stream.
+
+var incMagic = []byte("RDTINCR1")
+
+const (
+	// maxDecodeProcs and maxDecodeNodes bound the allocations a corrupt
+	// snapshot can request.
+	maxDecodeProcs = 1 << 20
+	maxDecodeNodes = 1 << 24
+)
+
+// AppendBinary appends the checker's complete state to buf and returns
+// the extended slice. Maps are emitted in sorted key order, so equal
+// states encode to equal bytes.
+func (inc *Incremental) AppendBinary(buf []byte) []byte {
+	buf = append(buf, incMagic...)
+	buf = binenc.AppendInt(buf, inc.n)
+	buf = binenc.AppendBool(buf, inc.sealed)
+	for i := 0; i < inc.n; i++ {
+		buf = appendVec(buf, inc.cur[i])
+	}
+	buf = binenc.AppendInt(buf, inc.nextMsg)
+	handles := make([]int, 0, len(inc.flight))
+	for h := range inc.flight {
+		handles = append(handles, h)
+	}
+	sort.Ints(handles)
+	buf = binenc.AppendInt(buf, len(handles))
+	for _, h := range handles {
+		pe := inc.flight[h]
+		buf = binenc.AppendInt(buf, h)
+		buf = binenc.AppendInt(buf, int(pe.from))
+		buf = binenc.AppendInt(buf, int(pe.to))
+		buf = binenc.AppendInt(buf, pe.sendInterval)
+		buf = appendVec(buf, inc.stamps[h])
+	}
+	for i := 0; i < inc.n; i++ {
+		buf = binenc.AppendInt(buf, inc.nextIndex[i])
+		buf = binenc.AppendInt(buf, inc.events[i])
+	}
+	buf = binenc.AppendInt(buf, len(inc.nodeProc))
+	for v := range inc.nodeProc {
+		buf = binenc.AppendInt(buf, int(inc.nodeProc[v]))
+		buf = binenc.AppendInt(buf, int(inc.nodeIndex[v]))
+		buf = binenc.AppendBool(buf, inc.taken[v])
+		if inc.taken[v] {
+			for _, x := range inc.tdvs[v] {
+				buf = binenc.AppendInt(buf, x)
+			}
+		}
+	}
+	for v := range inc.preds {
+		buf = binenc.AppendInt(buf, len(inc.preds[v]))
+		for _, p := range inc.preds[v] {
+			buf = binenc.AppendInt(buf, int(p))
+		}
+	}
+	return buf
+}
+
+func appendVec(buf []byte, v vclock.Vec) []byte {
+	for _, x := range v {
+		buf = binenc.AppendInt(buf, x)
+	}
+	return buf
+}
+
+// DecodeIncremental reconstructs a checker from AppendBinary output,
+// validating the structural invariants the checker's own operations
+// maintain (per-process node allocation order, one pending node per
+// process, closed prefixes taken) so corrupt snapshot bytes fail
+// cleanly instead of producing a checker that panics later.
+func DecodeIncremental(data []byte) (*Incremental, error) {
+	r := binenc.NewReader(data)
+	r.Expect(incMagic)
+	n := r.IntMax(maxDecodeProcs)
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("decode checker: %w", err)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("decode checker: process count %d", n)
+	}
+	inc := &Incremental{
+		n:         n,
+		sealed:    r.Bool(),
+		cur:       make([]vclock.Vec, n),
+		stamps:    make(map[int]vclock.Vec),
+		flight:    make(map[int]pendingEdge),
+		ids:       make([][]int32, n),
+		nextIndex: make([]int, n),
+		events:    make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		inc.cur[i] = readVec(r, n)
+	}
+	inc.nextMsg = r.Int()
+	flightCount := r.IntMax(maxDecodeNodes)
+	for k := 0; k < flightCount && r.Err() == nil; k++ {
+		h := r.Int()
+		pe := pendingEdge{
+			from:         model.ProcID(r.IntMax(n - 1)),
+			to:           model.ProcID(r.IntMax(n - 1)),
+			sendInterval: r.Int(),
+		}
+		stamp := readVec(r, n)
+		if _, dup := inc.flight[h]; dup {
+			return nil, fmt.Errorf("decode checker: duplicate in-flight handle %d", h)
+		}
+		inc.flight[h] = pe
+		inc.stamps[h] = stamp
+	}
+	for i := 0; i < n; i++ {
+		inc.nextIndex[i] = r.Int()
+		inc.events[i] = r.Int()
+	}
+	numNodes := r.IntMax(maxDecodeNodes)
+	for v := 0; v < numNodes && r.Err() == nil; v++ {
+		proc := r.IntMax(n - 1)
+		index := r.Int()
+		taken := r.Bool()
+		if r.Err() != nil {
+			break
+		}
+		if index != len(inc.ids[proc]) {
+			return nil, fmt.Errorf("decode checker: node %d is C{%d,%d}, want index %d",
+				v, proc, index, len(inc.ids[proc]))
+		}
+		nv := inc.newNode(model.ProcID(proc), index)
+		if taken {
+			inc.taken[nv] = true
+			inc.tdvs[nv] = readVec(r, n)
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("decode checker: %w", err)
+	}
+	for i := 0; i < n; i++ {
+		if len(inc.ids[i]) != inc.nextIndex[i]+1 {
+			return nil, fmt.Errorf("decode checker: process %d has %d nodes, want %d",
+				i, len(inc.ids[i]), inc.nextIndex[i]+1)
+		}
+		for x, v := range inc.ids[i] {
+			if closed := x < inc.nextIndex[i]; inc.taken[v] != closed {
+				return nil, fmt.Errorf("decode checker: C{%d,%d} taken=%v, want %v",
+					i, x, inc.taken[v], closed)
+			}
+		}
+	}
+	// Re-inserting the edges rebuilds the closure; with every taken flag
+	// and recorded vector already in place, judge fires exactly once per
+	// untrackable pair, restoring the violation count and first
+	// violation. No callback is registered yet, so decoding is silent.
+	for v := 0; v < numNodes && r.Err() == nil; v++ {
+		degree := r.IntMax(maxDecodeNodes)
+		for k := 0; k < degree && r.Err() == nil; k++ {
+			p := r.IntMax(numNodes - 1)
+			if p == v {
+				return nil, fmt.Errorf("decode checker: node %d has a self edge", v)
+			}
+			inc.addEdge(int32(p), int32(v))
+		}
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("decode checker: %w", err)
+	}
+	return inc, nil
+}
+
+func readVec(r *binenc.Reader, n int) vclock.Vec {
+	v := vclock.NewVec(n)
+	for i := range v {
+		v[i] = r.Int()
+	}
+	return v
+}

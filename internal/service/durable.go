@@ -1,0 +1,764 @@
+package service
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/rdt-go/rdt/internal/binenc"
+	"github.com/rdt-go/rdt/internal/model"
+	"github.com/rdt-go/rdt/internal/rgraph"
+	"github.com/rdt-go/rdt/internal/storage"
+	"github.com/rdt-go/rdt/internal/wal"
+)
+
+// Durability. With Config.DataDir set, every session is durable: each
+// mutating batch is appended to a per-session write-ahead log and
+// fsync'd before it is applied, and the combined builder + checker
+// state is snapshotted every SnapshotEvery events. A session directory
+//
+//	<DataDir>/sessions/<id>/
+//	    meta.json            process count, creation time
+//	    wal.log              framed, CRC32C-checksummed batches
+//	    snap_<seq>.bin       state snapshots (the last two are kept)
+//
+// survives kill -9: Recover scans the tree, loads each session's
+// newest valid snapshot (a corrupt one is renamed *.corrupt and the
+// previous one used, at the price of a longer replay), replays the WAL
+// tail through the exact apply path live ingestion uses, truncates any
+// torn tail, and resumes the session with bit-identical verdicts —
+// sealed, failed, and applied-count state included.
+//
+// Failure is contained per session: a disk write error degrades only
+// that session to read-only (HTTP 507 on further mutation) and is
+// never made durable itself — the WAL remains the source of truth, so
+// a restart recovers the session to its last committed batch, clean.
+
+// ErrDegraded means the session's persistence failed; it is read-only
+// until the daemon restarts and recovers it from disk.
+var ErrDegraded = errors.New("session degraded: persistence failed")
+
+const reasonDegraded = "degraded"
+
+// StateDegraded is reported by sessions whose persistence failed.
+const StateDegraded = "degraded"
+
+// Test hooks for crash-point injection: when non-nil they run while
+// the session lock is held, immediately after a WAL append was synced
+// and immediately after the batch was applied (before any snapshot).
+// The durability tests copy the session directory inside them — a
+// faithful image of kill -9 at that instant.
+var (
+	testHookAppended func(sessionID string)
+	testHookApplied  func(sessionID string)
+)
+
+// durableSession is the persistence side of a Session, guarded by the
+// session mutex.
+type durableSession struct {
+	dir         string
+	wal         *wal.Log
+	snapSeq     uint64 // sequence number of the next snapshot
+	snapOffset  int64  // WAL offset covered by the newest snapshot
+	sinceSnap   int    // events appended since the newest snapshot
+	degraded    bool
+	degradedErr error
+}
+
+func (d *durableSession) closeLocked() {
+	if d.wal != nil {
+		_ = d.wal.Close()
+		d.wal = nil
+	}
+}
+
+// sessionMeta is the per-session meta.json: everything needed to
+// reconstruct the Session shell before state is loaded.
+type sessionMeta struct {
+	ID      string    `json:"id"`
+	N       int       `json:"n"`
+	Created time.Time `json:"created"`
+}
+
+func (s *Service) durable() bool               { return s.cfg.DataDir != "" }
+func (s *Service) sessionsRoot() string        { return filepath.Join(s.cfg.DataDir, "sessions") }
+func (s *Service) sessionDir(id string) string { return filepath.Join(s.sessionsRoot(), id) }
+
+// attachDurable creates the on-disk identity of a fresh session: its
+// directory (Mkdir, so a concurrent create of the same id loses), the
+// meta file, and an empty WAL.
+func (s *Service) attachDurable(sess *Session) error {
+	dir := s.sessionDir(sess.ID)
+	if err := os.Mkdir(dir, 0o755); err != nil {
+		if errors.Is(err, os.ErrExist) {
+			return fmt.Errorf("%w: %q", ErrSessionExists, sess.ID)
+		}
+		return fmt.Errorf("create session dir: %w", err)
+	}
+	if err := storage.SyncDir(s.sessionsRoot()); err != nil {
+		return fmt.Errorf("create session dir: %w", err)
+	}
+	meta, err := json.Marshal(sessionMeta{ID: sess.ID, N: sess.N, Created: sess.created})
+	if err != nil {
+		return fmt.Errorf("encode session meta: %w", err)
+	}
+	if err := storage.WriteFileDurable(filepath.Join(dir, "meta.json"), meta); err != nil {
+		return fmt.Errorf("write session meta: %w", err)
+	}
+	l, err := wal.OpenAppend(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		return err
+	}
+	sess.dur = &durableSession{dir: dir, wal: l, snapSeq: 1}
+	return nil
+}
+
+// WAL record payloads: one batch per record.
+const recBatch = 1
+
+var opBytes = map[string]byte{OpCheckpoint: 1, OpSend: 2, OpDeliver: 3}
+var opNames = map[byte]string{1: OpCheckpoint, 2: OpSend, 3: OpDeliver}
+
+// encodeBatchRecord frames the mutating content of a batch. The kind
+// strings "" and "basic" are both KindBasic downstream, so one byte
+// suffices and replay is still behaviorally identical.
+func encodeBatchRecord(buf []byte, events []Event, seal bool) []byte {
+	buf = append(buf, recBatch)
+	buf = binenc.AppendBool(buf, seal)
+	buf = binenc.AppendInt(buf, len(events))
+	for i := range events {
+		ev := &events[i]
+		buf = append(buf, opBytes[ev.Op])
+		if ev.Kind == "forced" {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+		buf = binenc.AppendInt(buf, ev.Proc)
+		buf = binenc.AppendInt(buf, ev.Peer)
+		buf = binenc.AppendInt(buf, ev.Msg)
+	}
+	return buf
+}
+
+func decodeBatchRecord(payload []byte) (events []Event, seal bool, err error) {
+	r := binenc.NewReader(payload)
+	if r.Byte() != recBatch {
+		return nil, false, fmt.Errorf("wal record: unknown kind")
+	}
+	seal = r.Bool()
+	count := r.IntMax(wal.MaxRecord)
+	if r.Err() == nil && count > 0 {
+		events = make([]Event, count)
+		for i := range events {
+			ev := &events[i]
+			op, known := opNames[r.Byte()]
+			if r.Err() == nil && !known {
+				return nil, false, fmt.Errorf("wal record: unknown op byte")
+			}
+			ev.Op = op
+			if r.Byte() == 1 {
+				ev.Kind = "forced"
+			}
+			ev.Proc = r.Int()
+			ev.Peer = r.Int()
+			ev.Msg = r.Int()
+		}
+	}
+	if err := r.Done(); err != nil {
+		return nil, false, fmt.Errorf("wal record: %w", err)
+	}
+	return events, seal, nil
+}
+
+// Snapshot files: the full session state as of a WAL offset, with a
+// trailing CRC32C so disk rot is detected even though the write itself
+// was atomic.
+var snapMagic = []byte("RDTSNAP1")
+
+func (s *Session) encodeSnapshotLocked() []byte {
+	buf := append([]byte(nil), snapMagic...)
+	buf = binenc.AppendUvarint(buf, uint64(s.dur.wal.Offset()))
+	buf = binenc.AppendUvarint(buf, uint64(s.applied))
+	buf = binenc.AppendBool(buf, s.sealed)
+	if s.failErr != nil {
+		buf = binenc.AppendBool(buf, true)
+		buf = binenc.AppendString(buf, s.failErr.Error())
+	} else {
+		buf = binenc.AppendBool(buf, false)
+	}
+	ids := make([]int, 0, len(s.msgs))
+	for id := range s.msgs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	buf = binenc.AppendInt(buf, len(ids))
+	for _, id := range ids {
+		ref := s.msgs[id]
+		buf = binenc.AppendInt(buf, id)
+		buf = binenc.AppendInt(buf, ref.builder)
+		buf = binenc.AppendInt(buf, ref.inc)
+	}
+	ids = ids[:0]
+	for id := range s.usedMsg {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	buf = binenc.AppendInts(buf, ids)
+	buf = binenc.AppendBytes(buf, s.builder.AppendBinary(nil))
+	buf = binenc.AppendBytes(buf, s.inc.AppendBinary(nil))
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, crc32.MakeTable(crc32.Castagnoli)))
+}
+
+// snapState is a decoded snapshot, ready to be grafted onto a Session.
+type snapState struct {
+	walOffset int64
+	applied   int64
+	sealed    bool
+	failErr   error
+	msgs      map[int]msgRef
+	usedMsg   map[int]bool
+	builder   *model.Builder
+	inc       *rgraph.Incremental
+}
+
+func decodeSnapshot(data []byte) (*snapState, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("snapshot: %w: too short", binenc.ErrCorrupt)
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(body, crc32.MakeTable(crc32.Castagnoli)) != sum {
+		return nil, fmt.Errorf("snapshot: %w: checksum mismatch", binenc.ErrCorrupt)
+	}
+	r := binenc.NewReader(body)
+	r.Expect(snapMagic)
+	st := &snapState{
+		walOffset: int64(r.Uvarint()),
+		applied:   int64(r.Uvarint()),
+		sealed:    r.Bool(),
+		msgs:      make(map[int]msgRef),
+		usedMsg:   make(map[int]bool),
+	}
+	if r.Bool() {
+		st.failErr = errors.New(r.String())
+	}
+	msgCount := r.IntMax(wal.MaxRecord)
+	for k := 0; k < msgCount && r.Err() == nil; k++ {
+		id := r.Int()
+		ref := msgRef{builder: r.Int(), inc: r.Int()}
+		if _, dup := st.msgs[id]; dup {
+			return nil, fmt.Errorf("snapshot: duplicate in-flight message %d", id)
+		}
+		st.msgs[id] = ref
+	}
+	for _, id := range r.Ints(wal.MaxRecord) {
+		st.usedMsg[id] = true
+	}
+	builderBlob := r.Bytes()
+	incBlob := r.Bytes()
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	var err error
+	if st.builder, err = model.DecodeBuilder(builderBlob); err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	if st.inc, err = rgraph.DecodeIncremental(incBlob); err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	return st, nil
+}
+
+func snapName(seq uint64) string { return fmt.Sprintf("snap_%016d.bin", seq) }
+
+// snapSeqOf parses a snapshot file name; ok is false for anything else
+// (including quarantined *.corrupt files).
+func snapSeqOf(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "snap_") || !strings.HasSuffix(name, ".bin") {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "snap_"), ".bin"), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// persistLocked makes a mutating batch durable before it is applied:
+// frame, append, fsync. Any failure degrades the session — the batch
+// is NOT applied, so memory never runs ahead of the medium.
+func (s *Session) persistLocked(events []Event, seal bool) error {
+	d := s.dur
+	payload := encodeBatchRecord(nil, events, seal)
+	start := time.Now()
+	err := d.wal.Append(payload)
+	if err == nil {
+		err = d.wal.Sync()
+	}
+	if err != nil {
+		s.degradeLocked(err)
+		return fmt.Errorf("%w: %v", ErrDegraded, err)
+	}
+	s.svc.mWALAppends.Inc()
+	s.svc.mWALAppendBytes.Add(int64(len(payload)))
+	s.svc.hWALAppend.Observe(time.Since(start).Seconds())
+	d.sinceSnap += len(events)
+	if testHookAppended != nil {
+		testHookAppended(s.ID)
+	}
+	return nil
+}
+
+// degradeLocked poisons the session's persistence: it becomes
+// read-only until a restart recovers it from its last committed batch.
+func (s *Session) degradeLocked(err error) {
+	d := s.dur
+	if d.degraded {
+		return
+	}
+	d.degraded = true
+	d.degradedErr = err
+	d.closeLocked()
+	s.svc.mDegraded.Add(1)
+	s.svc.degradedCount.Add(1)
+}
+
+// maybeSnapshotLocked writes a snapshot when the cadence is due or the
+// session just sealed (a sealed session's state is final — snapshotting
+// now makes its restart replay-free).
+func (s *Session) maybeSnapshotLocked(sealedNow bool) {
+	d := s.dur
+	if d.degraded || d.wal == nil {
+		return
+	}
+	if !sealedNow && d.sinceSnap < s.svc.cfg.SnapshotEvery {
+		return
+	}
+	if err := s.snapshotLocked(); err != nil {
+		s.degradeLocked(err)
+	}
+}
+
+// snapshotLocked writes the current state as the next snapshot file
+// and prunes all but the newest two.
+func (s *Session) snapshotLocked() error {
+	d := s.dur
+	data := s.encodeSnapshotLocked()
+	if err := storage.WriteFileDurable(filepath.Join(d.dir, snapName(d.snapSeq)), data); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	d.snapOffset = d.wal.Offset()
+	d.snapSeq++
+	d.sinceSnap = 0
+	s.svc.mSnapshots.Inc()
+	s.pruneSnapshotsLocked()
+	return nil
+}
+
+// pruneSnapshotsLocked removes snapshots older than the newest two.
+// Failures are ignored: stale files cost disk, not correctness, and
+// the next prune retries.
+func (s *Session) pruneSnapshotsLocked() {
+	entries, err := os.ReadDir(s.dur.dir)
+	if err != nil {
+		return
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		if seq, ok := snapSeqOf(e.Name()); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	if len(seqs) <= 2 {
+		return
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] })
+	for _, seq := range seqs[2:] {
+		_ = os.Remove(filepath.Join(s.dur.dir, snapName(seq)))
+	}
+}
+
+// retire is the durable tail of the worker: on eviction it passivates
+// the session (final snapshot, so a reactivation or restart replays
+// zero records) or — for an explicit delete — removes its directory.
+// Drain takes the same path, which is what makes SIGTERM→restart
+// replay-free.
+func (s *Session) retire() {
+	s.mu.Lock()
+	if d := s.dur; d != nil {
+		switch {
+		case s.dropDisk:
+			d.closeLocked()
+			_ = storage.RemoveDurable(d.dir)
+		case d.degraded:
+			// Nothing to flush: the WAL already holds the last committed
+			// batch, and writing more would use the failing medium. The
+			// session leaves memory, so it no longer counts as degraded —
+			// a restart recovers it clean from its last committed state.
+			s.svc.mDegraded.Add(-1)
+			s.svc.degradedCount.Add(-1)
+		default:
+			if d.wal.Offset() != d.snapOffset || d.snapSeq == 1 {
+				if err := s.snapshotLocked(); err != nil {
+					s.degradeLocked(err)
+				}
+			}
+			d.closeLocked()
+		}
+	}
+	s.mu.Unlock()
+	if s.dur != nil {
+		s.svc.retiredDone(s)
+	}
+	close(s.workerDone)
+}
+
+// retiredDone removes the session from the shard's retiring set; a
+// waiting reactivation then finds the directory free to load.
+func (s *Service) retiredDone(sess *Session) {
+	sh := s.shardFor(sess.ID)
+	sh.mu.Lock()
+	if sh.retired[sess.ID] == sess {
+		delete(sh.retired, sess.ID)
+	}
+	sh.mu.Unlock()
+}
+
+// RecoverStats summarizes a startup recovery scan.
+type RecoverStats struct {
+	// Sessions is the number of sessions brought back.
+	Sessions int
+	// Records and Events count what the WAL replay re-applied.
+	Records int64
+	Events  int64
+	// Truncations counts torn or corrupt WAL tails cut off.
+	Truncations int
+	// QuarantinedSnapshots counts snapshot files renamed *.corrupt.
+	QuarantinedSnapshots int
+	// QuarantinedSessions counts session directories renamed *.corrupt
+	// because their meta.json was unreadable.
+	QuarantinedSessions int
+}
+
+// Recover scans the data directory and restores every session found
+// there. Call it once, after New and before serving traffic. Recovery
+// is conservative: a session that cannot be restored is quarantined
+// (directory renamed *.corrupt), never silently dropped, and never
+// stops the others from recovering.
+func (s *Service) Recover() (RecoverStats, error) {
+	var st RecoverStats
+	if !s.durable() {
+		return st, nil
+	}
+	root := s.sessionsRoot()
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return st, nil
+		}
+		return st, fmt.Errorf("recover: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() || !validSessionID(e.Name()) {
+			continue
+		}
+		id := e.Name()
+		sess, ls, err := s.loadSession(id)
+		st.Truncations += ls.truncations
+		st.QuarantinedSnapshots += ls.quarantinedSnaps
+		if err != nil {
+			// Unrecoverable shell (bad meta.json): quarantine the whole
+			// directory so the bytes survive for forensics.
+			_ = os.Rename(filepath.Join(root, id), filepath.Join(root, id+".corrupt"))
+			st.QuarantinedSessions++
+			continue
+		}
+		if !s.install(sess) {
+			// Impossible during single-threaded startup; be safe anyway.
+			sess.mu.Lock()
+			sess.dur.closeLocked()
+			sess.mu.Unlock()
+			continue
+		}
+		st.Sessions++
+		st.Records += ls.records
+		st.Events += ls.events
+	}
+	return st, nil
+}
+
+type loadStats struct {
+	records          int64
+	events           int64
+	truncations      int
+	quarantinedSnaps int
+}
+
+// loadSession rebuilds one session from its directory: newest valid
+// snapshot (corrupt ones quarantined), then the WAL tail replayed
+// through the exact apply path live ingestion uses, then a torn tail
+// truncated. The returned session is not yet installed or running.
+func (s *Service) loadSession(id string) (*Session, loadStats, error) {
+	var ls loadStats
+	dir := s.sessionDir(id)
+	metaRaw, err := os.ReadFile(filepath.Join(dir, "meta.json"))
+	if err != nil {
+		return nil, ls, fmt.Errorf("load %q: meta: %w", id, err)
+	}
+	var meta sessionMeta
+	if err := json.Unmarshal(metaRaw, &meta); err != nil {
+		return nil, ls, fmt.Errorf("load %q: meta: %w", id, err)
+	}
+	if meta.N < 1 || meta.N > s.cfg.MaxProcs {
+		return nil, ls, fmt.Errorf("load %q: meta: process count %d out of range", id, meta.N)
+	}
+
+	sess, err := newSession(s, id, meta.N)
+	if err != nil {
+		return nil, ls, fmt.Errorf("load %q: %w", id, err)
+	}
+	if !meta.Created.IsZero() {
+		sess.created = meta.Created
+	}
+
+	// Newest valid snapshot wins; invalid ones are renamed aside and the
+	// scan falls back to the previous (a longer replay, not data loss).
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, ls, fmt.Errorf("load %q: %w", id, err)
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		if seq, ok := snapSeqOf(e.Name()); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] })
+	var snap *snapState
+	nextSeq := uint64(1)
+	if len(seqs) > 0 {
+		nextSeq = seqs[0] + 1
+	}
+	for _, seq := range seqs {
+		path := filepath.Join(dir, snapName(seq))
+		data, err := os.ReadFile(path)
+		if err == nil {
+			if snap, err = decodeSnapshot(data); err == nil && snap.builder.N() == meta.N && snap.inc.N() == meta.N {
+				break
+			}
+			snap = nil
+		}
+		_ = os.Rename(path, path+".corrupt")
+		ls.quarantinedSnaps++
+		s.mSnapQuarantined.Inc()
+	}
+
+	var from int64
+	if snap != nil {
+		sess.builder = snap.builder
+		sess.inc = snap.inc
+		sess.msgs = snap.msgs
+		sess.usedMsg = snap.usedMsg
+		sess.applied = snap.applied
+		sess.sealed = snap.sealed
+		sess.failErr = snap.failErr
+		s.observeInc(sess.inc)
+		from = snap.walOffset
+	}
+
+	// Replay. The session is unpublished, so no lock is needed; apply
+	// errors are deterministic re-poisonings, not replay failures. A
+	// record that passes its CRC but does not decode is corruption the
+	// frame missed: replay stops before it and the tail is cut there.
+	walPath := filepath.Join(dir, "wal.log")
+	start := time.Now()
+	var replayed int64 // frame bytes consumed by decodable records
+	var badRecord bool
+	end, torn, err := wal.ScanFrom(walPath, from, func(payload []byte) error {
+		events, seal, derr := decodeBatchRecord(payload)
+		if derr != nil {
+			badRecord = true
+			return derr
+		}
+		sess.applyBatchLocked(events, seal)
+		replayed += int64(8 + len(payload))
+		ls.records++
+		ls.events += int64(len(events))
+		s.mWALReplayRecords.Inc()
+		return nil
+	})
+	if err != nil && !badRecord {
+		return nil, ls, fmt.Errorf("load %q: replay: %w", id, err)
+	}
+	if badRecord {
+		end, torn = from+replayed, true
+	}
+	if torn {
+		if err := wal.Truncate(walPath, end); err != nil {
+			return nil, ls, fmt.Errorf("load %q: %w", id, err)
+		}
+		ls.truncations++
+		s.mWALTruncations.Inc()
+	}
+	s.hWALReplay.Observe(time.Since(start).Seconds())
+
+	l, err := wal.OpenAppend(walPath)
+	if err != nil {
+		return nil, ls, fmt.Errorf("load %q: %w", id, err)
+	}
+	sess.dur = &durableSession{
+		dir:        dir,
+		wal:        l,
+		snapSeq:    nextSeq,
+		snapOffset: from,
+		sinceSnap:  int(ls.events),
+	}
+	return sess, ls, nil
+}
+
+// install publishes a loaded session and starts its worker; it reports
+// false if the id is already live (the caller discards the loaded
+// copy).
+func (s *Service) install(sess *Session) bool {
+	sh := s.shardFor(sess.ID)
+	sh.mu.Lock()
+	if _, ok := sh.sessions[sess.ID]; ok {
+		sh.mu.Unlock()
+		return false
+	}
+	sh.sessions[sess.ID] = sess
+	sh.mu.Unlock()
+	s.workers.Add(1)
+	go sess.run()
+	s.mSessions.Add(1)
+	return true
+}
+
+// activate brings a passivated session back from disk on first touch.
+// A singleflight per id prevents double loads; a session mid-retirement
+// is waited for (its final snapshot must land before the directory is
+// read).
+func (s *Service) activate(id string) (*Session, error) {
+	for {
+		if s.draining.Load() {
+			return nil, ErrDraining
+		}
+		sh := s.shardFor(id)
+		sh.mu.RLock()
+		if sess, ok := sh.sessions[id]; ok {
+			sh.mu.RUnlock()
+			return sess, nil
+		}
+		retiring := sh.retired[id]
+		sh.mu.RUnlock()
+		if retiring != nil {
+			<-retiring.workerDone
+			continue
+		}
+
+		s.loadMu.Lock()
+		ch, inFlight := s.loads[id]
+		if inFlight {
+			s.loadMu.Unlock()
+			<-ch
+			continue
+		}
+		ch = make(chan struct{})
+		s.loads[id] = ch
+		s.loadMu.Unlock()
+
+		sess, err := s.activateLocked(id)
+
+		s.loadMu.Lock()
+		delete(s.loads, id)
+		s.loadMu.Unlock()
+		close(ch)
+		if err != nil || sess != nil {
+			return sess, err
+		}
+		// Lost a race with a concurrent create/recover; retry the lookup.
+	}
+}
+
+// activateLocked runs under the id's singleflight: it re-checks
+// liveness, loads the directory, and installs the session.
+func (s *Service) activateLocked(id string) (*Session, error) {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	sess, ok := sh.sessions[id]
+	retiring := sh.retired[id]
+	sh.mu.RUnlock()
+	if ok {
+		return sess, nil
+	}
+	if retiring != nil {
+		return nil, nil // retry outside the singleflight
+	}
+	if _, err := os.Stat(s.sessionDir(id)); err != nil {
+		return nil, fmt.Errorf("%w: %q", ErrNoSession, id)
+	}
+	loaded, _, err := s.loadSession(id)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %q: unrecoverable: %v", ErrNoSession, id, err)
+	}
+	if !s.install(loaded) {
+		loaded.mu.Lock()
+		loaded.dur.closeLocked()
+		loaded.mu.Unlock()
+		return nil, nil // someone else won; retry
+	}
+	s.mReactivated.Inc()
+	return loaded, nil
+}
+
+// dropPassivated deletes the on-disk state of a session that is not
+// live (explicit DELETE of a passivated session). It waits out an
+// in-flight retirement and holds the id's singleflight so it cannot
+// race a reactivation.
+func (s *Service) dropPassivated(id string) bool {
+	for {
+		sh := s.shardFor(id)
+		sh.mu.RLock()
+		_, live := sh.sessions[id]
+		retiring := sh.retired[id]
+		sh.mu.RUnlock()
+		if live {
+			return false // re-appeared; caller's Evict already missed it
+		}
+		if retiring != nil {
+			<-retiring.workerDone
+			continue
+		}
+
+		s.loadMu.Lock()
+		ch, inFlight := s.loads[id]
+		if inFlight {
+			s.loadMu.Unlock()
+			<-ch
+			continue
+		}
+		ch = make(chan struct{})
+		s.loads[id] = ch
+		s.loadMu.Unlock()
+
+		_, err := os.Stat(s.sessionDir(id))
+		existed := err == nil
+		if existed {
+			_ = storage.RemoveDurable(s.sessionDir(id))
+		}
+
+		s.loadMu.Lock()
+		delete(s.loads, id)
+		s.loadMu.Unlock()
+		close(ch)
+		return existed
+	}
+}

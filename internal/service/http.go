@@ -95,6 +95,8 @@ func writeSessionError(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, ErrSealed), errors.Is(err, ErrFailed):
 		writeError(w, http.StatusConflict, err)
+	case errors.Is(err, ErrDegraded):
+		writeError(w, http.StatusInsufficientStorage, err)
 	case errors.Is(err, ErrClosed):
 		writeError(w, http.StatusGone, err)
 	case errors.Is(err, ErrNoSession):
@@ -183,9 +185,10 @@ func (a *api) verdict(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	if q.Get("flush") == "1" {
 		// The barrier orders the verdict after every acknowledged batch;
-		// its own failure (a poisoned prefix) still yields a verdict, so
-		// only transport-level errors abort the request.
-		if err := sess.Flush(r.Context()); err != nil && !errors.Is(err, ErrFailed) {
+		// its own failure (a poisoned prefix or a degraded store) still
+		// yields a verdict — the state and error ride inside it — so only
+		// transport-level errors abort the request.
+		if err := sess.Flush(r.Context()); err != nil && !errors.Is(err, ErrFailed) && !errors.Is(err, ErrDegraded) {
 			writeSessionError(w, err)
 			return
 		}
@@ -343,12 +346,15 @@ func (a *api) healthz(w http.ResponseWriter, _ *http.Request) {
 		status, code = "draining", http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, struct {
-		Status   string `json:"status"`
-		Sessions int    `json:"sessions"`
-		Version  string `json:"version"`
-		Commit   string `json:"commit"`
+		Status           string `json:"status"`
+		Sessions         int    `json:"sessions"`
+		DegradedSessions int64  `json:"degraded_sessions"`
+		Durable          bool   `json:"durable"`
+		Version          string `json:"version"`
+		Commit           string `json:"commit"`
 	}{
 		Status: status, Sessions: a.svc.SessionCount(),
+		DegradedSessions: a.svc.DegradedCount(), Durable: a.svc.durable(),
 		Version: version.Version, Commit: version.Commit,
 	})
 }

@@ -7,12 +7,15 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/rdt-go/rdt/internal/obs"
+	"github.com/rdt-go/rdt/internal/storage"
 )
 
 // Defaults for the zero Config.
@@ -25,6 +28,7 @@ const (
 	DefaultMaxViolations  = 16
 	DefaultMaxProcs       = 1024
 	DefaultSweepInterval  = 30 * time.Second
+	DefaultSnapshotEvery  = 4096
 )
 
 // Config tunes a Service. The zero value is usable: every limit falls
@@ -48,10 +52,18 @@ type Config struct {
 	// MaxProcs bounds the process count of a session.
 	MaxProcs int
 	// IdleTimeout evicts sessions untouched for this long; 0 disables
-	// idle eviction.
+	// idle eviction. With DataDir set, idle eviction is passivation: the
+	// session's state stays on disk and the next touch reactivates it.
 	IdleTimeout time.Duration
 	// SweepInterval is how often the janitor looks for idle sessions.
 	SweepInterval time.Duration
+	// DataDir enables durability: every session keeps a write-ahead log
+	// and snapshots under DataDir/sessions/<id>/ and survives restarts
+	// (call Recover after New). Empty means in-memory only, with
+	// behavior identical to previous releases.
+	DataDir string
+	// SnapshotEvery is the snapshot cadence in applied events.
+	SnapshotEvery int
 	// Registry and Tracer receive the service's metrics and violation
 	// events; either may be nil.
 	Registry *obs.Registry
@@ -82,6 +94,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SweepInterval <= 0 {
 		c.SweepInterval = DefaultSweepInterval
+	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = DefaultSnapshotEvery
 	}
 	return c
 }
@@ -115,33 +130,76 @@ type Service struct {
 	draining atomic.Bool
 	drainOne sync.Once
 
+	// Reactivation/deletion singleflight, keyed by session id.
+	loadMu sync.Mutex
+	loads  map[string]chan struct{}
+
+	degradedCount atomic.Int64
+
 	mSessions     *obs.Gauge
 	mCreated      *obs.Counter
 	mIngested     *obs.Counter
 	mViolations   *obs.Counter
 	mBackpressure *obs.Counter
+
+	mWALAppends       *obs.Counter
+	mWALAppendBytes   *obs.Counter
+	hWALAppend        *obs.Histogram
+	mWALReplayRecords *obs.Counter
+	hWALReplay        *obs.Histogram
+	mWALTruncations   *obs.Counter
+	mSnapshots        *obs.Counter
+	mSnapQuarantined  *obs.Counter
+	mDegraded         *obs.Gauge
+	mPassivated       *obs.Counter
+	mReactivated      *obs.Counter
 }
 
 type shard struct {
 	mu       sync.RWMutex
 	sessions map[string]*Session
+	// retired holds durable sessions evicted from the map whose worker
+	// has not yet finished passivating; reactivation waits them out.
+	retired map[string]*Session
 }
 
-// New starts a service. Call Drain to stop it.
+// New starts a service. Call Drain to stop it, and — when DataDir is
+// set — Recover right after New to restore persisted sessions.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	s := &Service{
 		cfg:           cfg,
 		shards:        make([]*shard, cfg.Shards),
 		stop:          make(chan struct{}),
+		loads:         make(map[string]chan struct{}),
 		mSessions:     cfg.Registry.Gauge("rdt_service_sessions"),
 		mCreated:      cfg.Registry.Counter("rdt_service_sessions_created_total"),
 		mIngested:     cfg.Registry.Counter("rdt_service_events_ingested_total"),
 		mViolations:   cfg.Registry.Counter("rdt_service_violations_total"),
 		mBackpressure: cfg.Registry.Counter("rdt_service_backpressure_total"),
+
+		mWALAppends:       cfg.Registry.Counter("rdt_wal_appends_total"),
+		mWALAppendBytes:   cfg.Registry.Counter("rdt_wal_append_bytes_total"),
+		hWALAppend:        cfg.Registry.Histogram("rdt_wal_append_seconds", obs.LatencyBuckets),
+		mWALReplayRecords: cfg.Registry.Counter("rdt_wal_replay_records_total"),
+		hWALReplay:        cfg.Registry.Histogram("rdt_wal_replay_seconds", obs.LatencyBuckets),
+		mWALTruncations:   cfg.Registry.Counter("rdt_wal_truncations_total"),
+		mSnapshots:        cfg.Registry.Counter("rdt_wal_snapshots_total"),
+		mSnapQuarantined:  cfg.Registry.Counter("rdt_wal_snapshots_quarantined_total"),
+		mDegraded:         cfg.Registry.Gauge("rdt_service_degraded_sessions"),
+		mPassivated:       cfg.Registry.Counter("rdt_service_sessions_passivated_total"),
+		mReactivated:      cfg.Registry.Counter("rdt_service_sessions_reactivated_total"),
 	}
 	for i := range s.shards {
-		s.shards[i] = &shard{sessions: make(map[string]*Session)}
+		s.shards[i] = &shard{
+			sessions: make(map[string]*Session),
+			retired:  make(map[string]*Session),
+		}
+	}
+	if s.durable() {
+		// The tree must exist before sessions are created inside it; a
+		// failure here surfaces on the first create instead.
+		_ = os.MkdirAll(s.sessionsRoot(), 0o755)
 	}
 	if cfg.IdleTimeout > 0 {
 		s.janitor.Add(1)
@@ -149,6 +207,10 @@ func New(cfg Config) *Service {
 	}
 	return s
 }
+
+// DegradedCount returns the number of sessions whose persistence
+// failed since startup (living or evicted); /healthz surfaces it.
+func (s *Service) DegradedCount() int64 { return s.degradedCount.Load() }
 
 // Config returns the effective (defaulted) configuration.
 func (s *Service) Config() Config { return s.cfg }
@@ -163,9 +225,14 @@ func (s *Service) shardFor(id string) *shard {
 	return s.shards[h.Sum32()%uint32(len(s.shards))]
 }
 
-// validSessionID accepts ids safe to embed in URL paths and file names.
+// validSessionID accepts ids safe to embed in URL paths and file
+// names. "." and ".." would escape the session tree as directory
+// names, and a ".corrupt" suffix is reserved for quarantined state.
 func validSessionID(id string) bool {
 	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	if id == "." || id == ".." || strings.HasSuffix(id, ".corrupt") {
 		return false
 	}
 	for _, r := range id {
@@ -207,10 +274,21 @@ func (s *Service) CreateSession(id string, n int) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	if s.durable() {
+		// The Mkdir inside doubles as the existence check: a passivated
+		// session owns its directory even while absent from the map.
+		if err := s.attachDurable(sess); err != nil {
+			return nil, err
+		}
+	}
 	sh := s.shardFor(id)
 	sh.mu.Lock()
 	if _, ok := sh.sessions[id]; ok {
 		sh.mu.Unlock()
+		if sess.dur != nil {
+			sess.dur.closeLocked()
+			_ = storage.RemoveDurable(sess.dur.dir)
+		}
 		return nil, fmt.Errorf("%w: %q", ErrSessionExists, id)
 	}
 	sh.sessions[id] = sess
@@ -222,31 +300,56 @@ func (s *Service) CreateSession(id string, n int) (*Session, error) {
 	return sess, nil
 }
 
-// Session looks a session up by id.
+// Session looks a session up by id; on a durable service a passivated
+// session is transparently reactivated from disk.
 func (s *Service) Session(id string) (*Session, error) {
 	sh := s.shardFor(id)
 	sh.mu.RLock()
 	sess, ok := sh.sessions[id]
 	sh.mu.RUnlock()
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrNoSession, id)
+	if ok {
+		return sess, nil
 	}
-	return sess, nil
+	if s.durable() && validSessionID(id) {
+		return s.activate(id)
+	}
+	return nil, fmt.Errorf("%w: %q", ErrNoSession, id)
 }
 
 // Evict removes a session, stopping its ingestion; batches already
 // accepted are still applied before the worker exits. The reason labels
 // the eviction counter ("explicit", "idle").
+//
+// On a durable service the reason decides the disk's fate: "explicit"
+// deletes the session's directory (including that of a passivated
+// session no longer in memory), anything else passivates — the worker
+// writes a final snapshot and the state waits on disk for the next
+// touch.
 func (s *Service) Evict(id, reason string) bool {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
 	sess, ok := sh.sessions[id]
 	if ok {
 		delete(sh.sessions, id)
+		if sess.dur != nil {
+			sh.retired[id] = sess
+		}
 	}
 	sh.mu.Unlock()
 	if !ok {
+		if reason == "explicit" && s.durable() && validSessionID(id) {
+			return s.dropPassivated(id)
+		}
 		return false
+	}
+	if sess.dur != nil {
+		if reason == "explicit" {
+			sess.mu.Lock()
+			sess.dropDisk = true
+			sess.mu.Unlock()
+		} else {
+			s.mPassivated.Inc()
+		}
 	}
 	sess.closeQueue()
 	s.mSessions.Add(-1)

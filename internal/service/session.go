@@ -55,17 +55,24 @@ type Session struct {
 	queue   chan batch
 	created time.Time
 
+	// workerDone closes when the worker has exited — for a durable
+	// session, after its final snapshot landed (or its directory was
+	// removed), so reactivation can safely wait on it.
+	workerDone chan struct{}
+
 	lastActive atomic.Int64 // unix nanoseconds of the last API touch
 
-	mu      sync.Mutex
-	closed  bool // queue closed; no further enqueues
-	sealed  bool
-	failErr error // first apply error; poisons further ingestion
-	builder *model.Builder
-	inc     *rgraph.Incremental
-	msgs    map[int]msgRef // client message id -> handles, in flight
-	usedMsg map[int]bool   // every client message id ever sent
-	applied int64          // events applied
+	mu       sync.Mutex
+	closed   bool // queue closed; no further enqueues
+	sealed   bool
+	failErr  error // first apply error; poisons further ingestion
+	dropDisk bool  // explicit delete: the worker removes the directory
+	dur      *durableSession
+	builder  *model.Builder
+	inc      *rgraph.Incremental
+	msgs     map[int]msgRef // client message id -> handles, in flight
+	usedMsg  map[int]bool   // every client message id ever sent
+	applied  int64          // events applied
 }
 
 // msgRef pairs the two internal handles a client message id maps to.
@@ -82,17 +89,26 @@ func newSession(svc *Service, id string, n int) (*Session, error) {
 		return nil, err
 	}
 	s := &Session{
-		ID:      id,
-		N:       n,
-		svc:     svc,
-		queue:   make(chan batch, svc.cfg.QueueDepth),
-		created: time.Now(),
-		builder: model.NewBuilder(n),
-		inc:     inc,
-		msgs:    make(map[int]msgRef),
-		usedMsg: make(map[int]bool),
+		ID:         id,
+		N:          n,
+		svc:        svc,
+		queue:      make(chan batch, svc.cfg.QueueDepth),
+		workerDone: make(chan struct{}),
+		created:    time.Now(),
+		builder:    model.NewBuilder(n),
+		inc:        inc,
+		msgs:       make(map[int]msgRef),
+		usedMsg:    make(map[int]bool),
 	}
 	s.touch()
+	svc.observeInc(inc)
+	return s, nil
+}
+
+// observeInc routes a checker's violations into the service's metrics
+// and tracer. Recovery calls it again for a checker decoded from a
+// snapshot (which replaces the one newSession wired up).
+func (svc *Service) observeInc(inc *rgraph.Incremental) {
 	inc.OnViolation(func(v rgraph.Violation) {
 		svc.mViolations.Inc()
 		svc.cfg.Tracer.Record(obs.Event{
@@ -103,40 +119,75 @@ func newSession(svc *Service, id string, n int) (*Session, error) {
 			Detail: v.String(),
 		})
 	})
-	return s, nil
 }
 
 // touch refreshes the idle-eviction clock.
 func (s *Session) touch() { s.lastActive.Store(time.Now().UnixNano()) }
 
 // run is the session worker: it drains the queue until the session is
-// closed, applying every batch in arrival order.
+// closed, applying every batch in arrival order, then retires the
+// session (for a durable one: final snapshot or directory removal).
 func (s *Session) run() {
 	defer s.svc.workers.Done()
 	for b := range s.queue {
 		s.process(b)
 	}
+	s.retire()
 }
 
+// process handles one batch with write-ahead ordering: a mutating
+// batch is framed, appended, and fsync'd before any of it is applied,
+// so the medium never lags memory. A persistence failure degrades the
+// session and the batch is NOT applied.
 func (s *Session) process(b batch) {
 	if b.gate != nil {
 		<-b.gate
 	}
-	var err error
 	s.mu.Lock()
-	for _, ev := range b.events {
-		if err = s.applyLocked(ev); err != nil {
-			break
+	var err error
+	mutates := (len(b.events) > 0 && !s.sealed && s.failErr == nil) || (b.seal && !s.sealed)
+	if s.dur != nil && mutates {
+		if s.dur.degraded {
+			err = fmt.Errorf("%w: %v", ErrDegraded, s.dur.degradedErr)
+		} else {
+			err = s.persistLocked(b.events, b.seal)
 		}
 	}
-	if err == nil && b.seal && !s.sealed {
-		s.inc.Seal()
-		s.sealed = true
+	if err == nil {
+		err = s.applyBatchLocked(b.events, b.seal)
+		if s.dur != nil {
+			if testHookApplied != nil && mutates {
+				testHookApplied(s.ID)
+			}
+			s.maybeSnapshotLocked(mutates && b.seal && s.sealed)
+		}
+	}
+	if err == nil && s.dur != nil && s.dur.degraded {
+		// Barriers (Flush, Seal) on a degraded session report the
+		// persistence failure even when the batch itself is a no-op, so
+		// async producers learn their earlier batches were dropped.
+		err = fmt.Errorf("%w: %v", ErrDegraded, s.dur.degradedErr)
 	}
 	s.mu.Unlock()
 	if b.done != nil {
 		b.done <- err
 	}
+}
+
+// applyBatchLocked is the single apply path, shared verbatim by live
+// ingestion and WAL replay — which is what makes replay bit-identical.
+func (s *Session) applyBatchLocked(events []Event, seal bool) error {
+	var err error
+	for _, ev := range events {
+		if err = s.applyLocked(ev); err != nil {
+			break
+		}
+	}
+	if err == nil && seal && !s.sealed {
+		s.inc.Seal()
+		s.sealed = true
+	}
+	return err
 }
 
 // applyLocked applies one event to both the builder and the incremental
@@ -233,6 +284,12 @@ func (s *Session) enqueue(b batch) error {
 			s.svc.reject(reasonFailed, len(b.events))
 			return fmt.Errorf("%w: %v", ErrFailed, s.failErr)
 		}
+	}
+	// A degraded session cannot make new mutations durable; reject them
+	// up front (pure barriers still pass — reads remain served).
+	if (len(b.events) > 0 || b.seal) && s.dur != nil && s.dur.degraded {
+		s.svc.reject(reasonDegraded, max(len(b.events), 1))
+		return fmt.Errorf("%w: %v", ErrDegraded, s.dur.degradedErr)
 	}
 	select {
 	case s.queue <- b:
@@ -373,6 +430,8 @@ func (s *Session) Verdict(maxViolations int) *Verdict {
 	}
 	if s.failErr != nil {
 		v.Error = s.failErr.Error()
+	} else if s.dur != nil && s.dur.degraded {
+		v.Error = fmt.Sprintf("%v: %v", ErrDegraded, s.dur.degradedErr)
 	}
 	for _, viol := range rep.Violations {
 		v.Violations = append(v.Violations, violationInfo(viol))
@@ -388,6 +447,8 @@ func (s *Session) stateLocked() string {
 	switch {
 	case s.failErr != nil:
 		return StateFailed
+	case s.dur != nil && s.dur.degraded:
+		return StateDegraded
 	case s.sealed:
 		return StateSealed
 	default:

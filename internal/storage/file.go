@@ -26,14 +26,6 @@ var (
 	_ Quarantiner = (*File)(nil)
 )
 
-// fsyncFile and fsyncDir are seams for the durability tests: they flush
-// a written checkpoint file (before the rename) and the directory (after
-// it), and the tests replace them to inject medium failures.
-var (
-	fsyncFile = func(f *os.File) error { return f.Sync() }
-	fsyncDir  = func(d *os.File) error { return d.Sync() }
-)
-
 // NewFile creates (if needed) the directory and returns a store over it.
 // Leftover .tmp files — a Put interrupted by a crash between write and
 // rename — are removed: the checkpoint they held was never committed, so
@@ -61,10 +53,11 @@ func NewFile(dir string) (*File, error) {
 // Dir returns the backing directory.
 func (f *File) Dir() string { return f.dir }
 
-// Put implements Store. The checkpoint is committed durably: the temp
-// file is fsynced before the rename and the directory after it, so a
-// checkpoint that Put reported as stored survives a machine crash (power
-// loss), not just a process crash.
+// Put implements Store. The checkpoint is committed durably through the
+// shared torn-write discipline (WriteFileDurable): the temp file is
+// fsynced before the rename and the directory after it, so a checkpoint
+// that Put reported as stored survives a machine crash (power loss),
+// not just a process crash.
 func (f *File) Put(cp Checkpoint) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -72,47 +65,8 @@ func (f *File) Put(cp Checkpoint) error {
 	if err != nil {
 		return fmt.Errorf("encode checkpoint: %w", err)
 	}
-	tmp := f.path(cp.Proc, cp.Index) + ".tmp"
-	tf, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return fmt.Errorf("write checkpoint: %w", err)
-	}
-	if _, err := tf.Write(data); err != nil {
-		tf.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("write checkpoint: %w", err)
-	}
-	// The data must be on the medium before the rename publishes the
-	// name, or a crash could leave a committed name pointing at a torn
-	// file.
-	if err := fsyncFile(tf); err != nil {
-		tf.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("sync checkpoint: %w", err)
-	}
-	if err := tf.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("close checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp, f.path(cp.Proc, cp.Index)); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("commit checkpoint: %w", err)
-	}
-	// And the rename itself must be on the medium before Put reports
-	// success, or the crash could forget the commit.
-	return f.syncDir()
-}
-
-// syncDir flushes the directory entry updates (renames, removes) of the
-// backing directory.
-func (f *File) syncDir() error {
-	d, err := os.Open(f.dir)
-	if err != nil {
-		return fmt.Errorf("sync checkpoint dir: %w", err)
-	}
-	defer d.Close()
-	if err := fsyncDir(d); err != nil {
-		return fmt.Errorf("sync checkpoint dir: %w", err)
+	if err := WriteFileDurable(f.path(cp.Proc, cp.Index), data); err != nil {
+		return fmt.Errorf("put checkpoint: %w", err)
 	}
 	return nil
 }
