@@ -13,7 +13,7 @@ COMMIT  ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
 LDFLAGS  = -X github.com/rdt-go/rdt/internal/version.Version=$(VERSION) \
            -X github.com/rdt-go/rdt/internal/version.Commit=$(COMMIT)
 
-.PHONY: all build test race vet chaos chaos-supervise serve-smoke trace-smoke fuzz-smoke durability-smoke check bench bench-baseline obs-bench clean
+.PHONY: all build test race vet chaos chaos-supervise serve-smoke trace-smoke soak-smoke fuzz-smoke durability-smoke check bench bench-baseline obs-bench clean
 
 all: test
 
@@ -67,14 +67,28 @@ trace-smoke:
 	grep -q '"traceEvents"' $(or $(TMPDIR),/tmp)/rdt-timeline.json
 	$(GO) run -ldflags "$(LDFLAGS)" ./cmd/rdtcheck -figure1 -explain | grep 'witness:' >/dev/null
 
+# Soak smoke: the deterministic chaos-scenario tier under the race
+# detector — the full seed corpus of .rdts files, double-run transcript
+# reproducibility, the golden replay, and a generated soak covering over
+# an hour of simulated operation (virtual time makes the hour cost
+# seconds of wall clock).
+soak-smoke:
+	$(GO) test -race -count=1 -run 'TestCorpus|TestGolden|TestSoak|TestGenerate|TestRun' \
+		./internal/scenario/
+	$(GO) run -ldflags "$(LDFLAGS)" ./cmd/rdtsim \
+		-scenario internal/scenario/corpus/ring-under-drops.rdts | \
+		grep -q 'all expectations held'
+
 # Fuzz smoke: a short bounded run of every fuzz target over untrusted
 # decoder surfaces (cluster wire messages, trace JSON, service events,
-# WAL files fed back through the scanner).
+# WAL files fed back through the scanner, scenario files fed to the
+# parser).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzDecodeMsg' -fuzztime 10s ./internal/cluster/
 	$(GO) test -run '^$$' -fuzz 'FuzzLoad' -fuzztime 10s ./internal/trace/
 	$(GO) test -run '^$$' -fuzz 'FuzzDecodeEvents' -fuzztime 10s ./internal/service/
 	$(GO) test -run '^$$' -fuzz 'FuzzWALReplay' -fuzztime 10s ./internal/wal/
+	$(GO) test -run '^$$' -fuzz 'FuzzParse' -fuzztime 10s ./internal/scenario/
 
 # Durability smoke: boot rdtserved with -data-dir, ingest a known
 # stream, kill -9, restart on the same directory, and require the
@@ -85,7 +99,7 @@ durability-smoke:
 	./scripts/durability_smoke.sh
 
 # Everything a change must pass before review.
-check: test race chaos chaos-supervise
+check: test race chaos chaos-supervise soak-smoke
 
 # Run the benchmark suite and gate ns/op against the committed baseline
 # (results/BENCH_4.json); bench-baseline rewrites the baseline.

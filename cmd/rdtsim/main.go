@@ -26,6 +26,13 @@
 //
 //	rdtsim -protocol bhmr -n 4 -rounds 20 -seed 7 -supervise \
 //	       -faults drop=0.1,dup=0.1,reorder=0.15,err=0.05,delay=2ms
+//
+// With -scenario, rdtsim executes a .rdts chaos-scenario file — a
+// scripted schedule of traffic, partitions, disconnects, crashes, and
+// recoveries at virtual timestamps — deterministically under a virtual
+// clock, and fails if any of the file's expectations are violated:
+//
+//	rdtsim -scenario ring-under-drops.rdts -transcript
 package main
 
 import (
@@ -71,6 +78,8 @@ func run(args []string, out io.Writer) error {
 		supervise   = fs.Bool("supervise", false, "run the cluster runtime under a supervisor: a seeded crash is injected mid-run and must be detected and healed autonomously (combines with -faults)")
 		traceOut    = fs.String("trace-out", "", "write the run's causal timeline as Chrome trace-event JSON to this file (open in chrome://tracing or Perfetto)")
 		pprof       = fs.Bool("pprof", false, "also mount /debug/pprof and runtime gauges on the -metrics-addr server")
+		scenarioIn  = fs.String("scenario", "", "execute a .rdts chaos scenario file deterministically under a virtual clock and check its expectations")
+		transcript  = fs.Bool("transcript", false, "with -scenario, print the run's deterministic transcript")
 		showVersion = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -79,6 +88,12 @@ func run(args []string, out io.Writer) error {
 	if *showVersion {
 		fmt.Fprintf(out, "rdtsim %s (%s)\n", rdt.BuildVersion, rdt.BuildCommit)
 		return nil
+	}
+	if *scenarioIn != "" {
+		return runScenario(out, *scenarioIn, *transcript)
+	}
+	if *transcript {
+		return fmt.Errorf("-transcript needs -scenario")
 	}
 
 	var (
@@ -187,6 +202,38 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "timeline written to %s\n", *traceOut)
 	}
+	return nil
+}
+
+// runScenario executes one .rdts chaos scenario and reports its
+// outcome; violated expectations make the command fail.
+func runScenario(out io.Writer, path string, transcript bool) error {
+	sc, err := rdt.ParseChaosFile(path)
+	if err != nil {
+		return err
+	}
+	res, err := rdt.RunChaos(sc)
+	if err != nil {
+		return err
+	}
+	if transcript {
+		fmt.Fprint(out, res.Transcript)
+	}
+	fmt.Fprintf(out, "scenario=%s verdict=%s delivered=%d lost=%d sim=%v\n",
+		res.Name, res.Verdict, res.Delivered, res.Lost, res.SimTime)
+	if len(res.Recovered) > 0 {
+		fmt.Fprintf(out, "recovered=%v\n", res.Recovered)
+	}
+	if res.Line != nil {
+		fmt.Fprintf(out, "recovery line=%v\n", res.Line)
+	}
+	if !res.Passed() {
+		for _, f := range res.Failures {
+			fmt.Fprintf(out, "expectation failed: %s\n", f)
+		}
+		return fmt.Errorf("scenario %s: %d expectation(s) failed", res.Name, len(res.Failures))
+	}
+	fmt.Fprintln(out, "all expectations held")
 	return nil
 }
 

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeScenario(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "s.rdts")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunScenarioFlag(t *testing.T) {
+	path := writeScenario(t, `
+scenario cli-ring
+procs 3
+protocol bhmr
+seed 4
+at 0ms  traffic ring rounds=2
+at 20ms settle
+expect verdict rdt
+expect min-delivered 6
+`)
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", path}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{"scenario=cli-ring", "verdict=rdt", "all expectations held"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunScenarioTranscript(t *testing.T) {
+	path := writeScenario(t, `
+scenario cli-transcript
+procs 2
+seed 2
+at 0ms send 0 1
+at 5ms settle
+`)
+	run1, run2 := new(bytes.Buffer), new(bytes.Buffer)
+	if err := run([]string{"-scenario", path, "-transcript"}, run1); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := run([]string{"-scenario", path, "-transcript"}, run2); err != nil {
+		t.Fatalf("rerun: %v", err)
+	}
+	if run1.String() != run2.String() {
+		t.Fatalf("transcript output not deterministic:\n%s\n---\n%s", run1, run2)
+	}
+	if !strings.Contains(run1.String(), "deliver 1<-0") {
+		t.Errorf("transcript missing delivery line:\n%s", run1)
+	}
+}
+
+func TestRunScenarioExpectationFailure(t *testing.T) {
+	path := writeScenario(t, `
+scenario cli-fails
+procs 3
+protocol bhmr
+seed 4
+at 0ms traffic ring rounds=1
+at 20ms settle
+expect verdict violation
+`)
+	var out bytes.Buffer
+	err := run([]string{"-scenario", path}, &out)
+	if err == nil {
+		t.Fatalf("expected failure, got success:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "expectation") {
+		t.Errorf("error %q does not mention expectations", err)
+	}
+	if !strings.Contains(out.String(), "expectation failed: verdict") {
+		t.Errorf("output missing failure detail:\n%s", out.String())
+	}
+}
+
+func TestRunScenarioErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", filepath.Join(t.TempDir(), "missing.rdts")}, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"-transcript"}, &out); err == nil || !strings.Contains(err.Error(), "-scenario") {
+		t.Errorf("bare -transcript: %v", err)
+	}
+	bad := writeScenario(t, "scenario x\nprocs 2\nat 0ms fly 1\n")
+	if err := run([]string{"-scenario", bad}, &out); err == nil {
+		t.Error("malformed scenario accepted")
+	}
+}

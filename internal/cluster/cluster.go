@@ -89,7 +89,13 @@ type Cluster struct {
 	stopped  bool
 	crashed  map[int]bool
 
+	// outstanding counts queued operations, executing operations, AND
+	// in-flight frames — Quiesce's "nothing anywhere" barrier. active
+	// counts only queued and executing operations: it drains while frames
+	// are still parked in a virtual-clock transport, which is what makes
+	// Settle usable between two timer firings.
 	outstanding *pending
+	active      *pending
 	ins         *instruments // nil when observability is off
 }
 
@@ -107,6 +113,7 @@ func New(cfg Config) (*Cluster, error) {
 		store:       cfg.Store,
 		builder:     model.NewBuilder(cfg.N),
 		outstanding: newPending(),
+		active:      newPending(),
 		crashed:     make(map[int]bool),
 	}
 	if c.trans == nil {
@@ -181,6 +188,17 @@ func (c *Cluster) QuiesceCtx(ctx context.Context) error {
 	c.ins.quiesceWait.Observe(time.Since(start).Seconds())
 	return err
 }
+
+// Settle blocks until no operation is queued or executing on any node —
+// including the cascade a delivery's Handler generates. Unlike Quiesce
+// it does not wait for in-flight frames, so under a virtual-clock
+// transport (where frames park on clock timers between Advance calls) it
+// is the barrier between two timer firings: everything the last firing
+// triggered has executed, every send it caused is parked in the clock,
+// and the next firing starts from a quiescent cluster. This is the
+// settle hook deterministic scenario execution passes to
+// vtime.Virtual.AdvanceUntilIdle.
+func (c *Cluster) Settle() { c.active.wait() }
 
 // Stop quiesces the cluster, shuts down the nodes and the transport, and
 // returns the recorded pattern, finalized. Stop is idempotent; subsequent

@@ -169,8 +169,9 @@ func (n *Node) Crash() error {
 	dropped := mb.crash()
 	<-done
 	for _, o := range dropped {
-		// Every queued item held one outstanding count; a dropped query
-		// also has a caller blocked on its reply channel.
+		// Every queued item held one outstanding and one active count; a
+		// dropped query also has a caller blocked on its reply channel.
+		n.c.active.done()
 		n.c.outstanding.done()
 		if o.query != nil {
 			close(o.query)
@@ -211,7 +212,9 @@ func (n *Node) enqueue(o op) error {
 	mb := n.mailbox
 	n.mu.Unlock()
 	n.c.outstanding.add(1)
+	n.c.active.add(1)
 	if !mb.put(o) {
+		n.c.active.done()
 		n.c.outstanding.done()
 		return ErrStopped
 	}
@@ -230,8 +233,11 @@ func (n *Node) onFrame(f transport.Frame) {
 	n.mu.Lock()
 	mb := n.mailbox
 	n.mu.Unlock()
-	// The sender already accounted for this frame in outstanding.
+	// The sender already accounted for this frame in outstanding; the
+	// active count starts only now, when the frame becomes a queued op.
+	n.c.active.add(1)
 	if !mb.put(o) {
+		n.c.active.done()
 		n.c.outstanding.done() // dropped: crash or shutdown
 	}
 }
@@ -249,6 +255,7 @@ func (n *Node) loop(mb *mailbox, done chan struct{}) {
 
 func (n *Node) execute(o op) {
 	defer n.c.outstanding.done()
+	defer n.c.active.done()
 	switch o.kind {
 	case opSend:
 		n.doSend(o.to, o.payload)

@@ -31,7 +31,18 @@ func Resume(cfg Config, replay []recovery.ReplayMessage) (*Cluster, error) {
 		return nil, fmt.Errorf("recovery: resume: %w", err)
 	}
 	for _, m := range replay {
-		if err := c.Node(m.From).Send(m.To, m.Payload); err != nil {
+		node := c.Node(m.From)
+		if err := node.Send(m.To, m.Payload); err != nil {
+			_, _ = c.Stop()
+			return nil, fmt.Errorf("recovery: replay message %d: %w", m.ID, err)
+		}
+		// Send only enqueues; the transport-level send (and its jitter
+		// draw) happens on the sender's goroutine. Replay messages come
+		// from different senders, so without a barrier the transport sees
+		// them in goroutine-scheduling order and replay timing stops
+		// being reproducible. Synchronize with each sender before
+		// enqueueing the next message to pin the replay order.
+		if _, err := node.Status(); err != nil {
 			_, _ = c.Stop()
 			return nil, fmt.Errorf("recovery: replay message %d: %w", m.ID, err)
 		}

@@ -12,6 +12,7 @@ import (
 	"github.com/rdt-go/rdt/internal/obs"
 	"github.com/rdt-go/rdt/internal/storage"
 	"github.com/rdt-go/rdt/internal/transport"
+	"github.com/rdt-go/rdt/internal/vtime"
 )
 
 // Suspicion reasons, used as metric label values and event details.
@@ -88,6 +89,11 @@ type SupervisorConfig struct {
 	// error. The supervisor stops after escalating: the cluster is down
 	// and repairing it now needs an operator.
 	OnEscalate func(error)
+
+	// Clock drives the probe ticker, the gap measurements, and the retry
+	// backoff. Nil means the wall clock; a vtime.Virtual lets scenarios
+	// compress minutes of suspicion windows into an Advance call.
+	Clock vtime.Clock
 }
 
 // withDefaults fills the zero fields.
@@ -140,10 +146,11 @@ func (cfg SupervisorConfig) withDefaults() SupervisorConfig {
 // a supervised cluster directly — call Supervisor.Stop first, then
 // operate on Supervisor.Cluster().
 type Supervisor struct {
-	cfg  SupervisorConfig
-	rng  *rand.Rand // monitor goroutine only
-	stop chan struct{}
-	done chan struct{}
+	cfg   SupervisorConfig
+	clock vtime.Clock
+	rng   *rand.Rand // monitor goroutine only
+	stop  chan struct{}
+	done  chan struct{}
 
 	mu       sync.Mutex
 	c        *Cluster
@@ -174,11 +181,12 @@ func Supervise(c *Cluster, cfg SupervisorConfig) (*Supervisor, error) {
 	}
 	cfg = cfg.withDefaults()
 	s := &Supervisor{
-		cfg:  cfg,
-		rng:  rand.New(rand.NewSource(cfg.Seed)),
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
-		inc:  1,
+		cfg:   cfg,
+		clock: vtime.Or(cfg.Clock),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+		inc:   1,
 		ins: supInstruments{
 			reg:    c.cfg.Obs,
 			tracer: c.cfg.Tracer,
@@ -187,7 +195,11 @@ func Supervise(c *Cluster, cfg SupervisorConfig) (*Supervisor, error) {
 		},
 	}
 	s.adopt(c)
-	go s.monitor()
+	// Arm the probe ticker before the goroutine starts: under a virtual
+	// clock the supervisor must be registered the moment Supervise
+	// returns, or an immediate Advance would pass it by.
+	ticker := s.clock.NewTicker(cfg.Interval)
+	go s.monitor(ticker)
 	return s, nil
 }
 
@@ -244,7 +256,7 @@ func (s *Supervisor) OnGiveUp(f transport.Frame, err error) { s.ReportUnreachabl
 // primed with the probe interval so φ is defined from the first tick.
 func (s *Supervisor) adopt(c *Cluster) {
 	tracks := make([]*beatTrack, c.cfg.N)
-	now := time.Now()
+	now := s.clock.Now()
 	for i := range tracks {
 		tracks[i] = newBeatTrack(now, s.cfg.Window, s.cfg.Interval)
 	}
@@ -258,15 +270,14 @@ func (s *Supervisor) adopt(c *Cluster) {
 }
 
 // monitor is the supervision loop: probe, evaluate, fail over.
-func (s *Supervisor) monitor() {
+func (s *Supervisor) monitor(ticker vtime.Ticker) {
 	defer close(s.done)
-	ticker := time.NewTicker(s.cfg.Interval)
 	defer ticker.Stop()
 	for {
 		select {
 		case <-s.stop:
 			return
-		case <-ticker.C:
+		case <-ticker.C():
 		}
 		suspects, external := s.tick()
 		if external {
@@ -293,11 +304,11 @@ func (s *Supervisor) tick() (suspects []suspect, external bool) {
 	c, tracks := s.c, s.tracks
 	s.mu.Unlock()
 
-	now := time.Now()
+	now := s.clock.Now()
 	for proc := 0; proc < c.cfg.N; proc++ {
 		track := tracks[proc]
 		hist := s.ins.heartbeatGap
-		err := c.nodes[proc].ping(func() { track.beat(time.Now(), hist) })
+		err := c.nodes[proc].ping(func() { track.beat(s.clock.Now(), hist) })
 		switch {
 		case err == nil:
 		case errors.Is(err, ErrCrashed):
@@ -374,7 +385,7 @@ func (s *Supervisor) failover(suspects []suspect) bool {
 			break
 		}
 		select {
-		case <-time.After(s.jitter(backoff)):
+		case <-s.clock.After(s.jitter(backoff)):
 		case <-s.stop:
 			return false
 		}

@@ -13,6 +13,7 @@ import (
 	"github.com/rdt-go/rdt/internal/rgraph"
 	"github.com/rdt-go/rdt/internal/storage"
 	"github.com/rdt-go/rdt/internal/transport"
+	"github.com/rdt-go/rdt/internal/vtime"
 )
 
 // injectCrash is the fault injector of the supervised suite: it picks a
@@ -28,16 +29,22 @@ func injectCrash(t *testing.T, c *cluster.Cluster, seed int64) int {
 	return victim
 }
 
-// waitCounter polls a labeled counter until it reaches want.
-func waitCounter(t *testing.T, ctr *obs.Counter, want int64, what string) {
+// pump advances a virtual clock in fixed steps until cond holds, with a
+// tiny real yield per step so goroutines the advance woke (the monitor
+// draining its tick) get scheduled. It replaces the wall-clock poll
+// loops this file used to have: the waiting is now virtual, so the test
+// burns real time only on actual work.
+func pump(t *testing.T, v *vtime.Virtual, step time.Duration, cond func() bool, what string) {
 	t.Helper()
-	deadline := time.Now().Add(10 * time.Second)
-	for ctr.Value() < want {
-		if time.Now().After(deadline) {
-			t.Fatalf("%s = %d, want >= %d (timed out)", what, ctr.Value(), want)
+	const maxSteps = 100000
+	for i := 0; i < maxSteps; i++ {
+		if cond() {
+			return
 		}
-		time.Sleep(time.Millisecond)
+		v.Advance(step)
+		time.Sleep(50 * time.Microsecond)
 	}
+	t.Fatalf("%s: not reached after %d virtual steps of %v", what, maxSteps, step)
 }
 
 // TestSupervisedChaosSelfHeals is the self-healing matrix: a supervised
@@ -70,7 +77,13 @@ func TestSupervisedChaosSelfHeals(t *testing.T) {
 
 			recovered := make(chan *cluster.RecoverResult, 1)
 			sup, err := cluster.Supervise(c1, cluster.SupervisorConfig{
-				Interval:     2 * time.Millisecond,
+				Interval: 2 * time.Millisecond,
+				// The failure this test injects is a crash, detected via
+				// ErrCrashed regardless of gap size; a generous MinGap
+				// keeps scheduler stalls on loaded CI runners from
+				// triggering a spurious timeout failover of the healthy
+				// second incarnation.
+				MinGap:       time.Second,
 				MaxAttempts:  3,
 				Backoff:      2 * time.Millisecond,
 				Seed:         seed,
@@ -190,6 +203,7 @@ func TestSupervisedChaosSelfHeals(t *testing.T) {
 // recover; nothing in this test calls Crash or Recover.
 func TestSupervisorDetectsStalledNode(t *testing.T) {
 	const n, victim = 3, 1
+	v := vtime.NewVirtual(time.Time{})
 	reg := obs.NewRegistry()
 	release := make(chan struct{})
 	var releaseOnce sync.Once
@@ -219,6 +233,7 @@ func TestSupervisorDetectsStalledNode(t *testing.T) {
 		ConfirmTicks: 2,
 		Backoff:      time.Millisecond,
 		DrainTimeout: 5 * time.Second,
+		Clock:        v,
 		OnRecover:    func(res *cluster.RecoverResult) { recovered <- res },
 		OnEscalate:   func(err error) { t.Errorf("unexpected escalation: %v", err) },
 	})
@@ -238,17 +253,22 @@ func TestSupervisorDetectsStalledNode(t *testing.T) {
 	}
 
 	suspicions := reg.Counter("rdt_supervisor_suspicions_total", "reason", cluster.SuspectTimeout)
-	waitCounter(t, suspicions, 1, "timeout suspicions")
+	pump(t, v, 3*time.Millisecond, func() bool { return suspicions.Value() >= 1 },
+		"timeout suspicions")
 	// The failover is now fail-stopping the victim, which waits for the
 	// wedged handler to return: unwedge it so the crash can complete —
 	// in-process fail-stop cannot reap a stuck goroutine.
 	releaseOnce.Do(func() { close(release) })
 
-	select {
-	case <-recovered:
-	case <-time.After(30 * time.Second):
-		t.Fatal("supervisor did not recover from the stall within 30s")
-	}
+	var healed bool
+	pump(t, v, 3*time.Millisecond, func() bool {
+		select {
+		case <-recovered:
+			healed = true
+		default:
+		}
+		return healed
+	}, "autonomous recovery from the stall")
 	if got := sup.Incarnation(); got != 2 {
 		t.Fatalf("incarnation = %d, want 2", got)
 	}
@@ -267,6 +287,7 @@ func TestSupervisorDetectsStalledNode(t *testing.T) {
 // exactly once.
 func TestSupervisorNoFalsePositivesUnderDelay(t *testing.T) {
 	const n = 3
+	v := vtime.NewVirtual(time.Time{})
 	reg := obs.NewRegistry()
 	faulty := transport.WithFaults(transport.NewLocal(time.Millisecond), transport.FaultConfig{
 		Seed:    7,
@@ -288,6 +309,7 @@ func TestSupervisorNoFalsePositivesUnderDelay(t *testing.T) {
 		Interval:     3 * time.Millisecond,
 		MinGap:       150 * time.Millisecond,
 		ConfirmTicks: 2,
+		Clock:        v,
 		OnRecover: func(*cluster.RecoverResult) {
 			t.Error("unexpected autonomous recovery of a healthy cluster")
 		},
@@ -307,7 +329,10 @@ func TestSupervisorNoFalsePositivesUnderDelay(t *testing.T) {
 			}
 			want[string(payload)] = true
 		}
-		time.Sleep(10 * time.Millisecond) // keep the run long enough for many ticks
+		// Many virtual probe ticks per round, a sliver of real time for
+		// the (real-clock) transport to move the messages.
+		v.Advance(10 * time.Millisecond)
+		time.Sleep(time.Millisecond)
 	}
 	c.Quiesce()
 	sup.Stop()

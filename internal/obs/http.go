@@ -10,6 +10,8 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+
+	"github.com/rdt-go/rdt/internal/vtime"
 )
 
 // WritePrometheus renders the registry in the Prometheus text
@@ -110,6 +112,7 @@ type ServerOption func(*serverConfig)
 
 type serverConfig struct {
 	profiling bool
+	clock     vtime.Clock
 	flight    *FlightRecorder
 }
 
@@ -119,6 +122,13 @@ type serverConfig struct {
 // server's lifetime.
 func WithProfiling() ServerOption {
 	return func(c *serverConfig) { c.profiling = true }
+}
+
+// WithClock drives the server's periodic work (the profiling sampler's
+// ticker) from clock instead of the real one; tests pass a
+// vtime.Virtual to step the cadence deterministically.
+func WithClock(clock vtime.Clock) ServerOption {
+	return func(c *serverConfig) { c.clock = clock }
 }
 
 // WithFlight serves the flight recorder's spans as Chrome trace-event
@@ -148,7 +158,7 @@ func Serve(addr string, reg *Registry, tr *Tracer, opts ...ServerOption) (*Serve
 	}
 	if cfg.profiling {
 		mountPprof(mux)
-		s.stop = StartRuntimeGauges(reg, 0)
+		s.stop = StartRuntimeGaugesOn(cfg.clock, reg, 0)
 	}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil

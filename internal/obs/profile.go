@@ -6,6 +6,8 @@ import (
 	"runtime/metrics"
 	"sync"
 	"time"
+
+	"github.com/rdt-go/rdt/internal/vtime"
 )
 
 // runtimeSamples are the runtime/metrics series mirrored into gauges.
@@ -54,6 +56,15 @@ func sampleRuntime(reg *Registry, samples []metrics.Sample) {
 //	rdt_go_gc_cycles_total     completed GC cycles
 //	rdt_go_gc_pause_us_total   estimated cumulative GC pause (µs)
 func StartRuntimeGauges(reg *Registry, interval time.Duration) (stop func()) {
+	return StartRuntimeGaugesOn(nil, reg, interval)
+}
+
+// StartRuntimeGaugesOn is StartRuntimeGauges on an explicit clock (nil
+// for the real one): a vtime.Virtual makes the sampling cadence part of
+// a deterministic schedule. The ticker is armed before the sampling
+// goroutine starts, so a virtual advance issued right after the call
+// cannot miss it.
+func StartRuntimeGaugesOn(clock vtime.Clock, reg *Registry, interval time.Duration) (stop func()) {
 	if reg == nil {
 		return func() {}
 	}
@@ -66,14 +77,14 @@ func StartRuntimeGauges(reg *Registry, interval time.Duration) (stop func()) {
 	}
 	sampleRuntime(reg, samples) // populate before the first tick
 	done := make(chan struct{})
+	tick := vtime.Or(clock).NewTicker(interval)
 	go func() {
-		tick := time.NewTicker(interval)
 		defer tick.Stop()
 		for {
 			select {
 			case <-done:
 				return
-			case <-tick.C:
+			case <-tick.C():
 				sampleRuntime(reg, samples)
 			}
 		}

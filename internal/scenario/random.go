@@ -1,0 +1,87 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/rdt-go/rdt/internal/core"
+)
+
+// Generate builds a random but fully determined scenario from a seed:
+// bursts of topology traffic interleaved with partitions, disconnect
+// windows, and crash/recover cycles, spanning span of virtual time. The
+// same seed always yields the same scenario, so a soak failure is a
+// one-line reproducer.
+func Generate(seed int64, span time.Duration) *Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	protocols := []core.Kind{core.KindBHMR, core.KindFDAS, core.KindBCS, core.KindBHMRNoSimple}
+	modes := []string{TrafficRing, TrafficPairs, TrafficClientServer, TrafficRandom}
+
+	sc := &Scenario{
+		Name:     fmt.Sprintf("soak-%d", seed),
+		N:        3 + rng.Intn(4),
+		Protocol: protocols[rng.Intn(len(protocols))],
+		Seed:     seed,
+		Delay:    time.Duration(1+rng.Intn(4)) * time.Millisecond,
+	}
+	if rng.Intn(2) == 0 {
+		sc.HasFaults = true
+		sc.Faults.Drop = 0.05 * rng.Float64()
+		sc.Faults.Duplicate = 0.05 * rng.Float64()
+		sc.Faults.Reorder = 0.2 * rng.Float64()
+		sc.Faults.MaxExtraDelay = time.Duration(rng.Intn(5)) * time.Millisecond
+		sc.Reliable = true
+	}
+
+	seq := 0
+	add := func(at time.Duration, st Step) {
+		st.At = at
+		st.seq = seq
+		seq++
+		sc.Steps = append(sc.Steps, st)
+	}
+
+	// Walk virtual time forward, dropping an event burst every few
+	// seconds; the long idle gaps between bursts cost nothing under the
+	// virtual clock but make the soak cover hours of simulated operation.
+	gap := span / 24
+	at := time.Duration(0)
+	partitioned := false
+	for at < span-gap {
+		switch rng.Intn(6) {
+		case 0, 1, 2: // traffic burst
+			add(at, Step{Op: OpTraffic, A: -1, B: -1,
+				Mode: modes[rng.Intn(len(modes))], Rounds: 1 + rng.Intn(3)})
+		case 3: // partition window
+			if !partitioned && sc.N >= 2 {
+				a := rng.Intn(sc.N)
+				b := rng.Intn(sc.N - 1)
+				if b >= a {
+					b++
+				}
+				add(at, Step{Op: OpPartition, A: a, B: b})
+				add(at+gap/2, Step{Op: OpHeal, A: a, B: b})
+				partitioned = true
+			}
+		case 4: // mobile host drops off the network for a while
+			p := rng.Intn(sc.N)
+			add(at, Step{Op: OpIsolate, A: p, B: -1, Dur: gap / 2})
+			add(at+gap/2, Step{Op: OpReconnect, A: p, B: -1})
+		case 5: // crash, let traffic run degraded, then recover
+			p := rng.Intn(sc.N)
+			add(at, Step{Op: OpCrash, A: p, B: -1})
+			add(at+gap/4, Step{Op: OpTraffic, A: -1, B: -1, Mode: TrafficRandom, Rounds: 1})
+			add(at+gap/2, Step{Op: OpRecover, A: -1, B: -1})
+		}
+		at += gap
+	}
+	add(span, Step{Op: OpSettle, A: -1, B: -1})
+
+	sc.withDefaults()
+	sc.sortSteps()
+	if err := sc.validate(); err != nil {
+		panic(fmt.Sprintf("scenario: Generate(%d) built an invalid scenario: %v", seed, err))
+	}
+	return sc
+}

@@ -16,6 +16,7 @@ import (
 
 	"github.com/rdt-go/rdt/internal/obs"
 	"github.com/rdt-go/rdt/internal/storage"
+	"github.com/rdt-go/rdt/internal/vtime"
 )
 
 // Defaults for the zero Config.
@@ -68,6 +69,10 @@ type Config struct {
 	// events; either may be nil.
 	Registry *obs.Registry
 	Tracer   *obs.Tracer
+	// Clock drives the janitor's sweep ticker and the idle cut, plus
+	// session created/last-active stamps. Nil means the real clock;
+	// tests pass a vtime.Virtual to make idle eviction deterministic.
+	Clock vtime.Clock
 }
 
 func (c Config) withDefaults() Config {
@@ -123,6 +128,7 @@ var (
 // worker goroutine per session, and a janitor evicting idle sessions.
 type Service struct {
 	cfg      Config
+	clock    vtime.Clock
 	shards   []*shard
 	workers  sync.WaitGroup
 	janitor  sync.WaitGroup
@@ -169,6 +175,7 @@ func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	s := &Service{
 		cfg:           cfg,
+		clock:         vtime.Or(cfg.Clock),
 		shards:        make([]*shard, cfg.Shards),
 		stop:          make(chan struct{}),
 		loads:         make(map[string]chan struct{}),
@@ -202,8 +209,12 @@ func New(cfg Config) *Service {
 		_ = os.MkdirAll(s.sessionsRoot(), 0o755)
 	}
 	if cfg.IdleTimeout > 0 {
+		// Arm the ticker here, not in the goroutine: under a virtual
+		// clock the janitor must be registered the moment New returns, or
+		// an immediate Advance would pass it by.
+		t := s.clock.NewTicker(cfg.SweepInterval)
 		s.janitor.Add(1)
-		go s.runJanitor()
+		go s.runJanitor(t)
 	}
 	return s
 }
@@ -246,14 +257,29 @@ func validSessionID(id string) bool {
 	return true
 }
 
+// idSeq disambiguates fallback ids minted in the same instant — a
+// wall-clock id alone collides under rapid creation (and always under
+// a frozen virtual clock). idNonce keeps fallback ids from different
+// processes apart.
+var (
+	idSeq   atomic.Uint64
+	idNonce = uint64(os.Getpid())<<32 ^ uint64(time.Now().UnixNano())&0xffffffff
+)
+
 func randomID() string {
 	var buf [8]byte
 	if _, err := rand.Read(buf[:]); err != nil {
 		// The entropy pool failing is unheard of; fall back to a
-		// time-based id rather than refusing service.
-		return fmt.Sprintf("s-%d", time.Now().UnixNano())
+		// counter-based id rather than refusing service.
+		return fallbackID()
 	}
 	return hex.EncodeToString(buf[:])
+}
+
+// fallbackID mints a session id without entropy: unique within the
+// process by the counter, distinct across processes by the nonce.
+func fallbackID() string {
+	return fmt.Sprintf("s-%x-%d", idNonce, idSeq.Add(1))
 }
 
 // CreateSession registers a session of n processes. An empty id asks
@@ -389,15 +415,14 @@ func (s *Service) SessionCount() int {
 // Draining reports whether Drain has begun.
 func (s *Service) Draining() bool { return s.draining.Load() }
 
-func (s *Service) runJanitor() {
+func (s *Service) runJanitor(t vtime.Ticker) {
 	defer s.janitor.Done()
-	t := time.NewTicker(s.cfg.SweepInterval)
 	defer t.Stop()
 	for {
 		select {
 		case <-s.stop:
 			return
-		case <-t.C:
+		case <-t.C():
 			s.sweep()
 		}
 	}
@@ -406,7 +431,7 @@ func (s *Service) runJanitor() {
 // sweep evicts every session untouched for longer than the idle
 // timeout.
 func (s *Service) sweep() {
-	cut := time.Now().Add(-s.cfg.IdleTimeout).UnixNano()
+	cut := s.clock.Now().Add(-s.cfg.IdleTimeout).UnixNano()
 	var idle []string
 	for _, sh := range s.shards {
 		sh.mu.RLock()

@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 	"github.com/rdt-go/rdt/internal/obs"
 	"github.com/rdt-go/rdt/internal/rgraph"
 	"github.com/rdt-go/rdt/internal/trace"
+	"github.com/rdt-go/rdt/internal/vtime"
 )
 
 func TestDecodeEvents(t *testing.T) {
@@ -301,8 +303,19 @@ func waitFor(t *testing.T, cond func() bool) {
 }
 
 func TestIdleEviction(t *testing.T) {
-	svc, reg := testService(t, Config{IdleTimeout: 20 * time.Millisecond, SweepInterval: 5 * time.Millisecond})
+	v := vtime.NewVirtual(time.Time{})
+	svc, reg := testService(t, Config{IdleTimeout: time.Minute, SweepInterval: 15 * time.Second, Clock: v})
 	mustCreate(t, svc, "idle", 2)
+	// A sweep before the timeout must keep the session (sweep called
+	// directly: the cut logic is what's under test here).
+	v.Advance(30 * time.Second)
+	svc.sweep()
+	if _, err := svc.Session("idle"); err != nil {
+		t.Fatalf("evicted before the idle timeout: %v", err)
+	}
+	// Past the timeout the janitor's own ticker does the eviction; the
+	// janitor goroutine runs on the scheduler, so wait for it.
+	v.Advance(2 * time.Minute)
 	waitFor(t, func() bool {
 		_, err := svc.Session("idle")
 		return errors.Is(err, ErrNoSession)
@@ -312,6 +325,35 @@ func TestIdleEviction(t *testing.T) {
 	}
 	if got := svc.SessionCount(); got != 0 {
 		t.Fatalf("%d sessions left after eviction", got)
+	}
+}
+
+// TestFallbackIDUnique: the entropy-less session-id fallback must not
+// collide even when many ids are minted in the same (frozen) instant.
+func TestFallbackIDUnique(t *testing.T) {
+	const workers, per = 8, 200
+	ids := make(chan string, workers*per)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				ids <- fallbackID()
+			}
+		}()
+	}
+	wg.Wait()
+	close(ids)
+	seen := make(map[string]bool)
+	for id := range ids {
+		if seen[id] {
+			t.Fatalf("fallback id %q minted twice", id)
+		}
+		seen[id] = true
+		if !validSessionID(id) {
+			t.Fatalf("fallback id %q is not a valid session id", id)
+		}
 	}
 }
 

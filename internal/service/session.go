@@ -94,7 +94,7 @@ func newSession(svc *Service, id string, n int) (*Session, error) {
 		svc:        svc,
 		queue:      make(chan batch, svc.cfg.QueueDepth),
 		workerDone: make(chan struct{}),
-		created:    time.Now(),
+		created:    svc.clock.Now(),
 		builder:    model.NewBuilder(n),
 		inc:        inc,
 		msgs:       make(map[int]msgRef),
@@ -122,7 +122,7 @@ func (svc *Service) observeInc(inc *rgraph.Incremental) {
 }
 
 // touch refreshes the idle-eviction clock.
-func (s *Session) touch() { s.lastActive.Store(time.Now().UnixNano()) }
+func (s *Session) touch() { s.lastActive.Store(s.svc.clock.Now().UnixNano()) }
 
 // run is the session worker: it drains the queue until the session is
 // closed, applying every batch in arrival order, then retires the

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/rdt-go/rdt/internal/obs"
+	"github.com/rdt-go/rdt/internal/vtime"
 )
 
 // ErrInjected is the transient send error the fault injector returns. It
@@ -62,6 +63,13 @@ type FaultConfig struct {
 	Obs *obs.Registry
 	// Tracer, if non-nil, records one EventFault per injected fault.
 	Tracer *obs.Tracer
+
+	// Clock, when non-nil, schedules deferred (delayed/duplicated) sends
+	// as clock timers instead of goroutine sleeps, so under vtime.Virtual
+	// they fire deterministically inside Advance. Deferred frames still
+	// pending when the injector closes are dropped — indistinguishable
+	// from loss, which they already are to the sender.
+	Clock vtime.Clock
 }
 
 // Faulty is a fault-injecting transport decorator: it wraps any Transport
@@ -80,6 +88,9 @@ type Faulty struct {
 	partitioned map[Link]bool
 	closed      bool
 	wg          sync.WaitGroup // deferred (delayed/duplicated) sends
+
+	nextID uint64
+	timers map[uint64]vtime.Timer // armed clock-deferred sends, by id
 
 	counts map[string]int64
 }
@@ -101,13 +112,17 @@ func WithFaults(inner Transport, cfg FaultConfig) *Faulty {
 	if seed == 0 {
 		seed = 1
 	}
-	return &Faulty{
+	t := &Faulty{
 		inner:       inner,
 		cfg:         cfg,
 		rng:         rand.New(rand.NewSource(seed)),
 		partitioned: make(map[Link]bool),
 		counts:      make(map[string]int64),
 	}
+	if cfg.Clock != nil {
+		t.timers = make(map[uint64]vtime.Timer)
+	}
+	return t
 }
 
 // Name identifies the transport in metric labels.
@@ -236,6 +251,23 @@ func (t *Faulty) Send(f Frame) error {
 // already reported as sent, so a late failure is just loss.
 func (t *Faulty) deferSend(f Frame, delay time.Duration) {
 	t.wg.Add(1)
+	if t.cfg.Clock != nil {
+		id := t.nextID
+		t.nextID++
+		t.timers[id] = t.cfg.Clock.AfterFunc(delay, func() {
+			t.mu.Lock()
+			if _, armed := t.timers[id]; !armed {
+				// Close stopped this send and consumed the slot.
+				t.mu.Unlock()
+				return
+			}
+			delete(t.timers, id)
+			t.mu.Unlock()
+			defer t.wg.Done()
+			_ = t.inner.Send(f)
+		})
+		return
+	}
 	go func() {
 		defer t.wg.Done()
 		time.Sleep(delay)
@@ -246,7 +278,7 @@ func (t *Faulty) deferSend(f Frame, delay time.Duration) {
 }
 
 // Close implements Transport: it waits for deferred sends, then closes
-// the inner transport.
+// the inner transport. Clock-deferred sends still armed are dropped.
 func (t *Faulty) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -254,6 +286,12 @@ func (t *Faulty) Close() error {
 		return nil
 	}
 	t.closed = true
+	for id, tm := range t.timers {
+		if tm.Stop() {
+			delete(t.timers, id)
+			t.wg.Done()
+		}
+	}
 	t.mu.Unlock()
 	t.wg.Wait()
 	return t.inner.Close()

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"github.com/rdt-go/rdt/internal/vtime"
 )
 
 // DefaultLocalDelay is the delivery-delay bound of the in-process
@@ -13,9 +15,27 @@ import (
 // refers to it.
 const DefaultLocalDelay = 2 * time.Millisecond
 
+// LocalConfig configures an in-process transport.
+type LocalConfig struct {
+	// MaxDelay > 0 adds a uniform random delivery delay in [0, MaxDelay)
+	// to every frame.
+	MaxDelay time.Duration
+	// Seed seeds the delay jitter; 0 means 1. Seeding is deterministic by
+	// default so two runs with the same configuration see the same delay
+	// schedule.
+	Seed int64
+	// Clock, when non-nil, schedules deliveries as clock timers instead
+	// of goroutine sleeps. Under vtime.Virtual every delivery then fires
+	// synchronously inside Advance, in deadline order — the property
+	// scenario execution relies on. Frames still undelivered when the
+	// transport closes are dropped.
+	Clock vtime.Clock
+}
+
 // Local is an in-process transport: frames are delivered by short-lived
 // goroutines, optionally after a random delay, so concurrent runs exhibit
-// genuine asynchrony while staying inside one process.
+// genuine asynchrony while staying inside one process. With a Clock
+// configured, deliveries ride clock timers instead.
 type Local struct {
 	mu       sync.Mutex
 	handlers map[int]Handler
@@ -24,6 +44,10 @@ type Local struct {
 
 	maxDelay time.Duration
 	rng      *rand.Rand
+
+	clock  vtime.Clock // nil ⇒ goroutine + time.Sleep path
+	nextID uint64
+	timers map[uint64]vtime.Timer // armed clock deliveries, by id
 }
 
 var _ Transport = (*Local)(nil)
@@ -31,11 +55,25 @@ var _ Transport = (*Local)(nil)
 // NewLocal creates an in-process transport. maxDelay > 0 adds a uniform
 // random delivery delay in [0, maxDelay) to every frame.
 func NewLocal(maxDelay time.Duration) *Local {
-	return &Local{
-		handlers: make(map[int]Handler),
-		maxDelay: maxDelay,
-		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
+	return NewLocalWith(LocalConfig{MaxDelay: maxDelay})
+}
+
+// NewLocalWith creates an in-process transport from an explicit config.
+func NewLocalWith(cfg LocalConfig) *Local {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
 	}
+	l := &Local{
+		handlers: make(map[int]Handler),
+		maxDelay: cfg.MaxDelay,
+		rng:      rand.New(rand.NewSource(seed)),
+		clock:    cfg.Clock,
+	}
+	if l.clock != nil {
+		l.timers = make(map[uint64]vtime.Timer)
+	}
+	return l
 }
 
 // Name identifies the transport in metric labels.
@@ -72,6 +110,28 @@ func (l *Local) Send(f Frame) error {
 		delay = time.Duration(l.rng.Int63n(int64(l.maxDelay)))
 	}
 	l.wg.Add(1)
+
+	if l.clock != nil {
+		// Even a zero delay goes through the clock, so no frame is
+		// delivered outside an Advance window.
+		id := l.nextID
+		l.nextID++
+		l.timers[id] = l.clock.AfterFunc(delay, func() {
+			l.mu.Lock()
+			if _, armed := l.timers[id]; !armed {
+				// Close stopped this delivery and already consumed
+				// the waitgroup slot.
+				l.mu.Unlock()
+				return
+			}
+			delete(l.timers, id)
+			l.mu.Unlock()
+			defer l.wg.Done()
+			h(f)
+		})
+		l.mu.Unlock()
+		return nil
+	}
 	l.mu.Unlock()
 
 	go func() {
@@ -92,6 +152,13 @@ func (l *Local) Close() error {
 		return nil
 	}
 	l.closed = true
+	for id, tm := range l.timers {
+		if tm.Stop() {
+			// The delivery will never fire; drop the frame.
+			delete(l.timers, id)
+			l.wg.Done()
+		}
+	}
 	l.mu.Unlock()
 	l.wg.Wait()
 	return nil

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/rdt-go/rdt/internal/obs"
+	"github.com/rdt-go/rdt/internal/vtime"
 )
 
 // ErrGiveUp is surfaced (through ReliableConfig.OnGiveUp) when the
@@ -36,6 +37,11 @@ type ReliableConfig struct {
 	Obs *obs.Registry
 	// Tracer, if non-nil, records EventRetry and EventGiveUp.
 	Tracer *obs.Tracer
+
+	// Clock drives the retry backoff. Nil means the wall clock; a
+	// vtime.Virtual makes retransmissions fire deterministically inside
+	// Advance, in deadline order.
+	Clock vtime.Clock
 }
 
 // ReliableTransport decorates any Transport with exactly-once delivery
@@ -54,14 +60,15 @@ type ReliableTransport struct {
 	inner Transport
 	cfg   ReliableConfig
 
+	clock vtime.Clock
+
 	mu      sync.Mutex
 	rng     *rand.Rand
 	nextSeq map[Link]uint64
 	pending map[pendingKey]*pendingFrame
 	seen    map[Link]*dedupWindow
 	closed  bool
-	stop    chan struct{}
-	wg      sync.WaitGroup
+	wg      sync.WaitGroup // one slot per live pending frame
 
 	retries *obs.Counter
 	giveups *obs.Counter
@@ -75,9 +82,21 @@ type pendingKey struct {
 	seq  uint64
 }
 
+// pendingFrame is one unacked frame's retry state machine, driven by a
+// chain of clock timers instead of a parked goroutine: each firing
+// retransmits and arms the next timer. All fields are guarded by
+// ReliableTransport.mu. Exactly one party releases the frame's waitgroup
+// slot: whoever flips done — the ack/close path when it stops the armed
+// timer, otherwise the in-flight retry firing when it observes done.
 type pendingFrame struct {
-	frame Frame // the framed (headered) wire frame
-	acked chan struct{}
+	orig    Frame // the caller's frame, for OnGiveUp
+	frame   Frame // the framed (headered) wire frame
+	link    Link
+	seq     uint64
+	attempt int
+	backoff time.Duration
+	timer   vtime.Timer // armed retry; nil while the initial Send runs
+	done    bool        // acked, given up, or closed
 }
 
 // Reliable wraps a transport with the retry/dedup layer.
@@ -98,11 +117,11 @@ func Reliable(inner Transport, cfg ReliableConfig) *ReliableTransport {
 	return &ReliableTransport{
 		inner:   inner,
 		cfg:     cfg,
+		clock:   vtime.Or(cfg.Clock),
 		rng:     rand.New(rand.NewSource(seed)),
 		nextSeq: make(map[Link]uint64),
 		pending: make(map[pendingKey]*pendingFrame),
 		seen:    make(map[Link]*dedupWindow),
-		stop:    make(chan struct{}),
 		retries: cfg.Obs.Counter("rdt_send_retries_total"),
 		giveups: cfg.Obs.Counter("rdt_reliable_giveups_total"),
 		dups:    cfg.Obs.Counter("rdt_reliable_dups_suppressed_total"),
@@ -174,19 +193,26 @@ func (t *ReliableTransport) Register(proc int, h Handler) error {
 func (t *ReliableTransport) onAck(link Link, seq uint64) {
 	t.mu.Lock()
 	pf, ok := t.pending[pendingKey{link, seq}]
-	if ok {
-		delete(t.pending, pendingKey{link, seq})
+	if !ok {
+		t.mu.Unlock()
+		return
 	}
+	delete(t.pending, pendingKey{link, seq})
+	pf.done = true
+	release := pf.timer != nil && pf.timer.Stop()
 	t.mu.Unlock()
-	if ok {
-		close(pf.acked)
+	// With the timer stopped no retry firing remains; the slot is ours.
+	// Otherwise a firing is in flight (or the initial Send is still
+	// arming) and releases the slot when it observes done.
+	if release {
+		t.wg.Done()
 	}
 }
 
 // Send implements Transport: it assigns the frame's sequence number,
-// transmits, and leaves a retry goroutine behind until the ack arrives.
-// Transient errors of the first transmission are absorbed (the retry
-// path covers them); only ErrClosed is returned.
+// transmits, and leaves a chain of retry timers behind until the ack
+// arrives. Transient errors of the first transmission are absorbed (the
+// retry path covers them); only ErrClosed is returned.
 func (t *ReliableTransport) Send(f Frame) error {
 	t.mu.Lock()
 	if t.closed {
@@ -197,82 +223,106 @@ func (t *ReliableTransport) Send(f Frame) error {
 	t.nextSeq[link]++
 	seq := t.nextSeq[link]
 	wire := Frame{From: f.From, To: f.To, Data: relFrame(relData, seq, f.Data)}
-	pf := &pendingFrame{frame: wire, acked: make(chan struct{})}
+	pf := &pendingFrame{
+		orig: f, frame: wire, link: link, seq: seq, backoff: t.cfg.Backoff,
+	}
 	t.pending[pendingKey{link, seq}] = pf
 	t.wg.Add(1)
 	t.mu.Unlock()
 
 	err := t.inner.Send(wire)
+	t.mu.Lock()
+	if pf.done {
+		// Acked (or closed) before the retry timer was even armed.
+		t.mu.Unlock()
+		t.wg.Done()
+		return nil
+	}
 	if errors.Is(err, ErrClosed) {
-		t.forget(link, seq)
+		pf.done = true
+		delete(t.pending, pendingKey{link, seq})
+		t.mu.Unlock()
 		t.wg.Done()
 		return err
 	}
-	go t.retryLoop(f, link, seq, pf)
+	t.armLocked(pf)
+	t.mu.Unlock()
 	return nil
 }
 
-// retryLoop retransmits until acked, stopped, or out of budget.
-func (t *ReliableTransport) retryLoop(orig Frame, link Link, seq uint64, pf *pendingFrame) {
-	defer t.wg.Done()
-	backoff := t.cfg.Backoff
-	for attempt := 1; ; attempt++ {
-		timer := time.NewTimer(t.jitter(backoff))
-		select {
-		case <-pf.acked:
-			timer.Stop()
-			return
-		case <-t.stop:
-			timer.Stop()
-			t.forget(link, seq)
-			return
-		case <-timer.C:
-		}
-		if attempt > t.cfg.MaxRetries {
-			break
-		}
-		t.retries.Inc()
+// armLocked schedules pf's next retry firing. Callers hold t.mu.
+func (t *ReliableTransport) armLocked(pf *pendingFrame) {
+	pf.timer = t.clock.AfterFunc(t.jitterLocked(pf.backoff), func() { t.retryFire(pf) })
+}
+
+// retryFire is one firing of a frame's retry chain: retransmit and re-arm,
+// or give up once the budget is spent. On the real clock it runs on a
+// timer goroutine; on a virtual clock it runs inside Advance.
+func (t *ReliableTransport) retryFire(pf *pendingFrame) {
+	t.mu.Lock()
+	if pf.done {
+		// Acked or closed after this firing left the timer heap; the
+		// stopper could not reclaim the slot, so we release it.
+		t.mu.Unlock()
+		t.wg.Done()
+		return
+	}
+	if pf.attempt >= t.cfg.MaxRetries {
+		pf.done = true
+		delete(t.pending, pendingKey{pf.link, pf.seq})
+		t.mu.Unlock()
+		t.giveups.Inc()
 		t.cfg.Tracer.Record(obs.Event{
-			Type: obs.EventRetry, Proc: orig.From, Peer: orig.To, Value: attempt,
+			Type: obs.EventGiveUp, Proc: pf.orig.From, Peer: pf.orig.To, Value: int(pf.seq),
 		})
-		if err := t.inner.Send(pf.frame); errors.Is(err, ErrClosed) {
-			t.forget(link, seq)
-			return
+		if t.cfg.OnGiveUp != nil {
+			t.cfg.OnGiveUp(pf.orig, ErrGiveUp)
 		}
-		if backoff < t.cfg.MaxBackoff {
-			backoff *= 2
-			if backoff > t.cfg.MaxBackoff {
-				backoff = t.cfg.MaxBackoff
-			}
-		}
+		t.wg.Done()
+		return
 	}
-	t.forget(link, seq)
-	t.giveups.Inc()
+	pf.attempt++
+	attempt := pf.attempt
+	t.mu.Unlock()
+
+	t.retries.Inc()
 	t.cfg.Tracer.Record(obs.Event{
-		Type: obs.EventGiveUp, Proc: orig.From, Peer: orig.To, Value: int(seq),
+		Type: obs.EventRetry, Proc: pf.orig.From, Peer: pf.orig.To, Value: attempt,
 	})
-	if t.cfg.OnGiveUp != nil {
-		t.cfg.OnGiveUp(orig, ErrGiveUp)
+	err := t.inner.Send(pf.frame)
+
+	t.mu.Lock()
+	if pf.done {
+		t.mu.Unlock()
+		t.wg.Done()
+		return
 	}
-}
-
-// jitter returns d plus up to 50% random extra.
-func (t *ReliableTransport) jitter(d time.Duration) time.Duration {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return d + time.Duration(t.rng.Int63n(int64(d)/2+1))
-}
-
-func (t *ReliableTransport) forget(link Link, seq uint64) {
-	t.mu.Lock()
-	delete(t.pending, pendingKey{link, seq})
+	if errors.Is(err, ErrClosed) {
+		pf.done = true
+		delete(t.pending, pendingKey{pf.link, pf.seq})
+		t.mu.Unlock()
+		t.wg.Done()
+		return
+	}
+	if pf.backoff < t.cfg.MaxBackoff {
+		pf.backoff *= 2
+		if pf.backoff > t.cfg.MaxBackoff {
+			pf.backoff = t.cfg.MaxBackoff
+		}
+	}
+	t.armLocked(pf)
 	t.mu.Unlock()
 }
 
-// Close implements Transport: it stops the retry goroutines, waits for
-// them, and closes the inner transport. Frames still unacked at close
-// are dropped without a give-up callback — shutdown is not a delivery
-// failure.
+// jitterLocked returns d plus up to 50% random extra. Callers hold t.mu.
+func (t *ReliableTransport) jitterLocked(d time.Duration) time.Duration {
+	return d + time.Duration(t.rng.Int63n(int64(d)/2+1))
+}
+
+// Close implements Transport: it stops the retry chains, waits for
+// in-flight firings, and closes the inner transport. Frames still unacked
+// at close are dropped without a give-up callback — shutdown is not a
+// delivery failure.
 func (t *ReliableTransport) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -280,8 +330,20 @@ func (t *ReliableTransport) Close() error {
 		return nil
 	}
 	t.closed = true
-	close(t.stop)
+	var released int
+	for key, pf := range t.pending {
+		delete(t.pending, key)
+		pf.done = true
+		if pf.timer != nil && pf.timer.Stop() {
+			released++
+		}
+		// Frames whose firing is in flight (or whose initial Send is
+		// still arming) release their own slot on observing done.
+	}
 	t.mu.Unlock()
+	for i := 0; i < released; i++ {
+		t.wg.Done()
+	}
 	t.wg.Wait()
 	return t.inner.Close()
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/rdt-go/rdt/internal/obs"
+	"github.com/rdt-go/rdt/internal/vtime"
 )
 
 func TestReliableOverPerfectLink(t *testing.T) {
@@ -17,19 +18,23 @@ func TestReliableOverPerfectLink(t *testing.T) {
 
 // TestReliableExactlyOnceUnderChaos is the core property: with drops,
 // duplicates, reorders, and transient send errors all enabled, every
-// frame is delivered exactly once.
+// frame is delivered exactly once. The whole exchange runs on a virtual
+// clock — no wall-clock polling, no flake, and the schedule is identical
+// on every run.
 func TestReliableExactlyOnceUnderChaos(t *testing.T) {
+	v := vtime.NewVirtual(time.Time{})
 	reg := obs.NewRegistry()
-	faulty := WithFaults(NewLocal(time.Millisecond), FaultConfig{
+	faulty := WithFaults(NewLocalWith(LocalConfig{MaxDelay: time.Millisecond, Clock: v}), FaultConfig{
 		Seed: 11,
 		Default: FaultProbs{
 			Drop: 0.25, Duplicate: 0.25, Reorder: 0.25, SendError: 0.1,
 			MaxExtraDelay: 2 * time.Millisecond,
 		},
-		Obs: reg,
+		Obs:   reg,
+		Clock: v,
 	})
 	tr := Reliable(faulty, ReliableConfig{
-		Seed: 11, Backoff: time.Millisecond, MaxRetries: 30, Obs: reg,
+		Seed: 11, Backoff: time.Millisecond, MaxRetries: 30, Obs: reg, Clock: v,
 	})
 
 	var mu sync.Mutex
@@ -51,24 +56,17 @@ func TestReliableExactlyOnceUnderChaos(t *testing.T) {
 			t.Fatalf("send %d: %v", i, err)
 		}
 	}
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		mu.Lock()
-		n := len(got)
-		mu.Unlock()
-		if n == frames {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("only %d/%d distinct frames arrived", n, frames)
-		}
-		time.Sleep(time.Millisecond)
-	}
+	// Drain the whole retry/ack machine: the heap empties only once every
+	// frame is acked or abandoned.
+	v.AdvanceUntilIdle(0, nil)
 	if err := tr.Close(); err != nil {
 		t.Fatalf("close: %v", err)
 	}
 	mu.Lock()
 	defer mu.Unlock()
+	if len(got) != frames {
+		t.Fatalf("only %d/%d distinct frames arrived", len(got), frames)
+	}
 	for b, n := range got {
 		if n != 1 {
 			t.Errorf("frame %d delivered %d times", b, n)
@@ -80,9 +78,11 @@ func TestReliableExactlyOnceUnderChaos(t *testing.T) {
 }
 
 func TestReliableGivesUpAcrossDeadLink(t *testing.T) {
-	faulty := WithFaults(NewLocal(0), FaultConfig{
+	v := vtime.NewVirtual(time.Time{})
+	faulty := WithFaults(NewLocalWith(LocalConfig{Clock: v}), FaultConfig{
 		Seed:    1,
 		Default: FaultProbs{Drop: 1},
+		Clock:   v,
 	})
 	reg := obs.NewRegistry()
 	var mu sync.Mutex
@@ -93,6 +93,7 @@ func TestReliableGivesUpAcrossDeadLink(t *testing.T) {
 		MaxRetries: 3,
 		Backoff:    500 * time.Microsecond,
 		Obs:        reg,
+		Clock:      v,
 		OnGiveUp: func(f Frame, err error) {
 			mu.Lock()
 			gaveUp = append(gaveUp, f)
@@ -109,21 +110,12 @@ func TestReliableGivesUpAcrossDeadLink(t *testing.T) {
 	if err := tr.Send(Frame{From: 0, To: 1, Data: []byte("doomed")}); err != nil {
 		t.Fatalf("send: %v", err)
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		mu.Lock()
-		n := len(gaveUp)
-		mu.Unlock()
-		if n == 1 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("OnGiveUp never fired on a 100% drop link")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	v.AdvanceUntilIdle(0, nil) // the retry budget burns down virtually
 	mu.Lock()
 	defer mu.Unlock()
+	if len(gaveUp) != 1 {
+		t.Fatalf("OnGiveUp fired %d times on a 100%% drop link, want 1", len(gaveUp))
+	}
 	if !errors.Is(gotErr, ErrGiveUp) {
 		t.Errorf("give-up error = %v, want ErrGiveUp", gotErr)
 	}
@@ -139,9 +131,10 @@ func TestReliableGivesUpAcrossDeadLink(t *testing.T) {
 // TestReliableRidesOutPartition: frames sent into a partition are
 // delivered after it heals, by the retry path.
 func TestReliableRidesOutPartition(t *testing.T) {
-	faulty := WithFaults(NewLocal(0), FaultConfig{Seed: 1})
+	v := vtime.NewVirtual(time.Time{})
+	faulty := WithFaults(NewLocalWith(LocalConfig{Clock: v}), FaultConfig{Seed: 1, Clock: v})
 	tr := Reliable(faulty, ReliableConfig{
-		Seed: 1, Backoff: time.Millisecond, MaxRetries: 50,
+		Seed: 1, Backoff: time.Millisecond, MaxRetries: 50, Clock: v,
 	})
 	var sink collector
 	if err := tr.Register(1, sink.handler); err != nil {
@@ -156,12 +149,15 @@ func TestReliableRidesOutPartition(t *testing.T) {
 			t.Fatalf("send: %v", err)
 		}
 	}
-	time.Sleep(3 * time.Millisecond)
+	v.Advance(3 * time.Millisecond) // a few retries burn into the partition
 	if sink.count() != 0 {
 		t.Fatal("frame crossed the partition")
 	}
 	faulty.Heal(0, 1)
-	sink.waitFor(t, 5)
+	v.AdvanceUntilIdle(0, nil) // remaining retry budget delivers everything
+	if got := sink.count(); got != 5 {
+		t.Fatalf("%d frames delivered after heal, want 5", got)
+	}
 	_ = tr.Close()
 }
 

@@ -1,0 +1,128 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/rdt-go/rdt/internal/vtime"
+)
+
+// TestLocalDeterministicSchedule: two identically configured transports
+// on virtual clocks deliver the same frames in the same order — the
+// seeded-jitter satellite plus clock-driven delivery, end to end.
+func TestLocalDeterministicSchedule(t *testing.T) {
+	run := func() []string {
+		v := vtime.NewVirtual(time.Time{})
+		l := NewLocalWith(LocalConfig{MaxDelay: 5 * time.Millisecond, Seed: 3, Clock: v})
+		var mu sync.Mutex
+		var order []string
+		for p := 0; p < 3; p++ {
+			p := p
+			if err := l.Register(p, func(f Frame) {
+				mu.Lock()
+				order = append(order, fmt.Sprintf("%d<-%d:%s@%s", f.To, f.From, f.Data, v.Now().Format("15:04:05.000")))
+				mu.Unlock()
+			}); err != nil {
+				t.Fatalf("register: %v", err)
+			}
+		}
+		for i := 0; i < 40; i++ {
+			f := Frame{From: i % 3, To: (i + 1) % 3, Data: []byte{byte(i)}}
+			if err := l.Send(f); err != nil {
+				t.Fatalf("send: %v", err)
+			}
+		}
+		v.AdvanceUntilIdle(0, nil)
+		if err := l.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != 40 || len(b) != 40 {
+		t.Fatalf("delivered %d/%d frames, want 40/40", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+// TestLocalDefaultSeedDeterministic: even the plain NewLocal constructor
+// now has a fixed delay schedule (the local.go:37 wall-clock seed fix).
+func TestLocalDefaultSeedDeterministic(t *testing.T) {
+	delays := func() []time.Duration {
+		l := NewLocal(10 * time.Millisecond)
+		defer l.Close()
+		var out []time.Duration
+		for i := 0; i < 20; i++ {
+			out = append(out, time.Duration(l.rng.Int63n(int64(l.maxDelay))))
+		}
+		return out
+	}
+	a, b := delays(), delays()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("default-seed jitter diverges at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestLocalCloseDropsParkedFrames: closing a clock-driven transport with
+// undelivered frames must not hang waiting for an Advance that will
+// never come.
+func TestLocalCloseDropsParkedFrames(t *testing.T) {
+	v := vtime.NewVirtual(time.Time{})
+	l := NewLocalWith(LocalConfig{MaxDelay: time.Second, Clock: v})
+	delivered := 0
+	if err := l.Register(1, func(Frame) { delivered++ }); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := l.Send(Frame{From: 0, To: 1}); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		_ = l.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on parked virtual deliveries")
+	}
+	if delivered != 0 {
+		t.Errorf("%d frames delivered after drop-on-close, want 0", delivered)
+	}
+}
+
+// TestFaultyCloseDropsDeferredSends: same drop-on-close guarantee for the
+// injector's clock-deferred duplicate/reorder sends.
+func TestFaultyCloseDropsDeferredSends(t *testing.T) {
+	v := vtime.NewVirtual(time.Time{})
+	inner := NewLocalWith(LocalConfig{Clock: v})
+	f := WithFaults(inner, FaultConfig{Seed: 9, Default: FaultProbs{Reorder: 1}, Clock: v})
+	if err := f.Register(1, func(Frame) {}); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := f.Send(Frame{From: 0, To: 1}); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		_ = f.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on deferred virtual sends")
+	}
+}

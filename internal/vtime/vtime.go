@@ -1,0 +1,95 @@
+// Package vtime abstracts the flow of time so every timing-dependent
+// layer of the system — transport delivery delays, retry backoff,
+// heartbeat probes, idle eviction, profiling tickers — can run either on
+// the wall clock or on a deterministic virtual clock that compresses
+// hours of schedule into milliseconds of CPU.
+//
+// The Clock interface mirrors the subset of package time the codebase
+// uses. Real() returns the wall-clock implementation; NewVirtual returns
+// a clock whose time only moves when Advance (or AdvanceUntilIdle) is
+// called, firing due timers in timestamp order. Scenario execution
+// (internal/scenario) and deflaked timing tests are built on Virtual.
+package vtime
+
+import "time"
+
+// Clock is the time source of a component. Implementations must be safe
+// for concurrent use.
+type Clock interface {
+	// Now returns the current time of this clock.
+	Now() time.Time
+	// Since returns Now().Sub(t).
+	Since(t time.Time) time.Duration
+	// Sleep blocks the calling goroutine for d of this clock's time.
+	// Nonpositive d returns immediately.
+	Sleep(d time.Duration)
+	// After returns a channel that receives the clock's time once d has
+	// elapsed. The timer cannot be stopped; prefer NewTimer when the
+	// wait may be abandoned.
+	After(d time.Duration) <-chan time.Time
+	// NewTimer returns a timer that fires once after d.
+	NewTimer(d time.Duration) Timer
+	// NewTicker returns a ticker that fires every d. d must be positive.
+	NewTicker(d time.Duration) Ticker
+	// AfterFunc schedules fn to run once d has elapsed. On the real
+	// clock fn runs on its own goroutine; on a virtual clock it runs
+	// synchronously inside Advance, in deadline order — the property
+	// deterministic scenario execution is built on. The returned timer's
+	// C is nil.
+	AfterFunc(d time.Duration, fn func()) Timer
+}
+
+// Timer is a single-shot timer. C returns the firing channel (nil for
+// AfterFunc timers). Stop reports whether it prevented the firing; a
+// stopped AfterFunc timer's callback will not run. Reset rearms the
+// timer for d from the clock's now and reports whether the timer was
+// still pending.
+type Timer interface {
+	C() <-chan time.Time
+	Stop() bool
+	Reset(d time.Duration) bool
+}
+
+// Ticker is a repeating timer. Ticks that find the channel's buffer full
+// are dropped, like time.Ticker's.
+type Ticker interface {
+	C() <-chan time.Time
+	Stop()
+}
+
+// Real returns the wall-clock implementation, backed by package time.
+// All calls return the same instance.
+func Real() Clock { return realClock{} }
+
+// Or returns c, or the real clock when c is nil — the idiom every
+// config's zero value uses.
+func Or(c Clock) Clock {
+	if c == nil {
+		return Real()
+	}
+	return c
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) Since(t time.Time) time.Duration        { return time.Since(t) }
+func (realClock) Sleep(d time.Duration)                  { time.Sleep(d) }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+func (realClock) NewTimer(d time.Duration) Timer   { return realTimer{time.NewTimer(d)} }
+func (realClock) NewTicker(d time.Duration) Ticker { return realTicker{time.NewTicker(d)} }
+func (realClock) AfterFunc(d time.Duration, fn func()) Timer {
+	return realTimer{time.AfterFunc(d, fn)}
+}
+
+type realTimer struct{ t *time.Timer }
+
+func (r realTimer) C() <-chan time.Time        { return r.t.C }
+func (r realTimer) Stop() bool                 { return r.t.Stop() }
+func (r realTimer) Reset(d time.Duration) bool { return r.t.Reset(d) }
+
+type realTicker struct{ t *time.Ticker }
+
+func (r realTicker) C() <-chan time.Time { return r.t.C }
+func (r realTicker) Stop()               { r.t.Stop() }

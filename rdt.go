@@ -11,6 +11,7 @@ import (
 	"github.com/rdt-go/rdt/internal/obs"
 	"github.com/rdt-go/rdt/internal/recovery"
 	"github.com/rdt-go/rdt/internal/rgraph"
+	"github.com/rdt-go/rdt/internal/scenario"
 	"github.com/rdt-go/rdt/internal/sim"
 	"github.com/rdt-go/rdt/internal/storage"
 	"github.com/rdt-go/rdt/internal/trace"
@@ -566,6 +567,37 @@ func WithProfiling() ObsServerOption { return obs.WithProfiling() }
 // WithFlightRecorder mounts /debug/timeline serving the recorder's
 // spans as Chrome trace-event JSON.
 func WithFlightRecorder(f *FlightRecorder) ObsServerOption { return obs.WithFlight(f) }
+
+// Chaos scenarios: a line-oriented text format (.rdts) describing a
+// cluster run — topology, protocol, traffic, a fault schedule at virtual
+// timestamps, and expected outcomes — executed deterministically under a
+// virtual clock. The same file and seed replay the same run, byte for
+// byte, and every run cross-checks the batch verdict against an online
+// replay.
+type (
+	// ChaosScenario is one parsed .rdts scenario.
+	ChaosScenario = scenario.Scenario
+	// ChaosResult is what one scenario run produced: verdict, pattern,
+	// delivery and loss counts, recovered processes, and the transcript.
+	ChaosResult = scenario.Result
+)
+
+// ParseChaosFile reads one chaos scenario from a .rdts file.
+func ParseChaosFile(path string) (*ChaosScenario, error) { return scenario.ParseFile(path) }
+
+// ParseChaos reads one chaos scenario from r.
+func ParseChaos(r io.Reader) (*ChaosScenario, error) { return scenario.Parse(r) }
+
+// RunChaos executes a chaos scenario to completion under a virtual
+// clock. The error reports a harness failure; violated expectations are
+// listed in ChaosResult.Failures.
+func RunChaos(sc *ChaosScenario) (*ChaosResult, error) { return scenario.Run(sc) }
+
+// GenerateChaos builds a random but fully seed-determined chaos
+// scenario spanning the given stretch of virtual time.
+func GenerateChaos(seed int64, span time.Duration) *ChaosScenario {
+	return scenario.Generate(seed, span)
+}
 
 // Build identity, stamped by the Makefile at link time ("dev"/"unknown"
 // in plain go-build binaries).
