@@ -13,7 +13,7 @@ COMMIT  ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
 LDFLAGS  = -X github.com/rdt-go/rdt/internal/version.Version=$(VERSION) \
            -X github.com/rdt-go/rdt/internal/version.Commit=$(COMMIT)
 
-.PHONY: all build test race vet chaos chaos-supervise serve-smoke trace-smoke soak-smoke fuzz-smoke durability-smoke check bench bench-baseline obs-bench clean
+.PHONY: all build test race vet chaos chaos-supervise serve-smoke trace-smoke soak-smoke fuzz-smoke durability-smoke load-smoke check bench bench-baseline obs-bench clean
 
 all: test
 
@@ -98,8 +98,15 @@ fuzz-smoke:
 durability-smoke:
 	./scripts/durability_smoke.sh
 
+# Load smoke: boot rdtserved with both ingest wires and race rdtload
+# over each — verdict digests must match across wires (differential
+# parity) and the binary stream must sustain a multiple of the JSON
+# path's events/sec (both numbers are printed).
+load-smoke:
+	./scripts/load_smoke.sh
+
 # Everything a change must pass before review.
-check: test race chaos chaos-supervise soak-smoke
+check: test race chaos chaos-supervise soak-smoke load-smoke
 
 # Run the benchmark suite and gate ns/op against the committed baseline
 # (results/BENCH_4.json); bench-baseline rewrites the baseline.

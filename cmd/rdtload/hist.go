@@ -1,0 +1,90 @@
+package main
+
+import (
+	"math"
+	"math/bits"
+	"time"
+)
+
+// hist is an HDR-style log-linear latency histogram: one octave per
+// power of two of microseconds, 16 linear sub-buckets per octave, so
+// quantile error is bounded at ~6% across the full µs-to-minutes range
+// with a few kilobytes of counters and no allocation per record.
+const (
+	histOctaves = 36 // 1µs .. ~64ks upper bound
+	histSubBits = 4
+	histSub     = 1 << histSubBits
+)
+
+type hist struct {
+	counts [histOctaves * histSub]uint64
+	total  uint64
+	max    time.Duration
+}
+
+func bucketOf(d time.Duration) int {
+	us := uint64(d.Microseconds())
+	if us == 0 {
+		us = 1
+	}
+	g := uint(bits.Len64(us)) - 1 // 2^g <= us < 2^(g+1)
+	var sub uint64
+	if g >= histSubBits {
+		sub = (us >> (g - histSubBits)) & (histSub - 1)
+	} else {
+		sub = (us << (histSubBits - g)) & (histSub - 1)
+	}
+	idx := int(g)*histSub + int(sub)
+	if idx >= histOctaves*histSub {
+		idx = histOctaves*histSub - 1
+	}
+	return idx
+}
+
+// bucketLow is the bucket's lower bound.
+func bucketLow(idx int) time.Duration {
+	g := idx / histSub
+	sub := idx % histSub
+	us := math.Exp2(float64(g)) * (1 + float64(sub)/histSub)
+	return time.Duration(us * float64(time.Microsecond))
+}
+
+func (h *hist) record(d time.Duration) {
+	h.counts[bucketOf(d)]++
+	h.total++
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// merge folds other into h (for per-worker histograms).
+func (h *hist) merge(other *hist) {
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// quantile returns the latency at or below which a fraction q of the
+// recorded observations fall (the bucket lower bound — a conservative
+// estimate).
+func (h *hist) quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	want := uint64(q * float64(h.total))
+	if want >= h.total {
+		return h.max
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen > want {
+			return bucketLow(i)
+		}
+	}
+	return h.max
+}

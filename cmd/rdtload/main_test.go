@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/rdt-go/rdt/internal/service"
+	"github.com/rdt-go/rdt/internal/stream"
+)
+
+func startServers(t *testing.T) (httpAddr, streamAddr string) {
+	t.Helper()
+	svc := service.New(service.Config{})
+	hsrv, err := service.Serve("127.0.0.1:0", svc)
+	if err != nil {
+		t.Fatalf("http serve: %v", err)
+	}
+	ssrv, err := stream.Serve("127.0.0.1:0", stream.Config{Service: svc})
+	if err != nil {
+		t.Fatalf("stream serve: %v", err)
+	}
+	t.Cleanup(func() {
+		_ = ssrv.Close()
+		_ = hsrv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = svc.Drain(ctx)
+	})
+	return hsrv.Addr(), ssrv.Addr()
+}
+
+var digestRe = regexp.MustCompile(`verdict digest ([0-9a-f]{64})`)
+
+func loadRun(t *testing.T, args ...string) string {
+	t.Helper()
+	var out bytes.Buffer
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := run(ctx, args, &out); err != nil {
+		t.Fatalf("rdtload %v: %v\n%s", args, err, out.String())
+	}
+	return out.String()
+}
+
+// TestStreamAndJSONParity drives identical seeded traffic through both
+// ingest paths and demands matching verdict digests: same events, same
+// verdicts, whichever wire carried them.
+func TestStreamAndJSONParity(t *testing.T) {
+	httpAddr, streamAddr := startServers(t)
+	common := []string{
+		"-sessions", "3", "-procs", "5", "-events", "3000",
+		"-batch", "100", "-shape", "ring", "-seed", "42",
+	}
+	outS := loadRun(t, append([]string{
+		"-mode", "stream", "-addr", streamAddr, "-http", httpAddr, "-prefix", "s-"}, common...)...)
+	outJ := loadRun(t, append([]string{
+		"-mode", "json", "-http", httpAddr, "-prefix", "j-"}, common...)...)
+
+	for name, out := range map[string]string{"stream": outS, "json": outJ} {
+		if !strings.Contains(out, "throughput ") {
+			t.Fatalf("%s output missing throughput line:\n%s", name, out)
+		}
+		if strings.Contains(out, "throughput 0 events/sec") {
+			t.Fatalf("%s reported zero throughput:\n%s", name, out)
+		}
+	}
+	ds := digestRe.FindStringSubmatch(outS)
+	dj := digestRe.FindStringSubmatch(outJ)
+	if ds == nil || dj == nil {
+		t.Fatalf("missing digest lines:\n%s\n%s", outS, outJ)
+	}
+	if ds[1] != dj[1] {
+		t.Fatalf("digest mismatch: stream %s vs json %s\nstream:\n%s\njson:\n%s",
+			ds[1], dj[1], outS, outJ)
+	}
+}
+
+// TestShapesDiffer sanity-checks that the digest actually discriminates:
+// different traffic must not collide.
+func TestShapesDiffer(t *testing.T) {
+	httpAddr, streamAddr := startServers(t)
+	base := []string{"-mode", "stream", "-addr", streamAddr, "-http", httpAddr,
+		"-sessions", "1", "-procs", "4", "-events", "500", "-batch", "50"}
+	a := digestRe.FindStringSubmatch(loadRun(t, append(base, "-prefix", "a-", "-shape", "ring")...))
+	b := digestRe.FindStringSubmatch(loadRun(t, append(base, "-prefix", "b-", "-shape", "pairs")...))
+	if a == nil || b == nil {
+		t.Fatal("missing digest lines")
+	}
+	if a[1] == b[1] {
+		t.Fatalf("different shapes produced the same digest %s", a[1])
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	ctx := context.Background()
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{"-mode", "teleport"},
+		{"-mode", "stream"}, // no -addr
+		{"-mode", "json"},   // no -http
+		{"-mode", "stream", "-addr", "x", "-sessions", "0"},
+		{"-mode", "stream", "-addr", "x", "-digest=true"}, // digest needs -http
+	} {
+		if err := run(ctx, args, &out); err == nil {
+			t.Errorf("run(%v) accepted bad flags", args)
+		}
+	}
+}
+
+func TestHistQuantiles(t *testing.T) {
+	var h hist
+	for i := 1; i <= 1000; i++ {
+		h.record(time.Duration(i) * time.Millisecond)
+	}
+	if h.total != 1000 {
+		t.Fatalf("total %d", h.total)
+	}
+	p50 := h.quantile(0.50)
+	if p50 < 400*time.Millisecond || p50 > 600*time.Millisecond {
+		t.Fatalf("p50 = %s, want ~500ms", p50)
+	}
+	p99 := h.quantile(0.99)
+	if p99 < 900*time.Millisecond || p99 > 1100*time.Millisecond {
+		t.Fatalf("p99 = %s, want ~990ms", p99)
+	}
+	if h.max != time.Second {
+		t.Fatalf("max = %s", h.max)
+	}
+	if h.quantile(1) != h.max {
+		t.Fatalf("q1 = %s, want max", h.quantile(1))
+	}
+
+	// Sub-microsecond and absurdly large observations stay in range.
+	var edge hist
+	edge.record(10 * time.Nanosecond)
+	edge.record(300 * time.Hour)
+	if edge.total != 2 {
+		t.Fatalf("edge total %d", edge.total)
+	}
+
+	// Merge sums counts and keeps the global max.
+	var a, b hist
+	a.record(time.Millisecond)
+	b.record(time.Second)
+	a.merge(&b)
+	if a.total != 2 || a.max != time.Second {
+		t.Fatalf("merge: total=%d max=%s", a.total, a.max)
+	}
+	_ = fmt.Sprint(a.quantile(0.5))
+}

@@ -33,6 +33,7 @@ import (
 
 	"github.com/rdt-go/rdt/internal/obs"
 	"github.com/rdt-go/rdt/internal/service"
+	"github.com/rdt-go/rdt/internal/stream"
 	"github.com/rdt-go/rdt/internal/version"
 )
 
@@ -49,6 +50,9 @@ func main() {
 // bound address.
 var serving = func(addr string) {}
 
+// servingStream is the same seam for the binary stream listener.
+var servingStream = func(addr string) {}
+
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("rdtserved", flag.ContinueOnError)
 	var (
@@ -64,6 +68,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		events    = fs.Int("events", obs.DefaultTracerCapacity, "violation/rollback trace ring capacity")
 		dataDir   = fs.String("data-dir", "", "durable session state directory: WAL + snapshots per session, crash recovery on start (empty disables durability)")
 		snapEvery = fs.Int("snapshot-every", service.DefaultSnapshotEvery, "events between session snapshots (with -data-dir)")
+
+		streamAddr  = fs.String("stream-addr", "", "binary streaming ingest (RDTSTRM1) listen address (:0 picks a port; empty disables)")
+		streamFrame = fs.Int("stream-max-frame", stream.DefaultMaxFrame, "maximum stream frame payload, in bytes")
+		streamWin   = fs.Int("stream-window", stream.DefaultWindow, "per-channel stream credit window, in events")
 
 		pprofAddr   = fs.String("pprof-addr", "", "serve /debug/pprof and runtime gauges on this extra address (:0 picks a port; empty disables profiling)")
 		showVersion = fs.Bool("version", false, "print version and exit")
@@ -112,6 +120,21 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(out, "rdtserved: listening on %s (metrics: http://%s/metrics)\n", srv.Addr(), srv.Addr())
+	var strmSrv *stream.Server
+	if *streamAddr != "" {
+		strmSrv, err = stream.Serve(*streamAddr, stream.Config{
+			Service:  svc,
+			Registry: svc.Config().Registry,
+			MaxFrame: *streamFrame,
+			Window:   *streamWin,
+		})
+		if err != nil {
+			_ = srv.Close()
+			return err
+		}
+		fmt.Fprintf(out, "rdtserved: stream ingest on %s\n", strmSrv.Addr())
+		servingStream(strmSrv.Addr())
+	}
 	if *pprofAddr != "" {
 		// Profiling lives on its own listener so the API address can stay
 		// exposed while pprof stays private.
@@ -128,6 +151,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fmt.Fprintln(out, "rdtserved: draining")
 	dctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
+	if strmSrv != nil {
+		// Streams drain first: clients get GOODBYE, stop sending, and
+		// collect their remaining acks before the service itself drains.
+		if err := strmSrv.Shutdown(dctx); err != nil {
+			fmt.Fprintf(out, "rdtserved: stream shutdown: %v\n", err)
+		}
+	}
 	if err := srv.Shutdown(dctx); err != nil {
 		_ = srv.Close()
 		return fmt.Errorf("http shutdown: %w", err)

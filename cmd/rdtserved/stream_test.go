@@ -1,0 +1,286 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"github.com/rdt-go/rdt/internal/service"
+	"github.com/rdt-go/rdt/internal/stream"
+)
+
+// startDaemonStream is startDaemon with the binary stream listener
+// enabled; it returns the HTTP base URL and the stream address.
+func startDaemonStream(t *testing.T, args ...string) (base, streamAddr string, cancel context.CancelFunc, wait func() error) {
+	t.Helper()
+	streamCh := make(chan string, 1)
+	prev := servingStream
+	servingStream = func(a string) { streamCh <- a }
+	t.Cleanup(func() { servingStream = prev })
+
+	base, cancel, wait = startDaemon(t, append([]string{"-stream-addr", "127.0.0.1:0"}, args...)...)
+	select {
+	case a := <-streamCh:
+		return base, a, cancel, wait
+	case <-time.After(10 * time.Second):
+		t.Fatal("stream listener did not bind in time")
+	}
+	panic("unreachable")
+}
+
+// trafficBatches materializes one deterministic traffic run as a batch
+// list, so the same events can be shipped over either wire.
+func trafficBatches(t *testing.T, shape string, n, events, batchSize int, seed int64) [][]service.Event {
+	t.Helper()
+	tr, err := stream.NewTraffic(shape, n, seed)
+	if err != nil {
+		t.Fatalf("traffic: %v", err)
+	}
+	var out [][]service.Event
+	for sent := 0; sent < events; {
+		c := batchSize
+		if events-sent < c {
+			c = events - sent
+		}
+		out = append(out, tr.Next(nil, c))
+		sent += c
+	}
+	return out
+}
+
+// jsonDrive ships the batches over the JSON API and seals.
+func jsonDrive(base, id string, n int, batches [][]service.Event) error {
+	if _, err := postJSON(base, "/v1/sessions", map[string]any{"id": id, "n": n}, nil); err != nil {
+		return fmt.Errorf("create: %w", err)
+	}
+	for i, b := range batches {
+		for {
+			code, err := postJSON(base, "/v1/sessions/"+id+"/events", b, nil)
+			if code == http.StatusTooManyRequests {
+				time.Sleep(2 * time.Millisecond)
+				continue
+			}
+			if err != nil {
+				return fmt.Errorf("batch %d: %w", i, err)
+			}
+			break
+		}
+	}
+	if _, err := postJSON(base, "/v1/sessions/"+id+"/seal", nil, nil); err != nil {
+		return fmt.Errorf("seal: %w", err)
+	}
+	return nil
+}
+
+// streamDrive ships the batches over the binary wire and seals.
+func streamDrive(addr, id string, n int, batches [][]service.Event) error {
+	c, err := stream.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	ch, err := c.Open(id, n, "differential")
+	if err != nil {
+		return err
+	}
+	for i, b := range batches {
+		if err := ch.Send(b); err != nil {
+			return fmt.Errorf("batch %d: %w", i, err)
+		}
+	}
+	if err := ch.Seal(); err != nil {
+		return fmt.Errorf("seal: %w", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	return ch.Flush(ctx)
+}
+
+// normalizedDoc fetches one session document and canonicalizes it: the
+// session id (the one intended difference between the twins) is
+// stripped, and re-marshaling through a map sorts the keys.
+func normalizedDoc(base, id, suffix string) (string, error) {
+	resp, err := http.Get(base + "/v1/sessions/" + id + suffix)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: status %d: %s", suffix, resp.StatusCode, data)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return "", fmt.Errorf("GET %s: decode %q: %w", suffix, data, err)
+	}
+	delete(doc, "session")
+	delete(doc, "id")
+	canon, err := json.Marshal(doc)
+	if err != nil {
+		return "", err
+	}
+	return string(canon), nil
+}
+
+// diffDocs demands bit-identical verdicts, recovery lines, and witness
+// explanations between a JSON-fed and a stream-fed session.
+func diffDocs(t *testing.T, base, jsonID, streamID string) {
+	t.Helper()
+	for _, suffix := range []string{"/verdict?flush=1", "/line", "/explain"} {
+		j, err := normalizedDoc(base, jsonID, suffix)
+		if err != nil {
+			t.Fatalf("json twin %s: %v", suffix, err)
+		}
+		s, err := normalizedDoc(base, streamID, suffix)
+		if err != nil {
+			t.Fatalf("stream twin %s: %v", suffix, err)
+		}
+		if j != s {
+			t.Errorf("%s diverged between wires:\njson:   %s\nstream: %s", suffix, j, s)
+		}
+	}
+}
+
+// TestStreamJSONDifferential feeds the same seeded traffic through the
+// JSON API and the binary stream and demands that every observable
+// document — verdict, recovery line, witness explanation — comes out
+// bit-identical. The wire must be a transport, never a semantic.
+func TestStreamJSONDifferential(t *testing.T) {
+	base, streamAddr, cancel, wait := startDaemonStream(t)
+	defer func() {
+		cancel()
+		if err := wait(); err != nil {
+			t.Errorf("daemon exit: %v", err)
+		}
+	}()
+
+	for _, tc := range []struct {
+		shape string
+		n     int
+		seed  int64
+	}{
+		{"random", 6, 0xbeef},
+		{"ring", 4, 0x1dea},
+		{"client-server", 5, 0xcafe},
+	} {
+		batches := trafficBatches(t, tc.shape, tc.n, 1500, 64, tc.seed)
+		jsonID := "diff-json-" + tc.shape
+		streamID := "diff-stream-" + tc.shape
+		if err := jsonDrive(base, jsonID, tc.n, batches); err != nil {
+			t.Fatalf("%s: json drive: %v", tc.shape, err)
+		}
+		if err := streamDrive(streamAddr, streamID, tc.n, batches); err != nil {
+			t.Fatalf("%s: stream drive: %v", tc.shape, err)
+		}
+		diffDocs(t, base, jsonID, streamID)
+	}
+}
+
+// TestStreamReconnectReplay drops the connection mid-window — batches
+// sent but not yet acked — reconnects, rewinds to sequence 1, and
+// resends the entire run. Sequence dedup must discard every batch the
+// first connection already delivered, so the session still applies each
+// event exactly once and stays bit-identical to its JSON twin.
+func TestStreamReconnectReplay(t *testing.T) {
+	base, streamAddr, cancel, wait := startDaemonStream(t)
+	defer func() {
+		cancel()
+		if err := wait(); err != nil {
+			t.Errorf("daemon exit: %v", err)
+		}
+	}()
+
+	const n = 5
+	batches := trafficBatches(t, "random", n, 2000, 50, 0xd0d0)
+	total := 0
+	for _, b := range batches {
+		total += len(b)
+	}
+
+	if err := jsonDrive(base, "replay-json", n, batches); err != nil {
+		t.Fatalf("json drive: %v", err)
+	}
+
+	// First connection: settle the first half, then fire the rest into
+	// the window and yank the connection without waiting for acks.
+	c1, err := stream.Dial(streamAddr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	ch1, err := c1.Open("replay-stream", n, "differential")
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	half := len(batches) / 2
+	for i, b := range batches[:half] {
+		if err := ch1.Send(b); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+	}
+	ctx, cancelFlush := context.WithTimeout(context.Background(), 30*time.Second)
+	if err := ch1.Flush(ctx); err != nil {
+		t.Fatalf("flush first half: %v", err)
+	}
+	cancelFlush()
+	for i, b := range batches[half:] {
+		if err := ch1.Send(b); err != nil {
+			t.Fatalf("batch %d: %v", half+i, err)
+		}
+	}
+	if unacked := ch1.Unacked(); len(unacked) == 0 {
+		t.Log("note: every batch was acked before the drop; replay still exercises dedup")
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatalf("abrupt close: %v", err)
+	}
+
+	// Second connection: the server reports its high-water sequence via
+	// the channel's resume point; rewinding to 1 and resending the whole
+	// run makes the prefix a pure duplicate replay.
+	c2, err := stream.Dial(streamAddr)
+	if err != nil {
+		t.Fatalf("redial: %v", err)
+	}
+	defer c2.Close()
+	ch2, err := c2.Open("replay-stream", n, "differential")
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if ch2.Next == 1 {
+		t.Fatal("server accepted nothing before the drop; the replay would not test dedup")
+	}
+	if err := ch2.Rewind(1); err != nil {
+		t.Fatalf("rewind: %v", err)
+	}
+	for i, b := range batches {
+		if err := ch2.Send(b); err != nil {
+			t.Fatalf("replay batch %d: %v", i, err)
+		}
+	}
+	if err := ch2.Seal(); err != nil {
+		t.Fatalf("seal: %v", err)
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel2()
+	if err := ch2.Flush(ctx2); err != nil {
+		t.Fatalf("flush replay: %v", err)
+	}
+
+	var v service.Verdict
+	if err := getJSON(base, "/v1/sessions/replay-stream/verdict", &v); err != nil {
+		t.Fatalf("verdict: %v", err)
+	}
+	// Sealing closes each process's final checkpoint but applies no wire
+	// events, so EventsApplied counts exactly the traffic — once.
+	if v.EventsApplied != int64(total) {
+		t.Fatalf("EventsApplied = %d after replay, want %d (dedup failed?)", v.EventsApplied, total)
+	}
+	diffDocs(t, base, "replay-json", "replay-stream")
+}

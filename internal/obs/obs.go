@@ -134,6 +134,18 @@ var (
 	// LatencyBuckets covers sub-microsecond to ten-second latencies in
 	// decades (values in seconds).
 	LatencyBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+	// MicroLatencyBuckets resolves the µs-to-ms band the streaming
+	// ingest path lives in (ack round trips, batch apply): decades alone
+	// put every observation in two buckets, so each decade from 1µs to
+	// 100ms is split at 1/2.5/5, with a 1s overflow bound.
+	MicroLatencyBuckets = []float64{
+		1e-6, 2.5e-6, 5e-6,
+		1e-5, 2.5e-5, 5e-5,
+		1e-4, 2.5e-4, 5e-4,
+		1e-3, 2.5e-3, 5e-3,
+		1e-2, 2.5e-2, 5e-2,
+		1e-1, 1,
+	}
 	// DepthBuckets covers rollback distances and queue depths in powers
 	// of two.
 	DepthBuckets = []float64{0, 1, 2, 4, 8, 16, 32, 64, 128}

@@ -13,9 +13,12 @@ type Violation struct {
 	From, To model.CkptID
 }
 
-// String renders the violation as "C{i,x} ~> C{j,y} untrackable".
+// String renders the violation as "C{i,x} ~> C{j,y} untrackable". Built
+// by concatenation, not fmt: the service formats every violation it
+// traces, and on untrackable-heavy traffic Sprintf dominated the ingest
+// profile.
 func (v Violation) String() string {
-	return fmt.Sprintf("%v ~> %v untrackable", v.From, v.To)
+	return v.From.String() + " ~> " + v.To.String() + " untrackable"
 }
 
 // Report is the result of an offline RDT check of a pattern.

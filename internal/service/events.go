@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"github.com/rdt-go/rdt/internal/model"
 )
@@ -49,25 +50,65 @@ type Event struct {
 // configured event count.
 var ErrBatchTooLarge = errors.New("event batch too large")
 
+// decodeScratch is reusable per-request decode state: the body buffer
+// and the event slice. Pooling it removes the two allocations that
+// dominate the JSON ingest profile (io.ReadAll's growth chain and the
+// batch slice), leaving only encoding/json's own per-event work.
+type decodeScratch struct {
+	buf    []byte
+	events []Event
+}
+
+var decodePool = sync.Pool{New: func() any { return new(decodeScratch) }}
+
 // DecodeEvents parses an ingest request body: either one event object
 // or a JSON array of events, at most maxBatch of them (0 means the
 // DefaultMaxBatch). Only the shape is validated here — process ranges
 // and message-id bookkeeping need session state and are checked at
 // apply time. Callers bound the reader (the HTTP layer uses
 // MaxBytesReader) so a hostile body cannot exhaust memory.
+//
+// The returned slice is freshly owned by the caller; the hot ingest
+// path uses DecodeEventsPooled instead.
 func DecodeEvents(r io.Reader, maxBatch int) ([]Event, error) {
+	return decodeEventsInto(new(decodeScratch), r, maxBatch)
+}
+
+// DecodeEventsPooled is DecodeEvents over pooled scratch: the returned
+// events share a recycled backing array, and the caller must invoke
+// release — exactly when the events are no longer referenced (for the
+// ingest handler: from the batch's completion notify) — to return the
+// scratch to the pool. release is idempotent; on error there is nothing
+// to release.
+func DecodeEventsPooled(r io.Reader, maxBatch int) (events []Event, release func(), err error) {
+	sc := decodePool.Get().(*decodeScratch)
+	events, err = decodeEventsInto(sc, r, maxBatch)
+	if err != nil {
+		decodePool.Put(sc)
+		return nil, nil, err
+	}
+	var once sync.Once
+	return events, func() { once.Do(func() { decodePool.Put(sc) }) }, nil
+}
+
+func decodeEventsInto(sc *decodeScratch, r io.Reader, maxBatch int) ([]Event, error) {
 	if maxBatch <= 0 {
 		maxBatch = DefaultMaxBatch
 	}
-	data, err := io.ReadAll(r)
+	var err error
+	sc.buf, err = readAllInto(sc.buf[:0], r)
 	if err != nil {
 		return nil, fmt.Errorf("decode events: %w", err)
 	}
-	trimmed := bytes.TrimSpace(data)
+	trimmed := bytes.TrimSpace(sc.buf)
 	if len(trimmed) == 0 {
 		return nil, errors.New("decode events: empty body")
 	}
-	var events []Event
+	// json reuses existing elements when decoding into spare capacity,
+	// and absent keys (omitempty peers, message ids) would inherit the
+	// previous request's values — zero the recycled elements first.
+	clear(sc.events[:cap(sc.events)])
+	events := sc.events[:0]
 	if trimmed[0] == '[' {
 		if err := strictUnmarshal(trimmed, &events); err != nil {
 			return nil, fmt.Errorf("decode events: %w", err)
@@ -77,8 +118,9 @@ func DecodeEvents(r io.Reader, maxBatch int) ([]Event, error) {
 		if err := strictUnmarshal(trimmed, &ev); err != nil {
 			return nil, fmt.Errorf("decode events: %w", err)
 		}
-		events = []Event{ev}
+		events = append(events, ev)
 	}
+	sc.events = events
 	if len(events) == 0 {
 		return nil, errors.New("decode events: empty batch")
 	}
@@ -91,6 +133,26 @@ func DecodeEvents(r io.Reader, maxBatch int) ([]Event, error) {
 		}
 	}
 	return events, nil
+}
+
+// readAllInto is io.ReadAll reusing buf's capacity across requests.
+func readAllInto(buf []byte, r io.Reader) ([]byte, error) {
+	if cap(buf) == 0 {
+		buf = make([]byte, 0, 2048)
+	}
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
 }
 
 // strictUnmarshal decodes one JSON value and rejects trailing data, so

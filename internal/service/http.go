@@ -164,17 +164,35 @@ func (a *api) ingest(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	events, err := DecodeEvents(http.MaxBytesReader(w, r.Body, a.svc.cfg.MaxBody), a.svc.cfg.MaxBatch)
+	// A declared oversize is refused before reading a byte; a lying
+	// Content-Length still hits MaxBytesReader below.
+	if r.ContentLength > a.svc.cfg.MaxBody {
+		a.svc.reject(reasonInvalid, 1)
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("request body %d bytes exceeds limit %d", r.ContentLength, a.svc.cfg.MaxBody))
+		return
+	}
+	events, release, err := DecodeEventsPooled(
+		http.MaxBytesReader(w, r.Body, a.svc.cfg.MaxBody), a.svc.cfg.MaxBatch)
 	if err != nil {
 		a.svc.reject(reasonInvalid, 1)
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+			return
+		}
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := sess.Enqueue(events); err != nil {
+	// The scratch returns to the pool once the worker is done with the
+	// batch — notify fires after apply — never while the queue holds it.
+	n := len(events)
+	if err := sess.EnqueueNotify(events, func(error) { release() }); err != nil {
+		release()
 		writeSessionError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, ingestResponse{Enqueued: len(events)})
+	writeJSON(w, http.StatusAccepted, ingestResponse{Enqueued: n})
 }
 
 func (a *api) verdict(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,227 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDecodeEventsPooledReuse exercises the dirty-scratch hazard: a
+// recycled batch slice must not leak the previous request's field
+// values into events whose JSON omits them (omitempty peers and ids).
+func TestDecodeEventsPooledReuse(t *testing.T) {
+	first := `[{"op":"send","proc":3,"peer":2,"msg":9},{"op":"send","proc":2,"peer":3,"msg":10}]`
+	events, release, err := DecodeEventsPooled(strings.NewReader(first), 16)
+	if err != nil {
+		t.Fatalf("decode first: %v", err)
+	}
+	if len(events) != 2 || events[1].Peer != 3 {
+		t.Fatalf("first decode: %+v", events)
+	}
+	release()
+	release() // idempotent
+
+	// Same pool, a body whose events omit peer/msg/kind entirely.
+	second := `[{"op":"checkpoint","proc":0},{"op":"checkpoint","proc":1}]`
+	for i := 0; i < 8; i++ { // pools are probabilistic; hammer it
+		events, release, err = DecodeEventsPooled(strings.NewReader(second), 16)
+		if err != nil {
+			t.Fatalf("decode second: %v", err)
+		}
+		for j, ev := range events {
+			if ev.Peer != 0 || ev.Msg != 0 || ev.Kind != "" {
+				t.Fatalf("round %d event %d inherited stale fields: %+v", i, j, ev)
+			}
+		}
+		release()
+	}
+}
+
+// TestJSONDecodeAllocBudget pins the pooled JSON path's allocations:
+// with the body buffer and batch slice recycled, what remains is
+// encoding/json's per-event work (roughly one string per op field), so
+// a 64-event batch must stay far below one-allocation-per-byte chaos.
+// The budget has headroom over the measured count to absorb runtime
+// changes without masking a lost pool.
+func TestJSONDecodeAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts under the race detector; alloc counts are noise there")
+	}
+	var body bytes.Buffer
+	body.WriteByte('[')
+	for i := 0; i < 64; i++ {
+		if i > 0 {
+			body.WriteByte(',')
+		}
+		fmt.Fprintf(&body, `{"op":"send","proc":0,"peer":1,"msg":%d}`, i)
+	}
+	body.WriteByte(']')
+	raw := body.Bytes()
+
+	// Warm the pool so steady state is measured.
+	r := bytes.NewReader(raw)
+	if _, release, err := DecodeEventsPooled(r, 128); err != nil {
+		t.Fatalf("warmup: %v", err)
+	} else {
+		release()
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		r.Reset(raw)
+		events, release, err := DecodeEventsPooled(r, 128)
+		if err != nil || len(events) != 64 {
+			t.Fatalf("decode: %d events, %v", len(events), err)
+		}
+		release()
+	})
+	// Unpooled, the same decode costs ~90 allocations (body growth chain,
+	// batch slice growth, per-event strings). Pooled steady state
+	// measures ~70; gate at 80 to catch a regression to per-request
+	// buffers without flaking on runtime noise.
+	if avg > 80 {
+		t.Fatalf("pooled JSON decode costs %.1f allocs for 64 events, budget 80", avg)
+	}
+}
+
+func TestIngestBodyLimit(t *testing.T) {
+	c, _, _ := newTestServer(t, Config{MaxBody: 512, MaxBatch: 10000})
+	c.expect("POST", "/v1/sessions", createRequest{ID: "big", N: 2}, http.StatusCreated, nil)
+
+	// An honest oversized body: rejected up front via Content-Length.
+	huge := make([]Event, 0, 2048)
+	for i := 0; i < 2048; i++ {
+		huge = append(huge, Event{Op: OpCheckpoint, Proc: 0})
+	}
+	resp, _ := c.do("POST", "/v1/sessions/big/events", huge)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413", resp.StatusCode)
+	}
+
+	// A body under the limit still ingests.
+	c.expect("POST", "/v1/sessions/big/events", []Event{{Op: OpCheckpoint, Proc: 0}}, http.StatusAccepted, nil)
+
+	// A reader that exceeds the limit without declaring it (chunked
+	// transfer) is caught by MaxBytesReader mid-read.
+	events, _, err := DecodeEventsPooled(http.MaxBytesReader(nil,
+		readCloser{strings.NewReader(strings.Repeat(" ", 600) + `{"op":"checkpoint","proc":0}`)}, 512), 10)
+	var tooBig *http.MaxBytesError
+	if !errors.As(err, &tooBig) {
+		t.Fatalf("undeclared oversize: events=%v err=%v, want MaxBytesError", events, err)
+	}
+}
+
+type readCloser struct{ *strings.Reader }
+
+func (readCloser) Close() error { return nil }
+
+func TestEnqueueSeqDedupAndGaps(t *testing.T) {
+	svc, _ := testService(t, Config{})
+	sess, err := svc.CreateSession("s", 2)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	ck := []Event{{Op: OpCheckpoint, Proc: 0}}
+
+	if dup, err := sess.EnqueueSeq("p", 1, ck, false, nil); dup || err != nil {
+		t.Fatalf("seq 1: dup=%v err=%v", dup, err)
+	}
+	// Replays of an accepted frame are duplicates, regardless of content.
+	if dup, err := sess.EnqueueSeq("p", 1, nil, false, nil); !dup || err != nil {
+		t.Fatalf("seq 1 replay: dup=%v err=%v", dup, err)
+	}
+	// Skipping ahead is a protocol violation.
+	if _, err := sess.EnqueueSeq("p", 3, ck, false, nil); !errors.Is(err, ErrSeqGap) {
+		t.Fatalf("seq 3: %v, want ErrSeqGap", err)
+	}
+	// Producers number independently.
+	if dup, err := sess.EnqueueSeq("q", 1, ck, false, nil); dup || err != nil {
+		t.Fatalf("producer q seq 1: dup=%v err=%v", dup, err)
+	}
+	if got := sess.ProducerSeq("p"); got != 1 {
+		t.Fatalf("ProducerSeq(p) = %d, want 1", got)
+	}
+	if got := sess.ProducerSeq("nobody"); got != 0 {
+		t.Fatalf("ProducerSeq(nobody) = %d, want 0", got)
+	}
+
+	// A rejected frame must not advance the sequence: park the worker,
+	// fill the queue, and watch a backpressured frame retry cleanly.
+	gate := make(chan struct{})
+	svc2, _ := testService(t, Config{QueueDepth: 1})
+	s2, err := svc2.CreateSession("s2", 2)
+	if err != nil {
+		t.Fatalf("create s2: %v", err)
+	}
+	if err := s2.enqueue(batch{gate: gate}); err != nil {
+		t.Fatalf("gate batch: %v", err)
+	}
+	waitFor(t, func() bool { return len(s2.queue) == 0 })
+	if _, err := s2.EnqueueSeq("p", 1, ck, false, nil); err != nil { // fills the slot
+		t.Fatalf("seq 1: %v", err)
+	}
+	if _, err := s2.EnqueueSeq("p", 2, ck, false, nil); !errors.Is(err, ErrBackpressure) {
+		t.Fatalf("seq 2 against a full queue: %v, want ErrBackpressure", err)
+	}
+	if got := s2.ProducerSeq("p"); got != 1 {
+		t.Fatalf("backpressured frame advanced seq to %d", got)
+	}
+	close(gate)
+	if dup, err := retrySeq(s2, "p", 2, ck); dup || err != nil {
+		t.Fatalf("seq 2 retry: dup=%v err=%v", dup, err)
+	}
+}
+
+func retrySeq(s *Session, producer string, seq uint64, events []Event) (bool, error) {
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		dup, err := s.EnqueueSeq(producer, seq, events, false, nil)
+		if !errors.Is(err, ErrBackpressure) || time.Now().After(deadline) {
+			return dup, err
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestEnqueueNotifyOrdering pins the barrier trick the stream layer's
+// duplicate re-acks rely on: a nil-events notify enqueued after a
+// mutating batch fires after that batch has been applied.
+func TestEnqueueNotifyOrdering(t *testing.T) {
+	svc, _ := testService(t, Config{})
+	sess, err := svc.CreateSession("s", 2)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	var mu sync.Mutex
+	var order []string
+	note := func(tag string) func(error) {
+		return func(error) {
+			mu.Lock()
+			order = append(order, tag)
+			mu.Unlock()
+		}
+	}
+	if _, err := sess.EnqueueSeq("p", 1, []Event{{Op: OpCheckpoint, Proc: 0}}, false, note("events")); err != nil {
+		t.Fatalf("events: %v", err)
+	}
+	if err := sess.EnqueueNotify(nil, note("barrier")); err != nil {
+		t.Fatalf("barrier: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := sess.Flush(ctx); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 2 || order[0] != "events" || order[1] != "barrier" {
+		t.Fatalf("notify order %v, want [events barrier]", order)
+	}
+	if v := sess.Verdict(0); v.EventsApplied != 1 {
+		t.Fatalf("applied %d, want 1", v.EventsApplied)
+	}
+}

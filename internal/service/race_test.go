@@ -1,0 +1,7 @@
+//go:build race
+
+package service
+
+// Under the race detector sync.Pool deliberately drops a fraction of
+// Puts, so pooled allocation counts are nondeterministic there.
+const raceEnabled = true

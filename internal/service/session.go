@@ -32,11 +32,15 @@ var (
 // batch is one unit of work on a session queue: a slice of events to
 // apply, a seal request, or a pure barrier (both nil/false). When done
 // is non-nil the worker reports completion on it (buffered, so the
-// worker never blocks on a caller that gave up).
+// worker never blocks on a caller that gave up); when notify is non-nil
+// the worker invokes it after processing — the async counterpart of
+// done, used by the ingest paths to release pooled event buffers and by
+// the stream layer to emit acks. notify must not block.
 type batch struct {
 	events []Event
 	seal   bool
 	done   chan error
+	notify func(error)
 	gate   chan struct{} // test hook: the worker parks here before processing
 }
 
@@ -61,6 +65,14 @@ type Session struct {
 	workerDone chan struct{}
 
 	lastActive atomic.Int64 // unix nanoseconds of the last API touch
+
+	// Stream-ingest dedup state: the highest frame sequence accepted per
+	// producer. Held outside mu so the check-and-enqueue of EnqueueSeq is
+	// atomic across concurrent connections without ordering against the
+	// apply lock. Lives and dies with the Session object: a reconnecting
+	// producer resumes its numbering, a recreated session starts fresh.
+	strmMu  sync.Mutex
+	strmSeq map[string]uint64
 
 	mu       sync.Mutex
 	closed   bool // queue closed; no further enqueues
@@ -111,6 +123,12 @@ func newSession(svc *Service, id string, n int) (*Session, error) {
 func (svc *Service) observeInc(inc *rgraph.Incremental) {
 	inc.OnViolation(func(v rgraph.Violation) {
 		svc.mViolations.Inc()
+		if svc.cfg.Tracer == nil {
+			// Formatting the violation (v.String allocates) costs more
+			// than the rest of the callback; don't pay it to feed a
+			// discarded event.
+			return
+		}
 		svc.cfg.Tracer.Record(obs.Event{
 			Type:   obs.EventViolation,
 			Proc:   int(v.From.Proc),
@@ -171,6 +189,9 @@ func (s *Session) process(b batch) {
 	s.mu.Unlock()
 	if b.done != nil {
 		b.done <- err
+	}
+	if b.notify != nil {
+		b.notify(err)
 	}
 }
 
@@ -309,6 +330,59 @@ func (s *Session) enqueue(b batch) error {
 // event racing a concurrent seal may still be rejected by the worker.
 func (s *Session) Enqueue(events []Event) error {
 	return s.enqueue(batch{events: events})
+}
+
+// EnqueueNotify is Enqueue with a completion callback: when the batch
+// has been accepted (nil return), notify runs in the session worker
+// after the batch is applied (or rejected at apply time), with the apply
+// error. Callers use it to recycle the events slice — the session
+// retains it only until notify fires — and to order acks after
+// application. notify must not block; on a non-nil return it never runs.
+func (s *Session) EnqueueNotify(events []Event, notify func(error)) error {
+	return s.enqueue(batch{events: events, notify: notify})
+}
+
+// ProducerSeq returns the highest frame sequence accepted from producer
+// (0 before the first frame) — the value a resuming stream client
+// replays from.
+func (s *Session) ProducerSeq(producer string) uint64 {
+	s.strmMu.Lock()
+	defer s.strmMu.Unlock()
+	return s.strmSeq[producer]
+}
+
+// ErrSeqGap means a producer skipped ahead of its accepted sequence —
+// frames were lost in a way TCP ordering cannot explain, so the
+// connection is broken by protocol.
+var ErrSeqGap = errors.New("sequence gap")
+
+// EnqueueSeq enqueues one stream frame with at-least-once dedup: seq
+// numbers a producer's mutating frames contiguously from 1. A frame one
+// past the accepted sequence is enqueued (advancing the sequence only
+// when acceptance succeeds, so a backpressured frame retries with the
+// same seq); a frame at or below it is a replay of something already
+// accepted — possibly not yet applied — and is reported as a duplicate
+// with no effect; a frame further ahead fails with ErrSeqGap. seal
+// marks a seal frame (its events must be nil). notify follows
+// EnqueueNotify semantics and never runs for duplicates.
+func (s *Session) EnqueueSeq(producer string, seq uint64, events []Event, seal bool, notify func(error)) (dup bool, err error) {
+	s.strmMu.Lock()
+	defer s.strmMu.Unlock()
+	last := s.strmSeq[producer]
+	switch {
+	case seq <= last:
+		return true, nil
+	case seq > last+1:
+		return false, fmt.Errorf("%w: producer %q sent seq %d after %d", ErrSeqGap, producer, seq, last)
+	}
+	if err := s.enqueue(batch{events: events, seal: seal, notify: notify}); err != nil {
+		return false, err
+	}
+	if s.strmSeq == nil {
+		s.strmSeq = make(map[string]uint64)
+	}
+	s.strmSeq[producer] = seq
+	return false, nil
 }
 
 // Flush waits until every batch enqueued before it has been applied: a

@@ -1,0 +1,390 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/rdt-go/rdt/internal/binenc"
+	"github.com/rdt-go/rdt/internal/obs"
+	"github.com/rdt-go/rdt/internal/service"
+)
+
+// startServer boots a service plus a stream server on a loopback port.
+func startServer(t *testing.T, svcCfg service.Config, streamCfg Config) (*service.Service, *Server) {
+	t.Helper()
+	svc := service.New(svcCfg)
+	streamCfg.Service = svc
+	srv, err := Serve("127.0.0.1:0", streamCfg)
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	t.Cleanup(func() {
+		_ = srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = svc.Drain(ctx)
+	})
+	return svc, srv
+}
+
+func flushVerdict(t *testing.T, sess *service.Session) *service.Verdict {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := sess.Flush(ctx); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	return sess.Verdict(0)
+}
+
+func TestStreamBasic(t *testing.T) {
+	reg := obs.NewRegistry()
+	svc, srv := startServer(t, service.Config{}, Config{Registry: reg})
+
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close() //nolint:errcheck
+	if c.Window != DefaultWindow || c.MaxFrame != DefaultMaxFrame {
+		t.Fatalf("hello advertised window=%d maxFrame=%d", c.Window, c.MaxFrame)
+	}
+
+	ch, err := c.Open("s1", 3, "p0")
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if ch.SessionID != "s1" || ch.N != 3 || ch.Next != 1 {
+		t.Fatalf("chan = %+v", ch)
+	}
+
+	tr, _ := NewTraffic("random", 3, 7)
+	total := 0
+	for i := 0; i < 20; i++ {
+		batch := tr.Next(nil, 50)
+		total += len(batch)
+		if err := ch.Send(batch); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if err := ch.Seal(); err != nil {
+		t.Fatalf("seal: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := ch.Flush(ctx); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+
+	sess, err := svc.Session("s1")
+	if err != nil {
+		t.Fatalf("session: %v", err)
+	}
+	v := sess.Verdict(0)
+	if v.State != service.StateSealed || v.EventsApplied != int64(total) {
+		t.Fatalf("verdict state=%s applied=%d want sealed/%d (err %q)",
+			v.State, v.EventsApplied, total, v.Error)
+	}
+	if got := reg.Counter("rdt_stream_events_total").Value(); got != int64(total) {
+		t.Errorf("rdt_stream_events_total = %d, want %d", got, total)
+	}
+	if reg.Histogram("rdt_stream_batch_apply_seconds", obs.MicroLatencyBuckets).Count() == 0 {
+		t.Error("no batch-apply latency observations")
+	}
+}
+
+func TestStreamOpenExistingAndMismatch(t *testing.T) {
+	svc, srv := startServer(t, service.Config{}, Config{})
+	if _, err := svc.CreateSession("pre", 4); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close() //nolint:errcheck
+
+	if ch, err := c.Open("pre", 4, "p"); err != nil || ch.N != 4 {
+		t.Fatalf("open existing: %v (%+v)", err, ch)
+	}
+	_, err = c.Open("pre", 2, "p")
+	var perr *ProtocolError
+	if !errors.As(err, &perr) || perr.Code != CodeSession {
+		t.Fatalf("open with wrong n: %v, want session protocol error", err)
+	}
+	// The connection survives a failed open.
+	if _, err := c.Open("fresh", 2, "p"); err != nil {
+		t.Fatalf("open after failed open: %v", err)
+	}
+}
+
+// rawConn speaks just enough protocol by hand to probe error paths.
+type rawConn struct {
+	t  *testing.T
+	fc *frameConn
+}
+
+func dialRaw(t *testing.T, addr string) *rawConn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { conn.Close() }) //nolint:errcheck
+	if _, err := conn.Write([]byte(Magic)); err != nil {
+		t.Fatalf("magic: %v", err)
+	}
+	fc := newFrameConn(conn, DefaultMaxFrame)
+	payload, err := fc.readFrame()
+	if err != nil || payload[0] != frameHello {
+		t.Fatalf("hello: %v (%v)", err, payload)
+	}
+	return &rawConn{t: t, fc: fc}
+}
+
+func (rc *rawConn) open(id string, n int, producer string) uint64 {
+	rc.t.Helper()
+	var buf []byte
+	buf = append(buf, frameOpen)
+	buf = binenc.AppendString(buf, id)
+	buf = binenc.AppendInt(buf, n)
+	buf = binenc.AppendString(buf, producer)
+	if err := rc.fc.writeFrame(buf); err != nil {
+		rc.t.Fatalf("open: %v", err)
+	}
+	payload, err := rc.fc.readFrame()
+	if err != nil || payload[0] != frameOpenOK {
+		rc.t.Fatalf("open-ok: %v (% x)", err, payload)
+	}
+	return binenc.NewReader(payload[1:]).Uvarint()
+}
+
+// expectError reads frames until an ERROR arrives and returns its code,
+// failing if the connection closes first.
+func (rc *rawConn) expectError() int {
+	rc.t.Helper()
+	for {
+		payload, err := rc.fc.readFrame()
+		if err != nil {
+			rc.t.Fatalf("waiting for error frame: %v", err)
+		}
+		if payload[0] != frameError {
+			continue
+		}
+		return binenc.NewReader(payload[1:]).Int()
+	}
+}
+
+func TestStreamOversizedFrameRejected(t *testing.T) {
+	_, srv := startServer(t, service.Config{}, Config{MaxFrame: 4096})
+	rc := dialRaw(t, srv.Addr())
+	// Header claiming a 16 MiB payload; nothing follows.
+	hdr := []byte{0, 0, 0, 1, 0, 0, 0, 0}
+	if _, err := rc.fc.c.Write(hdr); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if code := rc.expectError(); code != CodeFrameTooBig {
+		t.Fatalf("error code %d, want frame-too-big", code)
+	}
+	// The server hangs up after a connection-fatal error.
+	if _, err := rc.fc.readFrame(); !errors.Is(err, io.EOF) {
+		t.Fatalf("after abort: %v, want EOF", err)
+	}
+}
+
+func TestStreamBatchLimitRejected(t *testing.T) {
+	_, srv := startServer(t, service.Config{MaxBatch: 8}, Config{})
+	rc := dialRaw(t, srv.Addr())
+	ch := rc.open("s", 2, "p")
+	var buf []byte
+	buf = append(buf, frameEvents)
+	buf = binenc.AppendUvarint(buf, ch)
+	buf = binenc.AppendUvarint(buf, 1)
+	buf = binenc.AppendInt(buf, 9) // one past the service's MaxBatch
+	for i := 0; i < 9; i++ {
+		buf = append(buf, evCheckpoint)
+		buf = binenc.AppendInt(buf, 0)
+		buf = append(buf, 0)
+	}
+	if err := rc.fc.writeFrame(buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if code := rc.expectError(); code != CodeBatchTooBig {
+		t.Fatalf("error code %d, want batch-too-big", code)
+	}
+}
+
+func TestStreamSeqGapAborts(t *testing.T) {
+	_, srv := startServer(t, service.Config{}, Config{})
+	rc := dialRaw(t, srv.Addr())
+	ch := rc.open("s", 2, "p")
+	var buf []byte
+	buf = append(buf, frameEvents)
+	buf = binenc.AppendUvarint(buf, ch)
+	buf = binenc.AppendUvarint(buf, 5) // skips 1..4
+	buf = binenc.AppendInt(buf, 1)
+	buf = append(buf, evCheckpoint)
+	buf = binenc.AppendInt(buf, 0)
+	buf = append(buf, 0)
+	if err := rc.fc.writeFrame(buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if code := rc.expectError(); code != CodeSeqGap {
+		t.Fatalf("error code %d, want seq-gap", code)
+	}
+}
+
+func TestStreamUnknownChannelAborts(t *testing.T) {
+	_, srv := startServer(t, service.Config{}, Config{})
+	rc := dialRaw(t, srv.Addr())
+	var buf []byte
+	buf = append(buf, frameSeal)
+	buf = binenc.AppendUvarint(buf, 42)
+	buf = binenc.AppendUvarint(buf, 1)
+	if err := rc.fc.writeFrame(buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if code := rc.expectError(); code != CodeUnknownChan {
+		t.Fatalf("error code %d, want unknown-channel", code)
+	}
+}
+
+func TestStreamDupReplayAppliesOnce(t *testing.T) {
+	svc, srv := startServer(t, service.Config{}, Config{})
+	tr, _ := NewTraffic("ring", 3, 11)
+	batches := make([][]service.Event, 6)
+	for i := range batches {
+		batches[i] = tr.Next(nil, 25)
+	}
+
+	c1, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatalf("dial 1: %v", err)
+	}
+	ch1, err := c1.Open("s", 3, "gen")
+	if err != nil {
+		t.Fatalf("open 1: %v", err)
+	}
+	for i, b := range batches {
+		if err := ch1.Send(b); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := ch1.Flush(ctx); err != nil {
+		t.Fatalf("flush 1: %v", err)
+	}
+	_ = c1.Close()
+
+	// A second connection replays EVERY frame — all duplicates. The
+	// server must re-ack them without applying anything twice.
+	c2, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatalf("dial 2: %v", err)
+	}
+	defer c2.Close() //nolint:errcheck
+	ch2, err := c2.Open("s", 3, "gen")
+	if err != nil {
+		t.Fatalf("open 2: %v", err)
+	}
+	if ch2.Next != uint64(len(batches))+1 {
+		t.Fatalf("resume seq %d, want %d", ch2.Next, len(batches)+1)
+	}
+	if err := ch2.Rewind(1); err != nil {
+		t.Fatalf("rewind: %v", err)
+	}
+	for i, b := range batches {
+		if err := ch2.Send(b); err != nil {
+			t.Fatalf("resend %d: %v", i, err)
+		}
+	}
+	if err := ch2.Flush(ctx); err != nil {
+		t.Fatalf("flush 2: %v", err)
+	}
+
+	total := 0
+	for _, b := range batches {
+		total += len(b)
+	}
+	sess, _ := svc.Session("s")
+	if v := sess.Verdict(0); v.EventsApplied != int64(total) {
+		t.Fatalf("applied %d events, want exactly %d", v.EventsApplied, total)
+	}
+}
+
+func TestStreamCreditWindowBlocksAndRecovers(t *testing.T) {
+	_, srv := startServer(t, service.Config{}, Config{Window: 32})
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close() //nolint:errcheck
+	ch, err := c.Open("s", 2, "p")
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	tr, _ := NewTraffic("pairs", 2, 3)
+	// 40 batches of 16 events through a 32-event window: every second
+	// send must wait for an ack. Liveness is the assertion.
+	for i := 0; i < 40; i++ {
+		if err := ch.Send(tr.Next(nil, 16)); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := ch.Flush(ctx); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+}
+
+func TestStreamGracefulDrain(t *testing.T) {
+	_, srv := startServer(t, service.Config{}, Config{})
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close() //nolint:errcheck
+	ch, err := c.Open("s", 2, "p")
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	tr, _ := NewTraffic("random", 2, 5)
+	if err := ch.Send(tr.Next(nil, 100)); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownErr <- srv.Shutdown(ctx)
+	}()
+
+	// The in-flight frame is acked through the drain.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := ch.Flush(ctx); err != nil {
+		t.Fatalf("flush during drain: %v", err)
+	}
+	// Goodbye eventually stops new sends.
+	deadline := time.Now().Add(5 * time.Second)
+	for !c.Goodbye() {
+		if time.Now().After(deadline) {
+			t.Fatal("goodbye never arrived")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := ch.Send(tr.Next(nil, 10)); !errors.Is(err, ErrGoodbye) {
+		t.Fatalf("send after goodbye: %v, want ErrGoodbye", err)
+	}
+	_ = c.Close()
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}

@@ -1,0 +1,268 @@
+// Package stream implements the binary streaming ingest path of the
+// checking service: the RDTSTRM1 protocol, a length-prefixed,
+// CRC-framed binary wire spoken over long-lived TCP connections, built
+// for sustained event rates the per-request HTTP/JSON surface cannot
+// reach. The JSON API remains the compatibility and query surface;
+// this wire only ingests.
+//
+// A connection opens with the 8-byte client magic "RDTSTRM1", answered
+// by a HELLO frame; everything after is frames in both directions,
+// framed exactly like the WAL (length, CRC32C, payload):
+//
+//	4 bytes  payload length, little endian
+//	4 bytes  CRC32C (Castagnoli) of the payload
+//	n bytes  payload = frame type byte + binenc-encoded fields
+//
+// One connection multiplexes any number of sessions as channels: OPEN
+// binds a (session, producer) pair to a small channel id, EVENTS and
+// SEAL frames carry that id plus a per-producer sequence number, and
+// the server answers with cumulative ACK frames once the events are
+// applied — for durable sessions, after they are persisted, so an ack
+// is a durability receipt. Flow control is a credit window: the server
+// grants a budget of in-flight (sent but unacked) events per channel
+// at OPEN and replenishes it with every ack, so an overdriven server
+// withholds credit instead of answering 429s.
+//
+// Sequence numbers make ingest at-least-once with exactly-once effect:
+// a client that loses its connection replays every unacked frame on a
+// new connection, and the server drops frames at or below the
+// producer's accepted sequence — including frames that were accepted
+// but not yet applied when the connection died — re-acking them once
+// the originals have been applied.
+package stream
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"sync"
+
+	"github.com/rdt-go/rdt/internal/binenc"
+	"github.com/rdt-go/rdt/internal/service"
+)
+
+// Magic is the 8-byte string a client writes before any frame.
+const Magic = "RDTSTRM1"
+
+// Version is the protocol revision announced in HELLO.
+const Version = 1
+
+// Defaults for the zero Config.
+const (
+	// DefaultMaxFrame bounds one frame payload, in bytes.
+	DefaultMaxFrame = 1 << 20
+	// DefaultWindow is the per-channel credit window, in events.
+	DefaultWindow = 1 << 14
+)
+
+// Frame types. Client-to-server types have the high bit clear.
+const (
+	frameOpen    = 0x01 // id string, n, producer string
+	frameEvents  = 0x02 // chan, seq, count, events
+	frameSeal    = 0x03 // chan, seq
+	frameClose   = 0x04 // chan
+	frameHello   = 0x81 // version, window, maxFrame
+	frameOpenOK  = 0x82 // chan, id string, n, nextSeq, window
+	frameAck     = 0x83 // chan, seq, credit
+	frameError   = 0x84 // code, chan (0 = connection), detail string
+	frameGoodbye = 0x85 // server draining
+)
+
+// Protocol error codes carried by ERROR frames.
+const (
+	CodeMalformed    = 1 // unparseable frame, bad CRC, bad event encoding
+	CodeFrameTooBig  = 2 // frame length beyond the advertised maximum
+	CodeUnknownChan  = 3 // frame names a channel that was never opened
+	CodeSession      = 4 // the session rejected the operation (detail says why)
+	CodeSeqGap       = 5 // producer skipped ahead of its accepted sequence
+	CodeDraining     = 6 // server is shutting down; no new channels
+	CodeHandshake    = 7 // bad magic or handshake violation
+	CodeBatchTooBig  = 8 // events frame beyond the service's batch limit
+	CodeUnauthorized = 9 // reserved
+)
+
+func codeString(code int) string {
+	switch code {
+	case CodeMalformed:
+		return "malformed"
+	case CodeFrameTooBig:
+		return "frame-too-big"
+	case CodeUnknownChan:
+		return "unknown-channel"
+	case CodeSession:
+		return "session"
+	case CodeSeqGap:
+		return "seq-gap"
+	case CodeDraining:
+		return "draining"
+	case CodeHandshake:
+		return "handshake"
+	case CodeBatchTooBig:
+		return "batch-too-big"
+	default:
+		return fmt.Sprintf("code-%d", code)
+	}
+}
+
+// ProtocolError is a stream-level failure reported by the peer or
+// detected locally; Code is one of the Code constants.
+type ProtocolError struct {
+	Code   int
+	Detail string
+}
+
+func (e *ProtocolError) Error() string {
+	return fmt.Sprintf("stream: %s: %s", codeString(e.Code), e.Detail)
+}
+
+const frameHeaderSize = 8
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// frameConn is the shared framing layer: buffered reads with a bounds
+// check before any allocation, and mutex-serialized buffered writes
+// (acks, errors, and opens interleave from different goroutines).
+type frameConn struct {
+	c    net.Conn
+	r    io.Reader
+	rbuf []byte // reused frame payload buffer
+	rhdr [frameHeaderSize]byte
+
+	wmu  sync.Mutex
+	whdr [frameHeaderSize]byte
+	max  int
+}
+
+func newFrameConn(c net.Conn, maxFrame int) *frameConn {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	return &frameConn{c: c, r: c, max: maxFrame}
+}
+
+// errFrameTooBig distinguishes the oversized-length case so the server
+// can answer with a clean protocol error before hanging up — without
+// ever allocating for the claimed length.
+type errFrameTooBig struct{ n, max int }
+
+func (e errFrameTooBig) Error() string {
+	return fmt.Sprintf("frame payload %d bytes exceeds limit %d", e.n, e.max)
+}
+
+var errBadCRC = errors.New("frame CRC mismatch")
+
+// readFrame reads one frame payload into the connection's reused
+// buffer; the returned slice is valid until the next call.
+func (fc *frameConn) readFrame() ([]byte, error) {
+	if _, err := io.ReadFull(fc.r, fc.rhdr[:]); err != nil {
+		return nil, err
+	}
+	length := int(binary.LittleEndian.Uint32(fc.rhdr[:4]))
+	want := binary.LittleEndian.Uint32(fc.rhdr[4:])
+	if length == 0 || length > fc.max {
+		return nil, errFrameTooBig{length, fc.max}
+	}
+	if cap(fc.rbuf) < length {
+		fc.rbuf = make([]byte, length)
+	}
+	payload := fc.rbuf[:length]
+	if _, err := io.ReadFull(fc.r, payload); err != nil {
+		return nil, err
+	}
+	if crc32.Checksum(payload, crcTable) != want {
+		return nil, errBadCRC
+	}
+	return payload, nil
+}
+
+// writeFrame frames and writes one payload. Safe for concurrent use.
+func (fc *frameConn) writeFrame(payload []byte) error {
+	fc.wmu.Lock()
+	defer fc.wmu.Unlock()
+	binary.LittleEndian.PutUint32(fc.whdr[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(fc.whdr[4:], crc32.Checksum(payload, crcTable))
+	if _, err := fc.c.Write(fc.whdr[:]); err != nil {
+		return err
+	}
+	_, err := fc.c.Write(payload)
+	return err
+}
+
+func (fc *frameConn) Close() error { return fc.c.Close() }
+
+// Event encoding inside EVENTS frames: an op byte then the op's fields
+// as uvarints. Strings never cross the wire per event — ops and
+// checkpoint kinds are single bytes — which is what makes the decode
+// path allocation-free per event.
+const (
+	evCheckpoint = 1 // proc, kind byte (0 basic, 1 forced)
+	evSend       = 2 // proc, peer, msg
+	evDeliver    = 3 // msg
+)
+
+// appendEvent appends one event's wire form.
+func appendEvent(buf []byte, ev *service.Event) ([]byte, error) {
+	if ev.Proc < 0 || ev.Peer < 0 || ev.Msg < 0 {
+		return buf, fmt.Errorf("negative field in event %+v", *ev)
+	}
+	switch ev.Op {
+	case service.OpCheckpoint:
+		var kind byte
+		switch ev.Kind {
+		case "", "basic":
+		case "forced":
+			kind = 1
+		default:
+			return buf, fmt.Errorf("unknown checkpoint kind %q", ev.Kind)
+		}
+		buf = append(buf, evCheckpoint)
+		buf = binenc.AppendInt(buf, ev.Proc)
+		buf = append(buf, kind)
+	case service.OpSend:
+		buf = append(buf, evSend)
+		buf = binenc.AppendInt(buf, ev.Proc)
+		buf = binenc.AppendInt(buf, ev.Peer)
+		buf = binenc.AppendInt(buf, ev.Msg)
+	case service.OpDeliver:
+		buf = append(buf, evDeliver)
+		buf = binenc.AppendInt(buf, ev.Msg)
+	default:
+		return buf, fmt.Errorf("unknown op %q", ev.Op)
+	}
+	return buf, nil
+}
+
+// readEvent decodes one event in place; bounds failures latch in r,
+// domain failures (unknown op or kind byte) return an error.
+func readEvent(r *binenc.Reader, ev *service.Event) error {
+	*ev = service.Event{}
+	switch op := r.Byte(); op {
+	case evCheckpoint:
+		ev.Op = service.OpCheckpoint
+		ev.Proc = r.Int()
+		switch kind := r.Byte(); {
+		case kind == 0:
+			// Basic is the wire default; leave Kind empty.
+		case kind == 1:
+			ev.Kind = "forced"
+		case r.Err() == nil:
+			return fmt.Errorf("bad checkpoint kind byte %d", kind)
+		}
+	case evSend:
+		ev.Op = service.OpSend
+		ev.Proc = r.Int()
+		ev.Peer = r.Int()
+		ev.Msg = r.Int()
+	case evDeliver:
+		ev.Op = service.OpDeliver
+		ev.Msg = r.Int()
+	default:
+		if r.Err() == nil {
+			return fmt.Errorf("unknown event op byte %d", op)
+		}
+	}
+	return r.Err()
+}

@@ -1,0 +1,192 @@
+package stream
+
+import (
+	"errors"
+	"net"
+	"reflect"
+	"testing"
+
+	"github.com/rdt-go/rdt/internal/binenc"
+	"github.com/rdt-go/rdt/internal/service"
+)
+
+// pipeConns returns two ends of a real TCP connection (net.Pipe has no
+// buffering, which deadlocks single-goroutine write-then-read tests).
+func pipeConns(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close() //nolint:errcheck
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		server, err = ln.Accept()
+	}()
+	client, cerr := net.Dial("tcp", ln.Addr().String())
+	if cerr != nil {
+		t.Fatalf("dial: %v", cerr)
+	}
+	<-done
+	if err != nil {
+		t.Fatalf("accept: %v", err)
+	}
+	t.Cleanup(func() { client.Close(); server.Close() }) //nolint:errcheck
+	return client, server
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	c, s := pipeConns(t)
+	w := newFrameConn(c, 0)
+	r := newFrameConn(s, 0)
+	payloads := [][]byte{
+		{0x01},
+		[]byte("hello frames"),
+		make([]byte, 64*1024),
+	}
+	for i := range payloads[2] {
+		payloads[2][i] = byte(i)
+	}
+	for _, p := range payloads {
+		if err := w.writeFrame(p); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	for i, want := range payloads {
+		got, err := r.readFrame()
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("frame %d mismatch: %d bytes vs %d", i, len(got), len(want))
+		}
+	}
+}
+
+func TestFrameBadCRC(t *testing.T) {
+	c, s := pipeConns(t)
+	r := newFrameConn(s, 0)
+	// Hand-build a frame with a wrong checksum.
+	hdr := []byte{3, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef}
+	if _, err := c.Write(append(hdr, 'a', 'b', 'c')); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := r.readFrame(); !errors.Is(err, errBadCRC) {
+		t.Fatalf("read: %v, want CRC mismatch", err)
+	}
+}
+
+func TestFrameTooBigRejectedWithoutReading(t *testing.T) {
+	c, s := pipeConns(t)
+	r := newFrameConn(s, 1024)
+	// Claimed length far beyond the limit; no payload follows — the
+	// reader must fail on the header alone, not try to allocate or read.
+	hdr := []byte{0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0}
+	if _, err := c.Write(hdr); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	_, err := r.readFrame()
+	var tooBig errFrameTooBig
+	if !errors.As(err, &tooBig) {
+		t.Fatalf("read: %v, want frame-too-big", err)
+	}
+	if cap(r.rbuf) != 0 {
+		t.Fatalf("reader allocated %d bytes for an oversized frame", cap(r.rbuf))
+	}
+}
+
+func TestEventCodecRoundTrip(t *testing.T) {
+	events := []service.Event{
+		{Op: service.OpCheckpoint, Proc: 0},
+		{Op: service.OpCheckpoint, Proc: 3, Kind: "basic"},
+		{Op: service.OpCheckpoint, Proc: 7, Kind: "forced"},
+		{Op: service.OpSend, Proc: 1, Peer: 2, Msg: 40},
+		{Op: service.OpDeliver, Msg: 40},
+		{Op: service.OpSend, Proc: 1023, Peer: 0, Msg: 1 << 40},
+	}
+	var buf []byte
+	var err error
+	for i := range events {
+		if buf, err = appendEvent(buf, &events[i]); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	r := binenc.NewReader(buf)
+	for i := range events {
+		var got service.Event
+		if err := readEvent(r, &got); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		want := events[i]
+		if want.Kind == "basic" {
+			want.Kind = "" // basic is the wire default
+		}
+		if got != want {
+			t.Fatalf("event %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if err := r.Done(); err != nil {
+		t.Fatalf("trailing bytes: %v", err)
+	}
+}
+
+func TestEventCodecRejects(t *testing.T) {
+	for _, ev := range []service.Event{
+		{Op: "reset", Proc: 1},
+		{Op: service.OpCheckpoint, Proc: -1},
+		{Op: service.OpCheckpoint, Proc: 1, Kind: "weird"},
+		{Op: service.OpSend, Proc: 0, Peer: 1, Msg: -7},
+	} {
+		if _, err := appendEvent(nil, &ev); err == nil {
+			t.Errorf("appendEvent accepted %+v", ev)
+		}
+	}
+	var got service.Event
+	if err := readEvent(binenc.NewReader([]byte{99}), &got); err == nil {
+		t.Error("readEvent accepted unknown op byte")
+	}
+	if err := readEvent(binenc.NewReader([]byte{evCheckpoint, 1, 9}), &got); err == nil {
+		t.Error("readEvent accepted unknown checkpoint kind byte")
+	}
+	if err := readEvent(binenc.NewReader([]byte{evSend, 1}), &got); err == nil {
+		t.Error("readEvent accepted truncated send")
+	}
+}
+
+func TestTrafficDeterministicAndValid(t *testing.T) {
+	for _, shape := range TrafficShapes {
+		for _, n := range []int{1, 2, 3, 5, 8} {
+			tr1, err := NewTraffic(shape, n, 42)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", shape, n, err)
+			}
+			tr2, _ := NewTraffic(shape, n, 42)
+			a := tr1.Next(nil, 2000)
+			b := tr2.Next(nil, 2000)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("%s/%d: same seed, different traffic", shape, n)
+			}
+
+			// Validity: a live session must apply every event.
+			svc := service.New(service.Config{})
+			sess, err := svc.CreateSession("t", n)
+			if err != nil {
+				t.Fatalf("%s/%d create: %v", shape, n, err)
+			}
+			for i := 0; i < len(a); i += 100 {
+				if err := sess.Enqueue(a[i : i+100]); err != nil {
+					t.Fatalf("%s/%d enqueue: %v", shape, n, err)
+				}
+			}
+			v := flushVerdict(t, sess)
+			if v.State != service.StateActive || v.EventsApplied != int64(len(a)) {
+				t.Fatalf("%s/%d: state %s err %q, applied %d/%d",
+					shape, n, v.State, v.Error, v.EventsApplied, len(a))
+			}
+		}
+	}
+	if _, err := NewTraffic("bogus", 3, 1); err == nil {
+		t.Error("accepted unknown shape")
+	}
+}
