@@ -13,7 +13,7 @@ COMMIT  ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
 LDFLAGS  = -X github.com/rdt-go/rdt/internal/version.Version=$(VERSION) \
            -X github.com/rdt-go/rdt/internal/version.Commit=$(COMMIT)
 
-.PHONY: all build test race vet chaos chaos-supervise serve-smoke trace-smoke soak-smoke fuzz-smoke durability-smoke load-smoke check bench bench-baseline obs-bench clean
+.PHONY: all build test race vet chaos chaos-supervise serve-smoke trace-smoke soak-smoke fuzz-smoke durability-smoke load-smoke shard-smoke check bench bench-baseline obs-bench clean
 
 all: test
 
@@ -105,8 +105,19 @@ durability-smoke:
 load-smoke:
 	./scripts/load_smoke.sh
 
+# Shard smoke: boot a 3-member consistent-hash cluster behind
+# rdtrouterd, remove one member and add a fresh one while rdtload
+# streams — every displaced session is passivated, shipped, and
+# reactivated live. The cluster's verdict digest must be bit-identical
+# to an unsharded daemon's digest over the same workload, the removed
+# member must drain to zero sessions, and the joiner must own at least
+# one. The in-process counterparts are TestClusterChurnStress and the
+# handoff-seam kill-point tests in internal/shard.
+shard-smoke:
+	./scripts/shard_smoke.sh
+
 # Everything a change must pass before review.
-check: test race chaos chaos-supervise soak-smoke load-smoke
+check: test race chaos chaos-supervise soak-smoke load-smoke shard-smoke
 
 # Run the benchmark suite and gate ns/op against the committed baseline
 # (results/BENCH_4.json); bench-baseline rewrites the baseline.

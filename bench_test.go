@@ -389,7 +389,10 @@ const (
 
 func BenchmarkIngestThroughputStream(b *testing.B) {
 	skipInShortBench(b)
-	svc := service.New(service.Config{QueueDepth: 1024})
+	svc, err := service.New(service.Config{QueueDepth: 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
 	defer drainService(b, svc)
 	srv, err := stream.Serve("127.0.0.1:0", stream.Config{Service: svc})
 	if err != nil {
@@ -436,7 +439,10 @@ func BenchmarkIngestThroughputStream(b *testing.B) {
 
 func BenchmarkIngestThroughputJSON(b *testing.B) {
 	skipInShortBench(b)
-	svc := service.New(service.Config{QueueDepth: 1024})
+	svc, err := service.New(service.Config{QueueDepth: 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
 	defer drainService(b, svc)
 	srv, err := service.Serve("127.0.0.1:0", svc)
 	if err != nil {

@@ -27,6 +27,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"syscall"
@@ -65,8 +66,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("rdtload", flag.ContinueOnError)
 	cfg := loadConfig{}
 	fs.StringVar(&cfg.mode, "mode", "stream", "ingest path to drive: stream or json")
-	fs.StringVar(&cfg.addr, "addr", "", "rdtserved stream ingest address (mode stream)")
-	fs.StringVar(&cfg.httpAddr, "http", "", "rdtserved HTTP API address (mode json ingest; any mode: seal + verdict digests)")
+	fs.StringVar(&cfg.addr, "addr", "", "rdtserved stream ingest address; a comma-separated list drives a sharded cluster, following MOVED redirects (mode stream)")
+	fs.StringVar(&cfg.httpAddr, "http", "", "rdtserved HTTP API address, comma-separated for a cluster (mode json ingest; any mode: seal + verdict digests)")
 	fs.IntVar(&cfg.sessions, "sessions", 4, "concurrent sessions to drive")
 	fs.IntVar(&cfg.conns, "conns", 2, "stream connections to multiplex sessions over")
 	fs.IntVar(&cfg.procs, "procs", 8, "processes per session")
@@ -106,14 +107,19 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fmt.Fprintf(out, "rdtload: mode=%s sessions=%d conns=%d procs=%d batch=%d shape=%s events=%d\n",
 		cfg.mode, cfg.sessions, cfg.conns, cfg.procs, cfg.batch, cfg.shape, cfg.sessions*cfg.events)
 
+	streamAddrs := splitList(cfg.addr)
+	httpAddrs := splitList(cfg.httpAddr)
 	var lat hist
 	start := time.Now()
 	var err error
-	switch cfg.mode {
-	case "stream":
+	var perDaemon map[string]int
+	switch {
+	case cfg.mode == "stream" && len(streamAddrs) > 1:
+		perDaemon, err = driveStreamCluster(ctx, cfg, streamAddrs, &lat)
+	case cfg.mode == "stream":
 		err = driveStream(ctx, cfg, &lat)
-	case "json":
-		err = driveJSON(ctx, cfg, &lat)
+	default:
+		perDaemon, err = driveJSON(ctx, cfg, httpAddrs, &lat)
 	}
 	if err != nil {
 		return err
@@ -129,15 +135,37 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		lat.quantile(0.50).Round(time.Microsecond), lat.quantile(0.90).Round(time.Microsecond),
 		lat.quantile(0.99).Round(time.Microsecond), lat.quantile(0.999).Round(time.Microsecond),
 		lat.max.Round(time.Microsecond))
+	if len(perDaemon) > 1 {
+		addrs := make([]string, 0, len(perDaemon))
+		for a := range perDaemon {
+			addrs = append(addrs, a)
+		}
+		sort.Strings(addrs)
+		for _, a := range addrs {
+			fmt.Fprintf(out, "rdtload: daemon %s: %d events, %.0f events/sec\n",
+				a, perDaemon[a], float64(perDaemon[a])/elapsed.Seconds())
+		}
+	}
 
 	if cfg.digest {
-		sum, err := verdictDigest(ctx, cfg)
+		sum, err := verdictDigest(ctx, cfg, httpAddrs[0])
 		if err != nil {
 			return fmt.Errorf("verdict digest: %w", err)
 		}
 		fmt.Fprintf(out, "rdtload: verdict digest %x\n", sum)
 	}
 	return nil
+}
+
+// splitList splits a comma-separated endpoint list.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 // driveStream pushes every session's traffic over cfg.conns shared
@@ -217,15 +245,19 @@ func driveStreamSession(ctx context.Context, cfg loadConfig, c *stream.Client, s
 }
 
 // driveJSON pushes the same traffic through the HTTP/JSON API, one
-// goroutine per session, with 429 backoff.
-func driveJSON(ctx context.Context, cfg loadConfig, lat *hist) error {
-	base := httpBase(cfg.httpAddr)
+// goroutine per session, with 429 backoff. Sessions spread round-robin
+// over the entry endpoints; in a sharded cluster any member (or the
+// router) works as an entry point, since non-owners answer 307 and the
+// client follows it with the body intact.
+func driveJSON(ctx context.Context, cfg loadConfig, bases []string, lat *hist) (map[string]int, error) {
 	hc := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: cfg.sessions + 4}}
-	var mu sync.Mutex // guards lat
+	var mu sync.Mutex // guards lat and perDaemon
+	perDaemon := make(map[string]int)
 	var wg sync.WaitGroup
 	errs := make(chan error, cfg.sessions)
 	for s := 0; s < cfg.sessions; s++ {
 		s := s
+		base := httpBase(bases[s%len(bases)])
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -233,6 +265,9 @@ func driveJSON(ctx context.Context, cfg loadConfig, lat *hist) error {
 			err := driveJSONSession(ctx, cfg, hc, base, s, &local)
 			mu.Lock()
 			lat.merge(&local)
+			if err == nil {
+				perDaemon[base] += cfg.events
+			}
 			mu.Unlock()
 			errs <- err
 		}()
@@ -241,10 +276,144 @@ func driveJSON(ctx context.Context, cfg loadConfig, lat *hist) error {
 	close(errs)
 	for err := range errs {
 		if err != nil {
-			return err
+			return nil, err
 		}
 	}
-	return nil
+	return perDaemon, nil
+}
+
+// driveStreamCluster drives a sharded cluster over the binary wire:
+// one pooled connection per member, opens entering at any endpoint and
+// following MOVED to the owner, and — when a rebalance moves a session
+// mid-stream — resume-and-replay on the new owner, so the handoff
+// costs a reconnect but never an event.
+func driveStreamCluster(ctx context.Context, cfg loadConfig, addrs []string, lat *hist) (map[string]int, error) {
+	var mu sync.Mutex // guards lat and perDaemon: ack observers run per-connection
+	perDaemon := make(map[string]int)
+	pool := stream.NewPool(addrs, stream.WithAckObserver(func(events int, rtt time.Duration) {
+		mu.Lock()
+		lat.record(rtt)
+		mu.Unlock()
+	}))
+	defer pool.Close() //nolint:errcheck
+
+	count := func(addr string, n int) {
+		mu.Lock()
+		perDaemon[addr] += n
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.sessions)
+	for s := 0; s < cfg.sessions; s++ {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- driveClusterSession(ctx, cfg, pool, s, count)
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return perDaemon, nil
+}
+
+func driveClusterSession(ctx context.Context, cfg loadConfig, pool *stream.Pool, s int, count func(addr string, n int)) error {
+	id := fmt.Sprintf("%s%d", cfg.prefix, s)
+	ch, addr, err := pool.Open(id, cfg.procs, "rdtload")
+	if err != nil {
+		return fmt.Errorf("session %s: open: %w", id, err)
+	}
+	tr, err := stream.NewTraffic(cfg.shape, cfg.procs, cfg.seed+int64(s))
+	if err != nil {
+		return err
+	}
+	// resumed re-opens on the current owner after a failure. recorded
+	// tells whether the failed frame made it into the old channel's
+	// unacked set — then Resume already replayed it — or died before
+	// being recorded, in which case the caller sends it again.
+	resumed := func(old *stream.Chan, op string) error {
+		var rerr error
+		for attempt := 0; attempt < 10; attempt++ {
+			var fresh *stream.Chan
+			var faddr string
+			fresh, faddr, rerr = pool.Resume(old)
+			if rerr == nil {
+				ch, addr = fresh, faddr
+				return nil
+			}
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			// Mid-handoff the session's covering copy may still be in
+			// flight between members; give it a beat and re-resolve.
+			time.Sleep(50 * time.Millisecond)
+		}
+		return fmt.Errorf("session %s: %s: resume: %w", id, op, rerr)
+	}
+	for sent := 0; sent < cfg.events; {
+		n := min(cfg.batch, cfg.events-sent)
+		batch := tr.Next(nil, n)
+		for {
+			pre := ch.NextSeq()
+			err := ch.Send(batch)
+			if err == nil {
+				break
+			}
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			recorded := ch.NextSeq() > pre
+			if rerr := resumed(ch, "send"); rerr != nil {
+				return rerr
+			}
+			if recorded {
+				break // Resume replayed it on the new owner
+			}
+		}
+		count(addr, n)
+		sent += n
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
+	if cfg.seal {
+		for {
+			pre := ch.NextSeq()
+			err := ch.Seal()
+			if err == nil {
+				break
+			}
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			recorded := ch.NextSeq() > pre
+			if rerr := resumed(ch, "seal"); rerr != nil {
+				return rerr
+			}
+			if recorded {
+				break
+			}
+		}
+	}
+	for {
+		err := ch.Flush(ctx)
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		// The channel failed while draining acks (the session moved or
+		// the owner died); resume replays whatever is still unacked.
+		if rerr := resumed(ch, "flush"); rerr != nil {
+			return rerr
+		}
+	}
 }
 
 func driveJSONSession(ctx context.Context, cfg loadConfig, hc *http.Client, base string, s int, lat *hist) error {
@@ -323,8 +492,8 @@ func driveJSONSession(ctx context.Context, cfg loadConfig, hc *http.Client, base
 // normalized: the session id is stripped, keys are sorted — in session
 // order. Two rdtload runs with the same traffic parameters must print
 // the same digest whichever ingest path they used.
-func verdictDigest(ctx context.Context, cfg loadConfig) ([]byte, error) {
-	base := httpBase(cfg.httpAddr)
+func verdictDigest(ctx context.Context, cfg loadConfig, httpAddr string) ([]byte, error) {
+	base := httpBase(httpAddr)
 	h := sha256.New()
 	for s := 0; s < cfg.sessions; s++ {
 		id := fmt.Sprintf("%s%d", cfg.prefix, s)

@@ -15,7 +15,10 @@ import (
 
 func startServers(t *testing.T) (httpAddr, streamAddr string) {
 	t.Helper()
-	svc := service.New(service.Config{})
+	svc, err := service.New(service.Config{})
+	if err != nil {
+		t.Fatalf("new service: %v", err)
+	}
 	hsrv, err := service.Serve("127.0.0.1:0", svc)
 	if err != nil {
 		t.Fatalf("http serve: %v", err)

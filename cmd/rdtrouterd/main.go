@@ -1,0 +1,132 @@
+// Command rdtrouterd fronts a sharded rdtserved cluster: one stable
+// address that proxies every per-session request to the member owning
+// the session (consistent hashing over the session id), plus the
+// cluster's membership administration — adding or removing a member
+// builds a new ring epoch, pushes it at every daemon, and the daemons
+// hand sessions off between themselves.
+//
+// Usage:
+//
+//	rdtrouterd -addr :8080 \
+//	    -members "a=127.0.0.1:8081+127.0.0.1:9081,b=127.0.0.1:8082+127.0.0.1:9082"
+//
+// Change membership at runtime:
+//
+//	curl -X POST localhost:8080/v1/shard/members \
+//	     -d '{"action":"add","member":{"name":"c","http":"127.0.0.1:8083","stream":"127.0.0.1:9083"}}'
+//	curl -X POST localhost:8080/v1/shard/members \
+//	     -d '{"action":"remove","member":{"name":"a"}}'
+//
+// With -stream-addr the router also answers the binary wire: every
+// OPEN gets a MOVED redirect at the session's owner, so stream
+// clients can enter the cluster here too (the data path then runs
+// client-to-owner directly).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/rdt-go/rdt/internal/obs"
+	"github.com/rdt-go/rdt/internal/service"
+	"github.com/rdt-go/rdt/internal/shard"
+	"github.com/rdt-go/rdt/internal/stream"
+	"github.com/rdt-go/rdt/internal/version"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rdtrouterd:", err)
+		os.Exit(1)
+	}
+}
+
+// serving is a test seam: it runs once the listener is bound.
+var serving = func(addr string) {}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rdtrouterd", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", ":8080", "HTTP listen address (:0 picks a port)")
+		streamAddr  = fs.String("stream-addr", "", "stream-wire redirect listener address (:0 picks a port; empty disables)")
+		members     = fs.String("members", "", "initial membership: name=HTTPADDR[+STREAMADDR],... (required)")
+		vnodes      = fs.Int("vnodes", shard.DefaultVNodes, "virtual nodes per member on the consistent-hash ring")
+		bootstrap   = fs.Duration("bootstrap-timeout", 10*time.Second, "budget for pushing the initial ring at the members")
+		showVersion = fs.Bool("version", false, "print version and exit")
+	)
+	fs.SetOutput(out)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *showVersion {
+		fmt.Fprintf(out, "rdtrouterd %s\n", version.String())
+		return nil
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *members == "" {
+		return fmt.Errorf("-members is required")
+	}
+	ms, err := shard.ParseMembers(*members)
+	if err != nil {
+		return err
+	}
+	reg := obs.NewRegistry()
+	rt, err := shard.NewRouter(shard.RouterConfig{
+		Members:  ms,
+		VNodes:   *vnodes,
+		Registry: reg,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(out, "rdtrouterd: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	bctx, cancel := context.WithTimeout(ctx, *bootstrap)
+	err = rt.Bootstrap(bctx)
+	cancel()
+	if err != nil {
+		return fmt.Errorf("bootstrap: %w", err)
+	}
+	fmt.Fprintf(out, "rdtrouterd: ring epoch %d pushed to %d members\n",
+		rt.Ring().Epoch, len(rt.Ring().Members))
+
+	srv, err := service.ServeHandler(*addr, rt.Handler(reg))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "rdtrouterd: listening on %s\n", srv.Addr())
+	var rd *stream.Redirector
+	if *streamAddr != "" {
+		rd, err = stream.ServeRedirector(*streamAddr, rt.OwnerOf)
+		if err != nil {
+			_ = srv.Close()
+			return err
+		}
+		fmt.Fprintf(out, "rdtrouterd: stream redirects on %s\n", rd.Addr())
+	}
+	serving(srv.Addr())
+
+	<-ctx.Done()
+	fmt.Fprintln(out, "rdtrouterd: shutting down")
+	if rd != nil {
+		_ = rd.Close()
+	}
+	dctx, dcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer dcancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		return srv.Close()
+	}
+	return nil
+}

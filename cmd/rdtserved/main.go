@@ -31,8 +31,11 @@ import (
 	"syscall"
 	"time"
 
+	"net/http"
+
 	"github.com/rdt-go/rdt/internal/obs"
 	"github.com/rdt-go/rdt/internal/service"
+	"github.com/rdt-go/rdt/internal/shard"
 	"github.com/rdt-go/rdt/internal/stream"
 	"github.com/rdt-go/rdt/internal/version"
 )
@@ -73,6 +76,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		streamFrame = fs.Int("stream-max-frame", stream.DefaultMaxFrame, "maximum stream frame payload, in bytes")
 		streamWin   = fs.Int("stream-window", stream.DefaultWindow, "per-channel stream credit window, in events")
 
+		shardSelf    = fs.String("shard-self", "", "this daemon's cluster member name (enables shard mode; requires -data-dir)")
+		shardMembers = fs.String("shard-members", "", "static membership seed: name=HTTPADDR[+STREAMADDR],... (adopted as ring epoch 1; empty waits for a config push)")
+		shardVNodes  = fs.Int("shard-vnodes", shard.DefaultVNodes, "virtual nodes per member on the consistent-hash ring")
+
 		pprofAddr   = fs.String("pprof-addr", "", "serve /debug/pprof and runtime gauges on this extra address (:0 picks a port; empty disables profiling)")
 		showVersion = fs.Bool("version", false, "print version and exit")
 	)
@@ -88,7 +95,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
 
-	svc := service.New(service.Config{
+	svc, err := service.New(service.Config{
 		Shards:         *shards,
 		QueueDepth:     *queue,
 		MaxBatch:       *maxBatch,
@@ -101,6 +108,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Registry:       obs.NewRegistry(),
 		Tracer:         obs.NewTracer(*events),
 	})
+	if err != nil {
+		return err
+	}
 	if *dataDir != "" {
 		// Recovery runs before the listener binds, so the first request
 		// already sees every persisted session.
@@ -115,11 +125,48 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			stats.Records, stats.Events, stats.Truncations,
 			stats.QuarantinedSnapshots, stats.QuarantinedSessions)
 	}
-	srv, err := service.Serve(*addr, svc)
+	var node *shard.Node
+	handler := service.NewHandler(svc)
+	if *shardSelf != "" {
+		node, err = shard.NewNode(shard.NodeConfig{
+			Self:     *shardSelf,
+			Service:  svc,
+			Registry: svc.Config().Registry,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(out, "rdtserved: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		mux := http.NewServeMux()
+		node.Register(mux)
+		mux.Handle("/", handler)
+		handler = mux
+		if *shardMembers != "" {
+			members, err := shard.ParseMembers(*shardMembers)
+			if err != nil {
+				return err
+			}
+			ring, err := shard.New(1, *shardVNodes, members)
+			if err != nil {
+				return err
+			}
+			if _, err := node.AdoptRing(ring); err != nil {
+				return err
+			}
+		}
+	} else if *shardMembers != "" {
+		return fmt.Errorf("-shard-members requires -shard-self")
+	}
+	srv, err := service.ServeHandler(*addr, handler)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "rdtserved: listening on %s (metrics: http://%s/metrics)\n", srv.Addr(), srv.Addr())
+	if node != nil {
+		fmt.Fprintf(out, "rdtserved: shard member %q\n", *shardSelf)
+	}
 	var strmSrv *stream.Server
 	if *streamAddr != "" {
 		strmSrv, err = stream.Serve(*streamAddr, stream.Config{
@@ -157,6 +204,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		if err := strmSrv.Shutdown(dctx); err != nil {
 			fmt.Fprintf(out, "rdtserved: stream shutdown: %v\n", err)
 		}
+	}
+	if node != nil {
+		// A departing member may still be handing sessions off; those
+		// exports need the service alive.
+		node.WaitRebalance()
 	}
 	if err := srv.Shutdown(dctx); err != nil {
 		_ = srv.Close()

@@ -402,6 +402,24 @@ func (r *runner) traffic(st Step) {
 					r.send(c, from, to)
 				}
 			}
+		case TrafficDBTxn:
+			// One distributed transaction per round, two-phase-commit
+			// shape: the coordinator (process 0) sends prepare to every
+			// participant, each participant answers with its vote, and
+			// the coordinator broadcasts the decision. The checkpoint
+			// sweep below is the transaction boundary every process
+			// forces before the next transaction starts.
+			for i := 1; i < r.sc.N; i++ {
+				if alive(0) && alive(i) {
+					r.send(c, 0, i) // prepare
+					r.send(c, i, 0) // vote
+				}
+			}
+			for i := 1; i < r.sc.N; i++ {
+				if alive(0) && alive(i) {
+					r.send(c, 0, i) // decision
+				}
+			}
 		}
 		for i := 0; i < r.sc.N; i++ {
 			if alive(i) {

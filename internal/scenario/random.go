@@ -16,7 +16,7 @@ import (
 func Generate(seed int64, span time.Duration) *Scenario {
 	rng := rand.New(rand.NewSource(seed))
 	protocols := []core.Kind{core.KindBHMR, core.KindFDAS, core.KindBCS, core.KindBHMRNoSimple}
-	modes := []string{TrafficRing, TrafficPairs, TrafficClientServer, TrafficRandom}
+	modes := []string{TrafficRing, TrafficPairs, TrafficClientServer, TrafficRandom, TrafficDBTxn}
 
 	sc := &Scenario{
 		Name:     fmt.Sprintf("soak-%d", seed),

@@ -91,12 +91,14 @@ var opNames = map[Op]string{
 
 func (o Op) String() string { return opNames[o] }
 
-// Traffic modes, the paper's environments plus a seeded random mix.
+// Traffic modes, the paper's environments plus a seeded random mix and
+// a database-coordination round (the paper's motivating application).
 const (
 	TrafficRing         = "ring"
 	TrafficPairs        = "pairs"
 	TrafficClientServer = "clientserver"
 	TrafficRandom       = "random"
+	TrafficDBTxn        = "dbtxn"
 )
 
 // Step is one scheduled directive.
@@ -235,7 +237,7 @@ func (sc *Scenario) validate() error {
 				return fmt.Errorf("scenario %s line %d: traffic needs rounds>=1", sc.Name, st.Line)
 			}
 			switch st.Mode {
-			case TrafficRing, TrafficPairs, TrafficClientServer, TrafficRandom:
+			case TrafficRing, TrafficPairs, TrafficClientServer, TrafficRandom, TrafficDBTxn:
 			default:
 				return fmt.Errorf("scenario %s line %d: unknown traffic mode %q", sc.Name, st.Line, st.Mode)
 			}

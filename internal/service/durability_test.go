@@ -25,12 +25,16 @@ import (
 // caller controls when it stops (durability tests restart services).
 func newDurableService(dataDir string, snapshotEvery int) (*Service, *obs.Registry) {
 	reg := obs.NewRegistry()
-	return New(Config{
+	svc, err := New(Config{
 		DataDir:       dataDir,
 		SnapshotEvery: snapshotEvery,
 		Registry:      reg,
 		Tracer:        obs.NewTracer(256),
-	}), reg
+	})
+	if err != nil {
+		panic(err)
+	}
+	return svc, reg
 }
 
 func drainNow(t *testing.T, svc *Service) {

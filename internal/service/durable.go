@@ -127,12 +127,16 @@ const recBatch = 1
 var opBytes = map[string]byte{OpCheckpoint: 1, OpSend: 2, OpDeliver: 3}
 var opNames = map[byte]string{1: OpCheckpoint, 2: OpSend, 3: OpDeliver}
 
-// encodeBatchRecord frames the mutating content of a batch. The kind
-// strings "" and "basic" are both KindBasic downstream, so one byte
-// suffices and replay is still behaviorally identical.
-func encodeBatchRecord(buf []byte, events []Event, seal bool) []byte {
+// encodeBatchRecord frames the mutating content of a batch, including
+// the stream producer/seq watermark (empty/0 for HTTP batches) so
+// replay restores the dedup state alongside the events it guards. The
+// kind strings "" and "basic" are both KindBasic downstream, so one
+// byte suffices and replay is still behaviorally identical.
+func encodeBatchRecord(buf []byte, events []Event, seal bool, producer string, seq uint64) []byte {
 	buf = append(buf, recBatch)
 	buf = binenc.AppendBool(buf, seal)
+	buf = binenc.AppendString(buf, producer)
+	buf = binenc.AppendUvarint(buf, seq)
 	buf = binenc.AppendInt(buf, len(events))
 	for i := range events {
 		ev := &events[i]
@@ -149,12 +153,14 @@ func encodeBatchRecord(buf []byte, events []Event, seal bool) []byte {
 	return buf
 }
 
-func decodeBatchRecord(payload []byte) (events []Event, seal bool, err error) {
+func decodeBatchRecord(payload []byte) (events []Event, seal bool, producer string, seq uint64, err error) {
 	r := binenc.NewReader(payload)
 	if r.Byte() != recBatch {
-		return nil, false, fmt.Errorf("wal record: unknown kind")
+		return nil, false, "", 0, fmt.Errorf("wal record: unknown kind")
 	}
 	seal = r.Bool()
+	producer = r.String()
+	seq = r.Uvarint()
 	count := r.IntMax(wal.MaxRecord)
 	if r.Err() == nil && count > 0 {
 		events = make([]Event, count)
@@ -162,7 +168,7 @@ func decodeBatchRecord(payload []byte) (events []Event, seal bool, err error) {
 			ev := &events[i]
 			op, known := opNames[r.Byte()]
 			if r.Err() == nil && !known {
-				return nil, false, fmt.Errorf("wal record: unknown op byte")
+				return nil, false, "", 0, fmt.Errorf("wal record: unknown op byte")
 			}
 			ev.Op = op
 			if r.Byte() == 1 {
@@ -174,15 +180,16 @@ func decodeBatchRecord(payload []byte) (events []Event, seal bool, err error) {
 		}
 	}
 	if err := r.Done(); err != nil {
-		return nil, false, fmt.Errorf("wal record: %w", err)
+		return nil, false, "", 0, fmt.Errorf("wal record: %w", err)
 	}
-	return events, seal, nil
+	return events, seal, producer, seq, nil
 }
 
 // Snapshot files: the full session state as of a WAL offset, with a
 // trailing CRC32C so disk rot is detected even though the write itself
-// was atomic.
-var snapMagic = []byte("RDTSNAP1")
+// was atomic. Revision 2 added the per-producer stream sequence
+// watermarks.
+var snapMagic = []byte("RDTSNAP2")
 
 func (s *Session) encodeSnapshotLocked() []byte {
 	buf := append([]byte(nil), snapMagic...)
@@ -213,6 +220,16 @@ func (s *Session) encodeSnapshotLocked() []byte {
 	}
 	sort.Ints(ids)
 	buf = binenc.AppendInts(buf, ids)
+	producers := make([]string, 0, len(s.prodSeq))
+	for p := range s.prodSeq {
+		producers = append(producers, p)
+	}
+	sort.Strings(producers)
+	buf = binenc.AppendInt(buf, len(producers))
+	for _, p := range producers {
+		buf = binenc.AppendString(buf, p)
+		buf = binenc.AppendUvarint(buf, s.prodSeq[p])
+	}
 	buf = binenc.AppendBytes(buf, s.builder.AppendBinary(nil))
 	buf = binenc.AppendBytes(buf, s.inc.AppendBinary(nil))
 	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, crc32.MakeTable(crc32.Castagnoli)))
@@ -226,6 +243,7 @@ type snapState struct {
 	failErr   error
 	msgs      map[int]msgRef
 	usedMsg   map[int]bool
+	prodSeq   map[string]uint64
 	builder   *model.Builder
 	inc       *rgraph.Incremental
 }
@@ -262,6 +280,18 @@ func decodeSnapshot(data []byte) (*snapState, error) {
 	for _, id := range r.Ints(wal.MaxRecord) {
 		st.usedMsg[id] = true
 	}
+	prodCount := r.IntMax(wal.MaxRecord)
+	if prodCount > 0 {
+		st.prodSeq = make(map[string]uint64, prodCount)
+	}
+	for k := 0; k < prodCount && r.Err() == nil; k++ {
+		p := r.String()
+		seq := r.Uvarint()
+		if _, dup := st.prodSeq[p]; dup {
+			return nil, fmt.Errorf("snapshot: duplicate producer %q", p)
+		}
+		st.prodSeq[p] = seq
+	}
 	builderBlob := r.Bytes()
 	incBlob := r.Bytes()
 	if err := r.Done(); err != nil {
@@ -294,10 +324,12 @@ func snapSeqOf(name string) (uint64, bool) {
 
 // persistLocked makes a mutating batch durable before it is applied:
 // frame, append, fsync. Any failure degrades the session — the batch
-// is NOT applied, so memory never runs ahead of the medium.
-func (s *Session) persistLocked(events []Event, seal bool) error {
+// is NOT applied, so memory never runs ahead of the medium. A stream
+// frame's watermark advances only here, once the record is on disk, so
+// the persisted dedup state never claims a frame the WAL lost.
+func (s *Session) persistLocked(events []Event, seal bool, producer string, seq uint64) error {
 	d := s.dur
-	payload := encodeBatchRecord(nil, events, seal)
+	payload := encodeBatchRecord(nil, events, seal, producer, seq)
 	start := time.Now()
 	err := d.wal.Append(payload)
 	if err == nil {
@@ -311,10 +343,24 @@ func (s *Session) persistLocked(events []Event, seal bool) error {
 	s.svc.mWALAppendBytes.Add(int64(len(payload)))
 	s.svc.hWALAppend.Observe(time.Since(start).Seconds())
 	d.sinceSnap += len(events)
+	s.noteProducerLocked(producer, seq)
 	if testHookAppended != nil {
 		testHookAppended(s.ID)
 	}
 	return nil
+}
+
+// noteProducerLocked advances the persisted stream-dedup watermark.
+func (s *Session) noteProducerLocked(producer string, seq uint64) {
+	if seq == 0 {
+		return
+	}
+	if s.prodSeq == nil {
+		s.prodSeq = make(map[string]uint64)
+	}
+	if seq > s.prodSeq[producer] {
+		s.prodSeq[producer] = seq
+	}
 }
 
 // degradeLocked poisons the session's persistence: it becomes
@@ -466,6 +512,37 @@ func (s *Service) Recover() (RecoverStats, error) {
 		}
 		return st, fmt.Errorf("recover: %w", err)
 	}
+	// Sweep import leftovers before loading. A crash mid-import can
+	// leave a staged image ("#import#*": never installed, safe to drop)
+	// or a displaced copy ("#old#<id>": the import renamed the local
+	// copy aside but died before or after renaming its replacement in).
+	// If the session directory exists the import won and the displaced
+	// copy is covered state; if not, the displaced copy is the only
+	// copy — restore it.
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() || validSessionID(name) {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(name, "#import#"):
+			_ = os.RemoveAll(filepath.Join(root, name))
+		case strings.HasPrefix(name, "#old#"):
+			id := strings.TrimPrefix(name, "#old#")
+			if !validSessionID(id) {
+				continue
+			}
+			if _, err := os.Stat(filepath.Join(root, id)); errors.Is(err, os.ErrNotExist) {
+				_ = os.Rename(filepath.Join(root, name), filepath.Join(root, id))
+			} else {
+				_ = os.RemoveAll(filepath.Join(root, name))
+			}
+		}
+	}
+	entries, err = os.ReadDir(root)
+	if err != nil {
+		return st, fmt.Errorf("recover: %w", err)
+	}
 	for _, e := range entries {
 		if !e.IsDir() || !validSessionID(e.Name()) {
 			continue
@@ -567,6 +644,7 @@ func (s *Service) loadSession(id string) (*Session, loadStats, error) {
 		sess.inc = snap.inc
 		sess.msgs = snap.msgs
 		sess.usedMsg = snap.usedMsg
+		sess.prodSeq = snap.prodSeq
 		sess.applied = snap.applied
 		sess.sealed = snap.sealed
 		sess.failErr = snap.failErr
@@ -583,12 +661,13 @@ func (s *Service) loadSession(id string) (*Session, loadStats, error) {
 	var replayed int64 // frame bytes consumed by decodable records
 	var badRecord bool
 	end, torn, err := wal.ScanFrom(walPath, from, func(payload []byte) error {
-		events, seal, derr := decodeBatchRecord(payload)
+		events, seal, producer, seq, derr := decodeBatchRecord(payload)
 		if derr != nil {
 			badRecord = true
 			return derr
 		}
 		sess.applyBatchLocked(events, seal)
+		sess.noteProducerLocked(producer, seq)
 		replayed += int64(8 + len(payload))
 		ls.records++
 		ls.events += int64(len(events))
@@ -620,6 +699,15 @@ func (s *Service) loadSession(id string) (*Session, loadStats, error) {
 		snapSeq:    nextSeq,
 		snapOffset: from,
 		sinceSnap:  int(ls.events),
+	}
+	// Reseed the live dedup watermark from the persisted one: a
+	// resuming producer is told exactly where the durable record ends
+	// and replays from there, no more and no less.
+	if len(sess.prodSeq) > 0 {
+		sess.strmSeq = make(map[string]uint64, len(sess.prodSeq))
+		for p, seq := range sess.prodSeq {
+			sess.strmSeq[p] = seq
+		}
 	}
 	return sess, ls, nil
 }

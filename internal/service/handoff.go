@@ -1,0 +1,475 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/rdt-go/rdt/internal/storage"
+	"github.com/rdt-go/rdt/internal/wal"
+)
+
+// Shard handoff support. The cluster layer (internal/shard) moves a
+// session between daemons as passivate → ship the session directory →
+// reactivate: ExportSession turns a live session back into its on-disk
+// form and returns the files, ImportSession installs those files under
+// a new owner's root, and DropPassivated deletes the old copy once the
+// new owner acknowledges. All three hold the session's load
+// singleflight, so they cannot interleave with a reactivation — and in
+// shard mode the ownership gate has already stopped routing traffic at
+// the exporting side, so nothing reactivates the session mid-move.
+
+// ErrSessionLive is returned by ImportSession when the local copy of
+// the session already covers the imported image: every producer
+// watermark and the applied count are at least the image's. The sender
+// may safely drop its copy — nothing in it is missing here.
+var ErrSessionLive = errors.New("session already present")
+
+// ErrStateDiverged is returned by ImportSession when the local copy
+// and the imported image each hold state the other lacks (one producer
+// ahead here, another ahead there). Same-lineage copies cannot do
+// this; it means a session forked. The import is refused and the
+// sender MUST NOT drop its copy — both need manual reconciliation.
+var ErrStateDiverged = errors.New("session state diverged")
+
+// Live reports whether the session is currently in memory.
+func (s *Service) Live(id string) bool {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	_, ok := sh.sessions[id]
+	sh.mu.RUnlock()
+	return ok
+}
+
+// HasLocal reports whether this daemon holds any state for the session:
+// live in memory, retiring, or passivated on disk.
+func (s *Service) HasLocal(id string) bool {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	_, live := sh.sessions[id]
+	retiring := sh.retired[id] != nil
+	sh.mu.RUnlock()
+	if live || retiring {
+		return true
+	}
+	if !s.durable() || !validSessionID(id) {
+		return false
+	}
+	_, err := os.Stat(s.sessionDir(id))
+	return err == nil
+}
+
+// SessionsOnDisk lists every session directory under the data root,
+// sorted — live and passivated alike (a live durable session owns its
+// directory too). Empty on a non-durable service.
+func (s *Service) SessionsOnDisk() ([]string, error) {
+	if !s.durable() {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(s.sessionsRoot())
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("scan sessions: %w", err)
+	}
+	var ids []string
+	for _, e := range entries {
+		if e.IsDir() && validSessionID(e.Name()) {
+			ids = append(ids, e.Name())
+		}
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// Passivate evicts a live session to disk (final snapshot) and waits
+// for the worker to finish retiring, so the directory is complete and
+// closed when Passivate returns. It reports whether the session was
+// live. The reason labels the eviction counter.
+func (s *Service) Passivate(id, reason string) bool {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	sess := sh.sessions[id]
+	sh.mu.RUnlock()
+	if sess == nil {
+		return false
+	}
+	// Losing the Evict race is fine: whoever won also closed the queue,
+	// and the workerDone wait below covers both.
+	s.Evict(id, reason)
+	<-sess.workerDone
+	return true
+}
+
+// exportable file names inside a session directory.
+func exportableFile(name string) bool {
+	if name == "meta.json" || name == "wal.log" {
+		return true
+	}
+	_, ok := snapSeqOf(name)
+	return ok
+}
+
+// ExportSession passivates the session if it is live and returns its
+// directory's files, keyed by name. The caller must already have
+// stopped routing the session's traffic here (in shard mode the
+// ownership gate does); a session that keeps reactivating underneath
+// the export fails after a few attempts rather than looping.
+func (s *Service) ExportSession(id string) (map[string][]byte, error) {
+	if !s.durable() {
+		return nil, errors.New("export: service is not durable")
+	}
+	if !validSessionID(id) {
+		return nil, fmt.Errorf("%w: %q", ErrNoSession, id)
+	}
+	for tries := 0; ; tries++ {
+		if tries > 8 {
+			return nil, fmt.Errorf("export %q: session keeps reactivating", id)
+		}
+		sh := s.shardFor(id)
+		sh.mu.RLock()
+		_, live := sh.sessions[id]
+		retiring := sh.retired[id]
+		sh.mu.RUnlock()
+		if live {
+			s.Passivate(id, "handoff")
+			continue
+		}
+		if retiring != nil {
+			<-retiring.workerDone
+			continue
+		}
+
+		s.loadMu.Lock()
+		ch, inFlight := s.loads[id]
+		if inFlight {
+			s.loadMu.Unlock()
+			<-ch
+			continue
+		}
+		ch = make(chan struct{})
+		s.loads[id] = ch
+		s.loadMu.Unlock()
+
+		files, retry, err := s.readSessionDirLocked(id)
+
+		s.loadMu.Lock()
+		delete(s.loads, id)
+		s.loadMu.Unlock()
+		close(ch)
+		if retry {
+			continue
+		}
+		return files, err
+	}
+}
+
+// readSessionDirLocked reads a passivated session's files under the
+// id's singleflight. retry means the session went live between the
+// shard check and here (an activation won the singleflight first).
+func (s *Service) readSessionDirLocked(id string) (files map[string][]byte, retry bool, err error) {
+	if s.Live(id) {
+		return nil, true, nil
+	}
+	dir := s.sessionDir(id)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, false, fmt.Errorf("%w: %q", ErrNoSession, id)
+		}
+		return nil, false, fmt.Errorf("export %q: %w", id, err)
+	}
+	files = make(map[string][]byte)
+	for _, e := range entries {
+		if e.IsDir() || !exportableFile(e.Name()) {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, false, fmt.Errorf("export %q: %w", id, err)
+		}
+		files[e.Name()] = data
+	}
+	if _, ok := files["meta.json"]; !ok {
+		return nil, false, fmt.Errorf("export %q: no meta.json", id)
+	}
+	return files, false, nil
+}
+
+// imageState is the comparable summary of one copy of a session's
+// durable state: the per-producer watermark of frames in the WAL plus
+// the total events the copy restores. Copies of the same lineage form
+// a prefix chain, so "covers" is a sound better-or-equal order; two
+// copies where neither covers the other have forked.
+type imageState struct {
+	prodSeq map[string]uint64
+	applied int64
+}
+
+// covers reports whether a holds everything b does.
+func (a imageState) covers(b imageState) bool {
+	for p, seq := range b.prodSeq {
+		if a.prodSeq[p] < seq {
+			return false
+		}
+	}
+	return a.applied >= b.applied
+}
+
+// strictlyCovers reports whether a covers b and holds more.
+func (a imageState) strictlyCovers(b imageState) bool {
+	if !a.covers(b) {
+		return false
+	}
+	if a.applied > b.applied {
+		return true
+	}
+	for p, seq := range a.prodSeq {
+		if seq > b.prodSeq[p] {
+			return true
+		}
+	}
+	return false
+}
+
+// durableState snapshots the live session's durable watermarks — what
+// a passivation right now would persist (modulo queued batches, which
+// drain into both counters before any passivated comparison).
+func (s *Session) durableState() imageState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ps := make(map[string]uint64, len(s.prodSeq))
+	for p, q := range s.prodSeq {
+		ps[p] = q
+	}
+	return imageState{prodSeq: ps, applied: s.applied}
+}
+
+// stateOfDir peeks a passivated session directory's durable state
+// without installing it: the newest decodable snapshot, then the WAL
+// tail scanned (not applied) up to the first torn or undecodable
+// record — exactly the state activation would restore from the copy.
+func stateOfDir(dir string) (imageState, error) {
+	st := imageState{prodSeq: make(map[string]uint64)}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return st, err
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		if seq, ok := snapSeqOf(e.Name()); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] })
+	var from int64
+	for _, seq := range seqs {
+		data, err := os.ReadFile(filepath.Join(dir, snapName(seq)))
+		if err != nil {
+			continue
+		}
+		snap, err := decodeSnapshot(data)
+		if err != nil {
+			continue
+		}
+		for p, q := range snap.prodSeq {
+			st.prodSeq[p] = q
+		}
+		st.applied = snap.applied
+		from = snap.walOffset
+		break
+	}
+	// Scan errors (torn tail, undecodable record, missing WAL) end the
+	// scan where activation's replay would: the decodable prefix IS
+	// this copy's restorable state.
+	_, _, _ = wal.ScanFrom(filepath.Join(dir, "wal.log"), from, func(payload []byte) error {
+		events, _, producer, seq, derr := decodeBatchRecord(payload)
+		if derr != nil {
+			return derr
+		}
+		if producer != "" && seq > st.prodSeq[producer] {
+			st.prodSeq[producer] = seq
+		}
+		st.applied += int64(len(events))
+		return nil
+	})
+	return st, nil
+}
+
+// errRetryImport asks ImportSession's outer loop to re-run its
+// live/retiring checks (an activation won the singleflight first).
+var errRetryImport = errors.New("retry import")
+
+// ImportSession installs a session directory shipped from another
+// daemon. The files land under a temporary name and are renamed into
+// place, so a crash mid-import leaves no half session; the session
+// stays passivated — the first touch reactivates it through the normal
+// load path, which also reseeds the stream dedup watermark.
+//
+// A local copy of the id is resolved by durable watermark, not by
+// arrival order: under churned membership the same session legitimately
+// exports at different points in its life (an early copy passivated at
+// one member, a later copy grown elsewhere), and first-wins would let a
+// stale copy beat the real state and get it dropped. If the local copy
+// covers the image, ErrSessionLive tells the sender its copy is
+// redundant (safe to drop). If the image strictly covers the local copy
+// — including a live session, which is then a stale incarnation and is
+// passivated out from under its clients; they resume onto the newer
+// state — the image replaces it. If neither covers the other the
+// session has forked: ErrStateDiverged, and the sender must keep its
+// copy.
+func (s *Service) ImportSession(id string, files map[string][]byte) error {
+	if s.draining.Load() {
+		return ErrDraining
+	}
+	if !s.durable() {
+		return errors.New("import: service is not durable")
+	}
+	if !validSessionID(id) {
+		return fmt.Errorf("import: invalid session id %q", id)
+	}
+	if _, ok := files["meta.json"]; !ok {
+		return fmt.Errorf("import %q: no meta.json", id)
+	}
+	for name := range files {
+		if !exportableFile(name) {
+			return fmt.Errorf("import %q: unexpected file %q", id, name)
+		}
+	}
+
+	// Stage the image first ('#' is rejected by validSessionID, so the
+	// staging name can never collide with a real session directory) and
+	// summarize it once for every comparison below.
+	tmp, err := os.MkdirTemp(s.sessionsRoot(), "#import#"+id+"#")
+	if err != nil {
+		return fmt.Errorf("import %q: %w", id, err)
+	}
+	defer os.RemoveAll(tmp) //nolint:errcheck // no-op once renamed into place
+	for name, data := range files {
+		if err := storage.WriteFileDurable(filepath.Join(tmp, name), data); err != nil {
+			return fmt.Errorf("import %q: %w", id, err)
+		}
+	}
+	img, err := stateOfDir(tmp)
+	if err != nil {
+		return fmt.Errorf("import %q: %w", id, err)
+	}
+
+	for {
+		sh := s.shardFor(id)
+		sh.mu.RLock()
+		sess := sh.sessions[id]
+		retiring := sh.retired[id]
+		sh.mu.RUnlock()
+		if sess != nil {
+			if sess.durableState().covers(img) {
+				return fmt.Errorf("%w: %q is live", ErrSessionLive, id)
+			}
+			// The image holds state the live session's durable counters
+			// lack: either the live session is a stale incarnation of
+			// this state, or its queued batches have not drained into
+			// the counters yet. Passivating settles both — clients
+			// resume onto whichever copy the on-disk comparison below
+			// keeps.
+			s.Passivate(id, "superseded")
+			continue
+		}
+		if retiring != nil {
+			<-retiring.workerDone
+			continue
+		}
+
+		s.loadMu.Lock()
+		ch, inFlight := s.loads[id]
+		if inFlight {
+			s.loadMu.Unlock()
+			<-ch
+			continue
+		}
+		ch = make(chan struct{})
+		s.loads[id] = ch
+		s.loadMu.Unlock()
+
+		err := s.installImportLocked(id, tmp, img)
+
+		s.loadMu.Lock()
+		delete(s.loads, id)
+		s.loadMu.Unlock()
+		close(ch)
+		if errors.Is(err, errRetryImport) {
+			continue
+		}
+		return err
+	}
+}
+
+// installImportLocked resolves the staged image against whatever is on
+// disk under the id's singleflight and renames it into place if it
+// wins.
+func (s *Service) installImportLocked(id, tmp string, img imageState) error {
+	if s.Live(id) {
+		return errRetryImport // an activation won; re-run the live comparison
+	}
+	dir := s.sessionDir(id)
+	if _, err := os.Stat(dir); err == nil {
+		cur, err := stateOfDir(dir)
+		if err != nil {
+			return fmt.Errorf("import %q: inspect local copy: %w", id, err)
+		}
+		if cur.covers(img) {
+			return fmt.Errorf("%w: %q is on disk", ErrSessionLive, id)
+		}
+		if !img.strictlyCovers(cur) {
+			return fmt.Errorf("%w: %q", ErrStateDiverged, id)
+		}
+		// The image strictly covers the local copy: replace it. The
+		// displaced copy moves to the '#old#' namespace first (rename
+		// cannot clobber a non-empty directory); recovery restores or
+		// clears such leftovers if we crash between the renames.
+		old := filepath.Join(s.sessionsRoot(), "#old#"+id)
+		_ = os.RemoveAll(old)
+		if err := os.Rename(dir, old); err != nil {
+			return fmt.Errorf("import %q: displace local copy: %w", id, err)
+		}
+		if err := os.Rename(tmp, dir); err != nil {
+			_ = os.Rename(old, dir) // put the local copy back
+			return fmt.Errorf("import %q: %w", id, err)
+		}
+		_ = os.RemoveAll(old)
+		if err := storage.SyncDir(s.sessionsRoot()); err != nil {
+			return fmt.Errorf("import %q: %w", id, err)
+		}
+		return nil
+	}
+	if err := os.Rename(tmp, dir); err != nil {
+		return fmt.Errorf("import %q: %w", id, err)
+	}
+	if err := storage.SyncDir(s.sessionsRoot()); err != nil {
+		return fmt.Errorf("import %q: %w", id, err)
+	}
+	return nil
+}
+
+// DropPassivated deletes the on-disk state of a session that is not
+// live — the old owner's cleanup once a handoff is acknowledged. It
+// reports whether anything was deleted; a live session is left alone.
+func (s *Service) DropPassivated(id string) bool {
+	if !s.durable() || !validSessionID(id) {
+		return false
+	}
+	return s.dropPassivated(id)
+}
+
+// SetCrashHooks installs the crash-point injection hooks (test use
+// only): appended runs right after a WAL record is fsync'd, applied
+// right after a batch is applied, both under the session lock. The
+// returned restore puts the previous hooks back. Not safe to call
+// while traffic is in flight.
+func SetCrashHooks(appended, applied func(sessionID string)) (restore func()) {
+	prevAppended, prevApplied := testHookAppended, testHookApplied
+	testHookAppended, testHookApplied = appended, applied
+	return func() { testHookAppended, testHookApplied = prevAppended, prevApplied }
+}

@@ -113,10 +113,26 @@ func writeSessionError(w http.ResponseWriter, err error) {
 func (a *api) session(w http.ResponseWriter, r *http.Request) (*Session, bool) {
 	sess, err := a.svc.Session(r.PathValue("id"))
 	if err != nil {
-		writeSessionError(w, err)
+		a.sessionError(w, r, err)
 		return nil, false
 	}
 	return sess, true
+}
+
+// sessionError maps a lookup/ingest error, turning a shard move into a
+// 307 at the owner (same path and query; Go clients re-send the body
+// automatically, curl needs -L).
+func (a *api) sessionError(w http.ResponseWriter, r *http.Request, err error) {
+	var mv *MovedError
+	if errors.As(err, &mv) && mv.HTTP != "" {
+		u := *r.URL
+		u.Scheme = "http"
+		u.Host = mv.HTTP
+		w.Header().Set("X-Rdt-Owner", mv.Owner)
+		http.Redirect(w, r, u.String(), http.StatusTemporaryRedirect)
+		return
+	}
+	writeSessionError(w, err)
 }
 
 type createRequest struct {
@@ -138,7 +154,10 @@ func (a *api) createSession(w http.ResponseWriter, r *http.Request) {
 	}
 	sess, err := a.svc.CreateSession(req.ID, req.N)
 	if err != nil {
+		var mv *MovedError
 		switch {
+		case errors.As(err, &mv):
+			a.sessionError(w, r, err)
 		case errors.Is(err, ErrDraining), errors.Is(err, ErrSessionExists):
 			writeSessionError(w, err)
 		default:
@@ -351,8 +370,15 @@ func (a *api) seal(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *api) deleteSession(w http.ResponseWriter, r *http.Request) {
-	if !a.svc.Evict(r.PathValue("id"), "explicit") {
-		writeSessionError(w, fmt.Errorf("%w: %q", ErrNoSession, r.PathValue("id")))
+	id := r.PathValue("id")
+	// Evict bypasses Session(), so the ownership gate runs explicitly: a
+	// moved session's DELETE belongs to its owner.
+	if err := a.svc.CheckGate(id); err != nil {
+		a.sessionError(w, r, err)
+		return
+	}
+	if !a.svc.Evict(id, "explicit") {
+		writeSessionError(w, fmt.Errorf("%w: %q", ErrNoSession, id))
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -370,10 +396,12 @@ func (a *api) healthz(w http.ResponseWriter, _ *http.Request) {
 		Durable          bool   `json:"durable"`
 		Version          string `json:"version"`
 		Commit           string `json:"commit"`
+		Shard            any    `json:"shard,omitempty"`
 	}{
 		Status: status, Sessions: a.svc.SessionCount(),
 		DegradedSessions: a.svc.DegradedCount(), Durable: a.svc.durable(),
 		Version: version.Version, Commit: version.Commit,
+		Shard: a.svc.ShardInfo(),
 	})
 }
 
@@ -385,11 +413,17 @@ type Server struct {
 
 // Serve starts the HTTP API on addr (":0" for an ephemeral port).
 func Serve(addr string, svc *Service) (*Server, error) {
+	return ServeHandler(addr, NewHandler(svc))
+}
+
+// ServeHandler starts an HTTP server on addr with a caller-composed
+// handler — shard mode mounts the cluster endpoints next to the API.
+func ServeHandler(addr string, h http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("service: listen %s: %w", addr, err)
 	}
-	s := &Server{ln: ln, srv: &http.Server{Handler: NewHandler(svc)}}
+	s := &Server{ln: ln, srv: &http.Server{Handler: h}}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
 }

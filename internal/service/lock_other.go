@@ -1,0 +1,9 @@
+//go:build !unix
+
+package service
+
+// lockDataDir is a no-op where flock is unavailable; the collision
+// protection is advisory and unix-only.
+func lockDataDir(root string) (release func(), err error) {
+	return func() {}, nil
+}

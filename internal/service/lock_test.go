@@ -1,0 +1,60 @@
+package service
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDataDirLock: two services on the same data directory is exactly
+// the operator mistake that corrupts WALs — the second must fail fast
+// at startup, and the lock must release on drain.
+func TestDataDirLock(t *testing.T) {
+	dir := t.TempDir()
+	first, err := New(Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := New(Config{DataDir: dir}); err == nil {
+		t.Fatal("second service on the same data dir started; want a lock failure")
+	} else if !strings.Contains(err.Error(), "in use") {
+		t.Fatalf("second service failed with %v; want an 'in use' lock error", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := first.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drain released the lock: the directory is usable again.
+	second, err := New(Config{DataDir: dir})
+	if err != nil {
+		t.Fatalf("service on a drained data dir: %v", err)
+	}
+	if err := second.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDataDirLockDistinctDirs: sibling directories do not conflict.
+func TestDataDirLockDistinctDirs(t *testing.T) {
+	a, err := New(Config{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Config{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := a.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

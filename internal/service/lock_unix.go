@@ -1,0 +1,38 @@
+//go:build unix
+
+package service
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+)
+
+// lockDataDir takes an exclusive advisory lock on <root>/LOCK so two
+// daemons pointed at the same data directory fail fast instead of
+// interleaving WAL appends and corrupting each other's sessions. The
+// lock is per open file description, so even two services inside one
+// process (tests) conflict. The returned release closes the file,
+// which drops the lock; an exiting or killed process releases it
+// implicitly — no stale-lock recovery is ever needed.
+func lockDataDir(root string) (release func(), err error) {
+	path := filepath.Join(root, "LOCK")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("data dir lock: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		owner, _ := os.ReadFile(path)
+		_ = f.Close()
+		if holder := strings.TrimSpace(string(owner)); holder != "" {
+			return nil, fmt.Errorf("data dir %q is already in use by process %s: %w", root, holder, err)
+		}
+		return nil, fmt.Errorf("data dir %q is already in use by another process: %w", root, err)
+	}
+	// Record the holder for the error message of whoever loses next.
+	_ = f.Truncate(0)
+	_, _ = f.WriteAt([]byte(fmt.Sprintf("%d\n", os.Getpid())), 0)
+	return func() { _ = f.Close() }, nil
+}

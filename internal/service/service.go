@@ -124,21 +124,50 @@ var (
 	ErrNoSession = errors.New("no such session")
 )
 
+// MovedError reports that a session belongs to another cluster member.
+// The shard gate (see SetGate) returns it for sessions this daemon does
+// not own; the HTTP layer answers 307 and the stream layer a MOVED
+// error frame, both pointing at the owner's addresses.
+type MovedError struct {
+	// Owner is the owning member's name; HTTP and Stream are its
+	// advertised addresses (Stream may be empty).
+	Owner  string
+	HTTP   string
+	Stream string
+}
+
+func (e *MovedError) Error() string {
+	return fmt.Sprintf("session moved to member %q (http %s)", e.Owner, e.HTTP)
+}
+
+// gateFuncs is the installed shard hook pair (see SetGate).
+type gateFuncs struct {
+	check func(id string) error
+	info  func() any
+}
+
 // Service is the multi-session checker: sharded session state, one
 // worker goroutine per session, and a janitor evicting idle sessions.
 type Service struct {
-	cfg      Config
-	clock    vtime.Clock
-	shards   []*shard
-	workers  sync.WaitGroup
-	janitor  sync.WaitGroup
-	stop     chan struct{}
-	draining atomic.Bool
-	drainOne sync.Once
+	cfg       Config
+	clock     vtime.Clock
+	shards    []*shard
+	workers   sync.WaitGroup
+	janitor   sync.WaitGroup
+	stop      chan struct{}
+	draining  atomic.Bool
+	drainOne  sync.Once
+	unlockOne sync.Once
 
 	// Reactivation/deletion singleflight, keyed by session id.
 	loadMu sync.Mutex
 	loads  map[string]chan struct{}
+
+	// unlock releases the data-dir lock (durable services only).
+	unlock func()
+
+	// gate holds the cluster ownership hook; nil outside shard mode.
+	gate atomic.Pointer[gateFuncs]
 
 	degradedCount atomic.Int64
 
@@ -170,8 +199,11 @@ type shard struct {
 }
 
 // New starts a service. Call Drain to stop it, and — when DataDir is
-// set — Recover right after New to restore persisted sessions.
-func New(cfg Config) *Service {
+// set — Recover right after New to restore persisted sessions. A
+// durable service locks its data directory exclusively: a second
+// daemon pointed at the same root fails here instead of corrupting
+// WALs.
+func New(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
 	s := &Service{
 		cfg:           cfg,
@@ -204,9 +236,14 @@ func New(cfg Config) *Service {
 		}
 	}
 	if s.durable() {
-		// The tree must exist before sessions are created inside it; a
-		// failure here surfaces on the first create instead.
-		_ = os.MkdirAll(s.sessionsRoot(), 0o755)
+		if err := os.MkdirAll(s.sessionsRoot(), 0o755); err != nil {
+			return nil, fmt.Errorf("create sessions root: %w", err)
+		}
+		unlock, err := lockDataDir(cfg.DataDir)
+		if err != nil {
+			return nil, err
+		}
+		s.unlock = unlock
 	}
 	if cfg.IdleTimeout > 0 {
 		// Arm the ticker here, not in the goroutine: under a virtual
@@ -216,7 +253,35 @@ func New(cfg Config) *Service {
 		s.janitor.Add(1)
 		go s.runJanitor(t)
 	}
-	return s
+	return s, nil
+}
+
+// SetGate installs the cluster ownership hook: check runs on every
+// session lookup/create with the session id and returns nil when this
+// daemon serves it, a *MovedError when another member owns it, or any
+// other error to fail the request. It may block (the shard layer pulls
+// a moved-in session's state inside it). info, when non-nil, is
+// embedded in /healthz as the "shard" field. Install before serving
+// traffic; outside shard mode no gate exists and every id is local.
+func (s *Service) SetGate(check func(id string) error, info func() any) {
+	s.gate.Store(&gateFuncs{check: check, info: info})
+}
+
+// CheckGate runs the installed ownership gate for id; nil without one.
+func (s *Service) CheckGate(id string) error {
+	if g := s.gate.Load(); g != nil && g.check != nil {
+		return g.check(id)
+	}
+	return nil
+}
+
+// ShardInfo returns the shard layer's /healthz view (nil outside shard
+// mode).
+func (s *Service) ShardInfo() any {
+	if g := s.gate.Load(); g != nil && g.info != nil {
+		return g.info()
+	}
+	return nil
 }
 
 // DegradedCount returns the number of sessions whose persistence
@@ -293,17 +358,32 @@ func (s *Service) CreateSession(id string, n int) (*Session, error) {
 	}
 	if id == "" {
 		id = randomID()
+		// In shard mode a minted id must land on this member, or the
+		// client would be redirected to a session it never asked for.
+		for tries := 0; s.CheckGate(id) != nil && tries < 128; tries++ {
+			id = randomID()
+		}
 	} else if !validSessionID(id) {
 		return nil, fmt.Errorf("invalid session id %q: want 1-64 characters of [a-zA-Z0-9._-]", id)
+	}
+	if err := s.CheckGate(id); err != nil {
+		return nil, err
 	}
 	sess, err := newSession(s, id, n)
 	if err != nil {
 		return nil, err
 	}
+	var loadCh chan struct{}
 	if s.durable() {
+		// A session's birth is a disk↔memory transition like any other:
+		// hold the id's load singleflight across it, or a shard export
+		// can read (and ship) the half-born directory while the create
+		// goes on to win locally.
+		loadCh = s.acquireLoad(id)
 		// The Mkdir inside doubles as the existence check: a passivated
 		// session owns its directory even while absent from the map.
 		if err := s.attachDurable(sess); err != nil {
+			s.releaseLoad(id, loadCh)
 			return nil, err
 		}
 	}
@@ -315,20 +395,70 @@ func (s *Service) CreateSession(id string, n int) (*Session, error) {
 			sess.dur.closeLocked()
 			_ = storage.RemoveDurable(sess.dur.dir)
 		}
+		if loadCh != nil {
+			s.releaseLoad(id, loadCh)
+		}
 		return nil, fmt.Errorf("%w: %q", ErrSessionExists, id)
 	}
 	sh.sessions[id] = sess
 	sh.mu.Unlock()
+	if loadCh != nil {
+		s.releaseLoad(id, loadCh)
+	}
 	s.workers.Add(1)
 	go sess.run()
 	s.mCreated.Inc()
 	s.mSessions.Add(1)
+	if s.durable() {
+		// The ring can reassign the id between the gate check at entry
+		// and the install above — and by now the new epoch's rebalance
+		// walk may already have run and seen nothing to move. Re-check:
+		// if the id lives elsewhere now, passivate the newborn where the
+		// owner's pull walk will find it, and redirect the client.
+		if err := s.CheckGate(id); err != nil {
+			s.Passivate(id, "moved")
+			return nil, err
+		}
+	}
 	return sess, nil
 }
 
+// acquireLoad takes the id's load singleflight, waiting out any
+// in-flight holder (activation, export, import, drop, or create).
+func (s *Service) acquireLoad(id string) chan struct{} {
+	s.loadMu.Lock()
+	for {
+		ch, inFlight := s.loads[id]
+		if !inFlight {
+			break
+		}
+		s.loadMu.Unlock()
+		<-ch
+		s.loadMu.Lock()
+	}
+	ch := make(chan struct{})
+	s.loads[id] = ch
+	s.loadMu.Unlock()
+	return ch
+}
+
+func (s *Service) releaseLoad(id string, ch chan struct{}) {
+	s.loadMu.Lock()
+	delete(s.loads, id)
+	s.loadMu.Unlock()
+	close(ch)
+}
+
 // Session looks a session up by id; on a durable service a passivated
-// session is transparently reactivated from disk.
+// session is transparently reactivated from disk. In shard mode the
+// ownership gate runs first: a session owned elsewhere fails with
+// *MovedError even if a stale local copy exists, and a session owned
+// here may be pulled from its previous owner before the lookup
+// proceeds.
 func (s *Service) Session(id string) (*Session, error) {
+	if err := s.CheckGate(id); err != nil {
+		return nil, err
+	}
 	sh := s.shardFor(id)
 	sh.mu.RLock()
 	sess, ok := sh.sessions[id]
@@ -475,6 +605,11 @@ func (s *Service) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.unlockOne.Do(func() {
+			if s.unlock != nil {
+				s.unlock()
+			}
+		})
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("drain: %w", ctx.Err())

@@ -86,7 +86,10 @@ func testService(t *testing.T, cfg Config) (*Service, *obs.Registry) {
 	reg := obs.NewRegistry()
 	cfg.Registry = reg
 	cfg.Tracer = obs.NewTracer(1024)
-	svc := New(cfg)
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatalf("new service: %v", err)
+	}
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
@@ -359,7 +362,10 @@ func TestFallbackIDUnique(t *testing.T) {
 
 func TestDrainAppliesAcknowledged(t *testing.T) {
 	reg := obs.NewRegistry()
-	svc := New(Config{Registry: reg})
+	svc, err := New(Config{Registry: reg})
+	if err != nil {
+		t.Fatalf("new service: %v", err)
+	}
 	sess, err := svc.CreateSession("d", 2)
 	if err != nil {
 		t.Fatalf("create: %v", err)

@@ -42,6 +42,12 @@ type batch struct {
 	done   chan error
 	notify func(error)
 	gate   chan struct{} // test hook: the worker parks here before processing
+
+	// producer/seq identify a stream frame (EnqueueSeq); they ride the
+	// WAL record so the dedup watermark is as durable as the events it
+	// guards. seq 0 means the batch did not come from the stream wire.
+	producer string
+	seq      uint64
 }
 
 // Session is one tenant's live RDT analysis: a model.Builder and an
@@ -69,8 +75,9 @@ type Session struct {
 	// Stream-ingest dedup state: the highest frame sequence accepted per
 	// producer. Held outside mu so the check-and-enqueue of EnqueueSeq is
 	// atomic across concurrent connections without ordering against the
-	// apply lock. Lives and dies with the Session object: a reconnecting
-	// producer resumes its numbering, a recreated session starts fresh.
+	// apply lock. On a durable session the watermark is reseeded from
+	// prodSeq (the persisted mirror) at load, so a reconnecting producer
+	// resumes its numbering across passivation, restart, and handoff.
 	strmMu  sync.Mutex
 	strmSeq map[string]uint64
 
@@ -85,6 +92,11 @@ type Session struct {
 	msgs     map[int]msgRef // client message id -> handles, in flight
 	usedMsg  map[int]bool   // every client message id ever sent
 	applied  int64          // events applied
+	// prodSeq mirrors strmSeq for the frames that made it into the WAL:
+	// the worker advances it after a successful append, snapshots carry
+	// it, and replay rebuilds it — which is what makes stream dedup
+	// exactly-once across crash recovery and shard handoff.
+	prodSeq map[string]uint64
 }
 
 // msgRef pairs the two internal handles a client message id maps to.
@@ -168,7 +180,7 @@ func (s *Session) process(b batch) {
 		if s.dur.degraded {
 			err = fmt.Errorf("%w: %v", ErrDegraded, s.dur.degradedErr)
 		} else {
-			err = s.persistLocked(b.events, b.seal)
+			err = s.persistLocked(b.events, b.seal, b.producer, b.seq)
 		}
 	}
 	if err == nil {
@@ -375,7 +387,7 @@ func (s *Session) EnqueueSeq(producer string, seq uint64, events []Event, seal b
 	case seq > last+1:
 		return false, fmt.Errorf("%w: producer %q sent seq %d after %d", ErrSeqGap, producer, seq, last)
 	}
-	if err := s.enqueue(batch{events: events, seal: seal, notify: notify}); err != nil {
+	if err := s.enqueue(batch{events: events, seal: seal, notify: notify, producer: producer, seq: seq}); err != nil {
 		return false, err
 	}
 	if s.strmSeq == nil {

@@ -1,0 +1,196 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/rdt-go/rdt/internal/service"
+	"github.com/rdt-go/rdt/internal/stream"
+)
+
+// driveChurnSession streams batches through the pool with the cluster
+// client's recorded-vs-not retry discipline, tolerating handoffs at any
+// instant. Goroutine-safe: returns an error instead of failing the test.
+func driveChurnSession(pool *stream.Pool, id string, procs, batches, batchSize int, seed int64) error {
+	ch, _, err := pool.Open(id, procs, "churn")
+	if err != nil {
+		return fmt.Errorf("%s: open: %w", id, err)
+	}
+	tr, err := stream.NewTraffic("random", procs, seed)
+	if err != nil {
+		return err
+	}
+	send := func(batch []service.Event) error {
+		for attempt := 0; attempt < 20; attempt++ {
+			pre := ch.NextSeq()
+			err := ch.Send(batch)
+			if err == nil {
+				return nil
+			}
+			recorded := ch.NextSeq() > pre
+			nch, _, rerr := pool.Resume(ch)
+			if rerr != nil {
+				// State mid-flight between members; resume again shortly.
+				time.Sleep(25 * time.Millisecond)
+				continue
+			}
+			ch = nch
+			if recorded {
+				return nil
+			}
+		}
+		return fmt.Errorf("%s: send kept failing across resumes", id)
+	}
+	for i := 0; i < batches; i++ {
+		if err := send(tr.Next(nil, batchSize)); err != nil {
+			return err
+		}
+	}
+	for attempt := 0; attempt < 20; attempt++ {
+		pre := ch.NextSeq()
+		err := ch.Seal()
+		if err == nil {
+			break
+		}
+		recorded := ch.NextSeq() > pre
+		nch, _, rerr := pool.Resume(ch)
+		if rerr != nil {
+			time.Sleep(25 * time.Millisecond)
+			continue
+		}
+		ch = nch
+		if recorded {
+			break
+		}
+	}
+	for attempt := 0; ; attempt++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		err := ch.Flush(ctx)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		if attempt >= 20 {
+			return fmt.Errorf("%s: flush kept failing across resumes: %w", id, err)
+		}
+		nch, _, rerr := pool.Resume(ch)
+		if rerr != nil {
+			time.Sleep(25 * time.Millisecond)
+			continue
+		}
+		ch = nch
+	}
+}
+
+// TestClusterChurnStress is the shard smoke's schedule in-process:
+// producers stream through the pool nonstop while one member is removed
+// and another joins, with no barrier between the config pushes and the
+// traffic. Every session must end with exactly batches*batchSize events
+// applied and a verdict identical to an uninterrupted in-memory replay.
+func TestClusterChurnStress(t *testing.T) {
+	a := startMember(t, "a", t.TempDir())
+	defer a.stop(t)
+	b := startMember(t, "b", t.TempDir())
+	defer b.stop(t)
+	c := startMember(t, "c", t.TempDir())
+	defer c.stop(t)
+	d := startMember(t, "d", t.TempDir())
+	defer d.stop(t)
+
+	ring1, err := New(1, 0, []Member{a.Member(), b.Member(), c.Member()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adoptAll(t, ring1, a, b, c)
+
+	const (
+		sessions  = 8
+		procs     = 3
+		batches   = 30
+		batchSize = 16
+	)
+
+	pool := stream.NewPool([]string{a.ssrv.Addr(), b.ssrv.Addr(), c.ssrv.Addr()})
+	defer pool.Close() //nolint:errcheck
+
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for s := 0; s < sessions; s++ {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- driveChurnSession(pool, fmt.Sprintf("churn-%d", s), procs, batches, batchSize, int64(100+s))
+		}()
+	}
+
+	// Membership churn lands while the producers are mid-stream; the
+	// adoption order is scrambled across members, as real config pushes
+	// race each other.
+	time.Sleep(20 * time.Millisecond)
+	ring2, err := New(2, 0, []Member{a.Member(), b.Member()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring2.Prev = ring1
+	adoptAll(t, ring2, c, a, b)
+	time.Sleep(20 * time.Millisecond)
+	ring3, err := New(3, 0, []Member{a.Member(), b.Member(), d.Member()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring3.Prev = ChainCopy(ring2, maxRingHistory-1)
+	adoptAll(t, ring3, d, b, a, c)
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	a.node.WaitRebalance()
+	b.node.WaitRebalance()
+	c.node.WaitRebalance()
+	d.node.WaitRebalance()
+
+	// The removed member must end the run holding nothing.
+	if ids, _ := c.svc.SessionsOnDisk(); len(ids) != 0 {
+		t.Errorf("removed member still holds %v", ids)
+	}
+
+	members := map[string]*member{"a": a, "b": b, "d": d}
+	for s := 0; s < sessions; s++ {
+		id := fmt.Sprintf("churn-%d", s)
+		owner := members[ring3.Owner(id).Name]
+		if owner == nil {
+			t.Fatalf("session %s owned by departed member", id)
+		}
+		sess, err := owner.svc.Session(id)
+		if err != nil {
+			t.Fatalf("session %s on owner %s: %v", id, owner.name, err)
+		}
+		if got, want := sess.Verdict(0).EventsApplied, int64(batches*batchSize); got != want {
+			t.Errorf("session %s: %d events applied, want exactly %d", id, got, want)
+			for _, m := range []*member{a, b, c, d} {
+				ids, _ := m.svc.SessionsOnDisk()
+				t.Logf("DEBUG [%s] holds %v (live %q: %v)", m.name, ids, id, m.svc.Live(id))
+			}
+		}
+		tr, err := stream.NewTraffic("random", procs, int64(100+s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var all []service.Event
+		for i := 0; i < batches; i++ {
+			all = tr.Next(all, batchSize)
+		}
+		ref, stop := referenceSession(t, id, procs, all)
+		compareSessions(t, id, sess, ref)
+		stop()
+	}
+}

@@ -1,0 +1,36 @@
+package shard
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseMembers parses the command-line membership syntax shared by
+// rdtserved and rdtrouterd:
+//
+//	name=HTTPADDR[+STREAMADDR],name=HTTPADDR[+STREAMADDR],...
+//
+// e.g. "a=127.0.0.1:8081+127.0.0.1:9081,b=127.0.0.1:8082". '+' splits
+// the two addresses because ':' already lives inside each one.
+func ParseMembers(s string) ([]Member, error) {
+	var members []Member
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, addrs, ok := strings.Cut(part, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("shard: member %q: want name=HTTPADDR[+STREAMADDR]", part)
+		}
+		httpAddr, streamAddr, _ := strings.Cut(addrs, "+")
+		if httpAddr == "" {
+			return nil, fmt.Errorf("shard: member %q has no http address", name)
+		}
+		members = append(members, Member{Name: name, HTTP: httpAddr, Stream: streamAddr})
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("shard: empty member list")
+	}
+	return members, nil
+}

@@ -1,0 +1,152 @@
+package shard
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"github.com/rdt-go/rdt/internal/service"
+)
+
+// maxImportBody bounds one shipped session directory.
+const maxImportBody = 1 << 30
+
+// Register mounts the node's cluster endpoints on mux, next to the
+// service's /v1/sessions API:
+//
+//	GET    /v1/shard/ring                  — adopted ring (404 before one)
+//	POST   /v1/shard/ring                  — config push: adopt a newer ring
+//	GET    /v1/shard/sessions/{id}/export  — passivate + ship a session
+//	POST   /v1/shard/sessions/{id}/import  — install a shipped session
+//	DELETE /v1/shard/sessions/{id}/local   — drop a passivated local copy
+func (n *Node) Register(mux *http.ServeMux) {
+	mux.HandleFunc("GET /v1/shard/ring", n.getRing)
+	mux.HandleFunc("POST /v1/shard/ring", n.postRing)
+	mux.HandleFunc("GET /v1/shard/sessions/{id}/export", n.exportSession)
+	mux.HandleFunc("POST /v1/shard/sessions/{id}/import", n.importSession)
+	mux.HandleFunc("DELETE /v1/shard/sessions/{id}/local", n.dropLocal)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (n *Node) getRing(w http.ResponseWriter, r *http.Request) {
+	ring := n.Ring()
+	if ring == nil {
+		writeError(w, http.StatusNotFound, "no ring adopted")
+		return
+	}
+	writeJSON(w, http.StatusOK, ring)
+}
+
+func (n *Node) postRing(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	ring, err := Parse(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	adopted, err := n.AdoptRing(ring)
+	if err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"adopted": adopted, "epoch": ring.Epoch})
+}
+
+// exportSession ships one session's directory. While this daemon's
+// ring still assigns the id here, the export is refused with 409:
+// the requester is acting on a newer ring this daemon has not adopted
+// yet, and exporting now would let a still-routed client reactivate
+// the session mid-move. The requester retries; the config push wins
+// the race within milliseconds.
+func (n *Node) exportSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if ring := n.Ring(); ring != nil && ring.Owner(id).Name == n.self {
+		writeError(w, http.StatusConflict, "still the owner of %q under epoch %d", id, ring.Epoch)
+		return
+	}
+	files, err := n.svc.ExportSession(id)
+	switch {
+	case errors.Is(err, service.ErrNoSession):
+		if n.shippedRecently(id) {
+			// Not "never existed": this member held the session and
+			// handed its state off. 410 tells the puller the state is
+			// in flight so it waits instead of creating a fresh (empty,
+			// conflicting) incarnation of the session.
+			writeError(w, http.StatusGone, "session %q was handed off from this member", id)
+			return
+		}
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, files)
+}
+
+func (n *Node) importSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxImportBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	var files map[string][]byte
+	if err := json.Unmarshal(body, &files); err != nil {
+		writeError(w, http.StatusBadRequest, "decode: %v", err)
+		return
+	}
+	err = n.svc.ImportSession(id, files)
+	switch {
+	case errors.Is(err, service.ErrSessionLive):
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	case errors.Is(err, service.ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case errors.Is(err, service.ErrStateDiverged):
+		// Should be impossible for same-lineage copies; refuse loudly so
+		// the sender keeps its copy and an operator can reconcile.
+		n.logfSafe("shard: REFUSED import of session %q: %v", id, err)
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	n.cIn.Inc()
+	n.clearShipped(id)
+	// A chained move can land a session on a member that no longer owns
+	// it (the sender acted on an older ring). Accepting is still right —
+	// the sender may hold the only copy — but the state must not strand
+	// here behind the gate: forward it straight to the current owner.
+	n.maybeForward(id)
+	writeJSON(w, http.StatusOK, map[string]any{"imported": id})
+}
+
+func (n *Node) dropLocal(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	// This ack means the puller holds the state: record the drop first
+	// so a concurrent pull walk sees "shipped away", not "never existed".
+	n.recordShipped(id)
+	dropped := n.svc.DropPassivated(id)
+	if !dropped && !n.svc.HasLocal(id) {
+		n.clearShipped(id)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"dropped": dropped})
+}

@@ -1,0 +1,189 @@
+// Package shard makes rdtserved horizontally scalable: a consistent-
+// hash ring assigns every session id to exactly one cluster member,
+// each daemon runs a Node that gates session access on ownership (and
+// answers MOVED/307 for everything it does not own), and membership
+// changes move sessions between daemons as passivate → ship the
+// session directory → reactivate, preserving the stream wire's
+// exactly-once dedup across the move.
+//
+// Membership is config-push, not gossip: a ring is an epoch-numbered
+// value pushed to every member over HTTP (POST /v1/shard/ring), and a
+// member adopts a ring iff its epoch is newer than the one it holds.
+// The push origin is whoever administers the cluster — typically the
+// rdtrouterd front end — which makes the whole system deterministic
+// and testable on a virtual clock: no timeouts, no probabilistic
+// convergence, just explicit epochs.
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// DefaultVNodes is the virtual-node count per member: enough that a
+// three-member ring splits within a few percent of evenly, small
+// enough that building a ring stays trivial.
+const DefaultVNodes = 64
+
+// Member is one cluster daemon: a stable name plus its advertised
+// addresses. Stream may be empty for members without a binary wire.
+type Member struct {
+	Name   string `json:"name"`
+	HTTP   string `json:"http"`
+	Stream string `json:"stream,omitempty"`
+}
+
+// Ring is one immutable membership epoch: which members exist and,
+// via consistent hashing with virtual nodes, which member owns any
+// session id. Build rings with New or Parse; a Ring is never mutated
+// after construction (membership changes make a new Ring with a
+// higher epoch).
+type Ring struct {
+	Epoch   uint64   `json:"epoch"`
+	VNodes  int      `json:"vnodes"`
+	Members []Member `json:"members"`
+	// Prev chains the displaced rings (bounded depth), so a config push
+	// carries the recent ownership history: a member that just joined
+	// learns from it where a session's state may still be parked while
+	// handoffs from older epochs are in flight.
+	Prev *Ring `json:"prev,omitempty"`
+
+	points []point // sorted hash circle, built at construction
+}
+
+// point is one virtual node on the hash circle.
+type point struct {
+	hash   uint64
+	member int // index into Members
+}
+
+// hash64 is fnv64a with a splitmix64 finalizer. Raw FNV of short keys
+// (session ids, "name#vnode") has weak high-bit avalanche, and the
+// circle orders points by the full 64-bit value — without the mix,
+// points and ids cluster into a narrow band and the arcs stay lumpy no
+// matter how many virtual nodes a member gets.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// New validates and builds a ring. Members are sorted by name, so two
+// rings built from the same set in any order are identical — Owner is
+// a pure function of (epoch-independent) membership.
+func New(epoch uint64, vnodes int, members []Member) (*Ring, error) {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("shard: ring has no members")
+	}
+	ms := append([]Member(nil), members...)
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Name < ms[j].Name })
+	seen := make(map[string]bool, len(ms))
+	for _, m := range ms {
+		if m.Name == "" {
+			return nil, fmt.Errorf("shard: member with empty name")
+		}
+		if m.HTTP == "" {
+			return nil, fmt.Errorf("shard: member %q has no http address", m.Name)
+		}
+		if seen[m.Name] {
+			return nil, fmt.Errorf("shard: duplicate member %q", m.Name)
+		}
+		seen[m.Name] = true
+	}
+	r := &Ring{Epoch: epoch, VNodes: vnodes, Members: ms}
+	r.points = make([]point, 0, len(ms)*vnodes)
+	for i, m := range ms {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{hash: hash64(m.Name + "#" + strconv.Itoa(v)), member: i})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		// Hash ties (vanishingly rare) break by name so the circle is
+		// still a pure function of membership.
+		return r.Members[a.member].Name < r.Members[b.member].Name
+	})
+	return r, nil
+}
+
+// Parse decodes and validates a ring pushed over the wire, rebuilding
+// the hash circle at every level of the Prev chain (depth-bounded).
+func Parse(data []byte) (*Ring, error) {
+	var raw Ring
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("shard: parse ring: %w", err)
+	}
+	return build(&raw, 8)
+}
+
+func build(raw *Ring, depth int) (*Ring, error) {
+	r, err := New(raw.Epoch, raw.VNodes, raw.Members)
+	if err != nil {
+		return nil, err
+	}
+	if raw.Prev != nil && depth > 0 {
+		prev, err := build(raw.Prev, depth-1)
+		if err != nil {
+			return nil, fmt.Errorf("shard: ring epoch %d: prev: %w", raw.Epoch, err)
+		}
+		r.Prev = prev
+	}
+	return r, nil
+}
+
+// ChainCopy returns a shallow copy of r whose Prev chain is copied and
+// truncated to depth links — so extending a chain never mutates a ring
+// someone else holds, and pushed rings stay bounded.
+func ChainCopy(r *Ring, depth int) *Ring {
+	if r == nil || depth <= 0 {
+		return nil
+	}
+	c := *r
+	c.Prev = ChainCopy(r.Prev, depth-1)
+	return &c
+}
+
+// Owner returns the member owning the session id: the first virtual
+// node at or clockwise of the id's hash.
+func (r *Ring) Owner(id string) Member {
+	h := hash64(id)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap past the top of the circle
+	}
+	return r.Members[r.points[i].member]
+}
+
+// MemberByName looks a member up by name.
+func (r *Ring) MemberByName(name string) (Member, bool) {
+	for _, m := range r.Members {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Member{}, false
+}
+
+// Names returns the member names, sorted.
+func (r *Ring) Names() []string {
+	out := make([]string, len(r.Members))
+	for i, m := range r.Members {
+		out[i] = m.Name
+	}
+	return out
+}

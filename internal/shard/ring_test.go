@@ -1,0 +1,132 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+func testMembers(names ...string) []Member {
+	ms := make([]Member, len(names))
+	for i, n := range names {
+		ms[i] = Member{Name: n, HTTP: "127.0.0.1:1" + n}
+	}
+	return ms
+}
+
+func TestRingDeterministic(t *testing.T) {
+	a, err := New(1, 0, testMembers("a", "b", "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same membership handed over in a different order: same circle.
+	b, err := New(7, 0, testMembers("c", "a", "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		id := fmt.Sprintf("session-%d", i)
+		if ao, bo := a.Owner(id).Name, b.Owner(id).Name; ao != bo {
+			t.Fatalf("id %q: owner %q vs %q for reordered members", id, ao, bo)
+		}
+	}
+}
+
+func TestRingJSONRoundTrip(t *testing.T) {
+	a, err := New(3, 32, testMembers("a", "b", "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse(data)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if b.Epoch != a.Epoch || b.VNodes != a.VNodes || len(b.Members) != len(a.Members) {
+		t.Fatalf("round trip changed the ring: %+v vs %+v", b, a)
+	}
+	for i := 0; i < 2000; i++ {
+		id := fmt.Sprintf("s%d", i)
+		if a.Owner(id).Name != b.Owner(id).Name {
+			t.Fatalf("id %q: owner changed across JSON round trip", id)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r, err := New(1, 0, testMembers("a", "b", "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	const total = 30000
+	for i := 0; i < total; i++ {
+		counts[r.Owner(fmt.Sprintf("sess-%d", i)).Name]++
+	}
+	for name, c := range counts {
+		frac := float64(c) / total
+		if frac < 0.15 || frac > 0.55 {
+			t.Fatalf("member %s owns %.1f%% of ids; want a rough third (%v)", name, frac*100, counts)
+		}
+	}
+}
+
+// TestRingStabilityOnRemoval is the consistent-hashing property: ids
+// owned by surviving members stay put when another member leaves.
+func TestRingStabilityOnRemoval(t *testing.T) {
+	before, err := New(1, 0, testMembers("a", "b", "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := New(2, 0, testMembers("a", "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		id := fmt.Sprintf("k-%d", i)
+		o := before.Owner(id).Name
+		if o == "c" {
+			continue // c's ids must move somewhere, anywhere
+		}
+		if after.Owner(id).Name != o {
+			t.Fatalf("id %q moved from %s to %s although its owner survived",
+				id, o, after.Owner(id).Name)
+		}
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	cases := [][]Member{
+		nil,
+		{{Name: "", HTTP: "x"}},
+		{{Name: "a", HTTP: ""}},
+		{{Name: "a", HTTP: "x"}, {Name: "a", HTTP: "y"}},
+	}
+	for i, ms := range cases {
+		if _, err := New(1, 0, ms); err == nil {
+			t.Errorf("case %d: New accepted invalid members %+v", i, ms)
+		}
+	}
+}
+
+func TestParseMembers(t *testing.T) {
+	ms, err := ParseMembers("a=127.0.0.1:8081+127.0.0.1:9081, b=127.0.0.1:8082")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Member{
+		{Name: "a", HTTP: "127.0.0.1:8081", Stream: "127.0.0.1:9081"},
+		{Name: "b", HTTP: "127.0.0.1:8082"},
+	}
+	if len(ms) != 2 || ms[0] != want[0] || ms[1] != want[1] {
+		t.Fatalf("got %+v, want %+v", ms, want)
+	}
+	for _, bad := range []string{"", "noequals", "=addr", "a="} {
+		if _, err := ParseMembers(bad); err == nil {
+			t.Errorf("ParseMembers(%q) accepted", bad)
+		}
+	}
+}

@@ -56,8 +56,8 @@ type Client struct {
 
 	mu      sync.Mutex
 	chans   map[uint64]*Chan
-	pending []chan openResult // FIFO: opens awaiting OPENOK/ERROR
-	err     error             // connection-fatal error, sticky
+	pending []pendingOpen // FIFO: opens awaiting OPENOK/ERROR
+	err     error         // connection-fatal error, sticky
 	goodbye bool
 
 	readerDone chan struct{}
@@ -66,6 +66,14 @@ type Client struct {
 type openResult struct {
 	ch  *Chan
 	err error
+}
+
+// pendingOpen pairs an awaiting open with the producer it named, so the
+// OPENOK handler can stamp the resulting channel (OPENOK itself does
+// not echo the producer).
+type pendingOpen struct {
+	res      chan openResult
+	producer string
 }
 
 // Dial connects, performs the handshake, and starts the reader.
@@ -140,7 +148,7 @@ func (c *Client) fatal(err error) {
 	}
 	c.mu.Unlock()
 	for _, p := range pending {
-		p <- openResult{err: err}
+		p.res <- openResult{err: err}
 	}
 	for _, ch := range chans {
 		ch.fail(err)
@@ -177,7 +185,7 @@ func (c *Client) Open(id string, n int, producer string) (*Chan, error) {
 		c.openMu.Unlock()
 		return nil, err
 	}
-	c.pending = append(c.pending, res)
+	c.pending = append(c.pending, pendingOpen{res: res, producer: producer})
 	c.mu.Unlock()
 	var buf []byte
 	buf = append(buf, frameOpen)
@@ -207,12 +215,13 @@ func (c *Client) openErrLocked() error {
 // Chan is one open (session, producer) stream on a client connection.
 type Chan struct {
 	c *Client
-	// ID is the wire channel id; SessionID and N echo the session; Next
-	// is the sequence the server expects next from this producer — the
-	// resume point after a reconnect.
+	// ID is the wire channel id; SessionID, N, and Producer echo the
+	// open; Next is the sequence the server expects next from this
+	// producer — the resume point after a reconnect.
 	ID        uint64
 	SessionID string
 	N         int
+	Producer  string
 	Next      uint64
 
 	// sendMu serializes Send/Seal through the wire write: frames must
@@ -378,6 +387,16 @@ func (ch *Chan) Flush(ctx context.Context) error {
 	return ctx.Err()
 }
 
+// NextSeq returns the sequence the next Send or Seal will assign.
+// Comparing it across a failed send tells whether the frame was
+// recorded in flight (a later Resume replays it) or never made it
+// past encoding (the caller re-sends it itself).
+func (ch *Chan) NextSeq() uint64 {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	return ch.nextSeq
+}
+
 // Unacked returns the frames sent but never acked, ordered by
 // sequence — what a caller replays (after Rewind) on a fresh
 // connection when this one died mid-window.
@@ -483,7 +502,7 @@ func (c *Client) readLoop() {
 				c.mu.Lock()
 				var res chan openResult
 				if len(c.pending) > 0 {
-					res = c.pending[0]
+					res = c.pending[0].res
 					c.pending = c.pending[1:]
 				}
 				c.mu.Unlock()
@@ -545,7 +564,8 @@ func (c *Client) handleOpenOK(r *binenc.Reader) {
 	c.mu.Lock()
 	var res chan openResult
 	if len(c.pending) > 0 {
-		res = c.pending[0]
+		res = c.pending[0].res
+		ch.Producer = c.pending[0].producer
 		c.pending = c.pending[1:]
 	}
 	c.chans[id] = ch

@@ -370,7 +370,13 @@ func (sc *serverConn) handleOpen(r *binenc.Reader) bool {
 			sess, err = svc.Session(id)
 		}
 	}
+	var mv *service.MovedError
 	switch {
+	case errors.As(err, &mv):
+		// The stream wire's redirect: detail carries the owner's stream
+		// address, the client reconnects there and resumes via OPENOK.
+		sc.chanError(0, CodeMoved, mv.Stream)
+		return true
 	case errors.Is(err, service.ErrDraining):
 		sc.chanError(0, CodeDraining, err.Error())
 		return true
@@ -473,6 +479,7 @@ func (sc *serverConn) submit(ch *serverChan, seq uint64, events []service.Event,
 	nEvents := len(events)
 	notify := sc.notifyFunc(ch.id, seq, events, nEvents, start)
 	backoff := 200 * time.Microsecond
+	reresolved := 0
 	for {
 		dup, err := ch.sess.EnqueueSeq(ch.producer, seq, events, seal, notify)
 		switch {
@@ -506,6 +513,25 @@ func (sc *serverConn) submit(ch *serverChan, seq uint64, events []service.Event,
 			sc.putEventBuf(events)
 			sc.abort(CodeSeqGap, err.Error())
 			return false
+		case errors.Is(err, service.ErrClosed):
+			// The session object went away under the channel — evicted, or
+			// passivated for a shard handoff. Re-resolve through the service:
+			// a fresh live session means a local reactivation (retry against
+			// it); a MovedError means the session now lives elsewhere.
+			if fresh, rerr := sc.srv.cfg.Service.Session(ch.sess.ID); rerr == nil {
+				if fresh != ch.sess && reresolved < 4 {
+					reresolved++
+					ch.sess = fresh
+					continue
+				}
+			} else if mv := (*service.MovedError)(nil); errors.As(rerr, &mv) {
+				sc.putEventBuf(events)
+				sc.chanError(ch.id, CodeMoved, mv.Stream)
+				return true
+			}
+			sc.putEventBuf(events)
+			sc.chanError(ch.id, CodeSession, err.Error())
+			return true
 		case err != nil:
 			// Sealed, failed, degraded, closed: the channel is done but
 			// the connection (and its other channels) lives on.

@@ -16,7 +16,10 @@ import (
 // startServer boots a service plus a stream server on a loopback port.
 func startServer(t *testing.T, svcCfg service.Config, streamCfg Config) (*service.Service, *Server) {
 	t.Helper()
-	svc := service.New(svcCfg)
+	svc, err := service.New(svcCfg)
+	if err != nil {
+		t.Fatalf("new service: %v", err)
+	}
 	streamCfg.Service = svc
 	srv, err := Serve("127.0.0.1:0", streamCfg)
 	if err != nil {

@@ -82,6 +82,10 @@ const (
 	CodeHandshake    = 7 // bad magic or handshake violation
 	CodeBatchTooBig  = 8 // events frame beyond the service's batch limit
 	CodeUnauthorized = 9 // reserved
+	// CodeMoved is the stream wire's 307: the session lives on another
+	// cluster member, whose stream address rides in the error detail.
+	// Clients reconnect there and resume from the OPENOK sequence point.
+	CodeMoved = 10
 )
 
 func codeString(code int) string {
@@ -102,6 +106,8 @@ func codeString(code int) string {
 		return "handshake"
 	case CodeBatchTooBig:
 		return "batch-too-big"
+	case CodeMoved:
+		return "moved"
 	default:
 		return fmt.Sprintf("code-%d", code)
 	}
@@ -116,6 +122,17 @@ type ProtocolError struct {
 
 func (e *ProtocolError) Error() string {
 	return fmt.Sprintf("stream: %s: %s", codeString(e.Code), e.Detail)
+}
+
+// MovedTo extracts the owner's stream address from a MOVED error; ok
+// is false for anything else (including owners without a stream wire,
+// whose MOVED carries an empty address).
+func MovedTo(err error) (addr string, ok bool) {
+	var pe *ProtocolError
+	if errors.As(err, &pe) && pe.Code == CodeMoved && pe.Detail != "" {
+		return pe.Detail, true
+	}
+	return "", false
 }
 
 const frameHeaderSize = 8

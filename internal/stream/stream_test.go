@@ -169,7 +169,10 @@ func TestTrafficDeterministicAndValid(t *testing.T) {
 			}
 
 			// Validity: a live session must apply every event.
-			svc := service.New(service.Config{})
+			svc, err := service.New(service.Config{})
+			if err != nil {
+				t.Fatalf("%s/%d new service: %v", shape, n, err)
+			}
 			sess, err := svc.CreateSession("t", n)
 			if err != nil {
 				t.Fatalf("%s/%d create: %v", shape, n, err)
